@@ -1,0 +1,143 @@
+// Ablation bench for the design choices DESIGN.md calls out (not a paper
+// figure; supports the §III design narrative):
+//  A1  conflict detection (Γ): HABF vs f-HABF-style no-Γ at equal space —
+//      how much accuracy the Γ index buys under skewed costs;
+//  A2  cost-descending collision-queue order vs input order — the paper
+//      optimizes expensive keys first because HashExpressor capacity is
+//      finite (here: compare weighted FPR at several skews);
+//  A3  per-key customization (HABF) vs per-group customization
+//      (partitioned hashing, Hao et al.) vs none (BF);
+//  A4  double hashing vs distinct functions for the plain Bloom half.
+
+#include "bench_common.h"
+#include "bloom/partitioned_bloom.h"
+
+namespace habf {
+namespace bench {
+namespace {
+
+void AblationGamma(Dataset& data, int shuffles) {
+  TablePrinter table(
+      "A1: value of the Gamma index (weighted FPR %, Zipf 1.0, Shalla)");
+  table.AddRow({"bits/key", "HABF (with Gamma)", "no Gamma (fast)", "BF"});
+  for (double bpk : {7.0, 9.8, 12.6}) {
+    const size_t bits = BudgetBits(bpk, data.positives.size());
+    auto average = [&](auto&& build) {
+      return AverageOverShuffles(data, 1.0, shuffles,
+                                 [&](const Dataset& d) {
+                                   const auto filter = build(d);
+                                   return MeasureWeightedFpr(filter,
+                                                             d.negatives);
+                                 });
+    };
+    const double with_gamma =
+        average([&](const Dataset& d) { return BuildHabf(d, bits, false); });
+    const double no_gamma =
+        average([&](const Dataset& d) { return BuildHabf(d, bits, true); });
+    const double bf =
+        average([&](const Dataset& d) { return BuildBloom(d, bits); });
+    table.AddRow({FormatValue(bpk, 3), FormatValue(with_gamma * 100),
+                  FormatValue(no_gamma * 100), FormatValue(bf * 100)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void AblationQueueOrder(Dataset& data, int shuffles) {
+  // Cost-descending order is implemented inside TPJO; emulate "input order"
+  // by flattening the costs before the build and re-weighting the
+  // measurement afterwards (the optimizer then cannot see which keys are
+  // expensive).
+  TablePrinter table(
+      "A2: cost-aware queue order (weighted FPR %, 8.4 bits/key, Shalla)");
+  table.AddRow({"skew", "cost-aware TPJO", "cost-blind TPJO"});
+  const size_t bits = BudgetBits(8.4, data.positives.size());
+  for (double theta : {0.6, 1.2, 2.4}) {
+    const double aware = AverageOverShuffles(
+        data, theta, shuffles, [&](const Dataset& d) {
+          return MeasureWeightedFpr(BuildHabf(d, bits, false), d.negatives);
+        });
+    const double blind = AverageOverShuffles(
+        data, theta, shuffles, [&](const Dataset& d) {
+          Dataset flattened = d;  // same keys, costs hidden from TPJO
+          for (auto& wk : flattened.negatives) wk.cost = 1.0;
+          const Habf filter = BuildHabf(flattened, bits, false);
+          return MeasureWeightedFpr(filter, d.negatives);
+        });
+    table.AddRow({FormatValue(theta, 2), FormatValue(aware * 100),
+                  FormatValue(blind * 100)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void AblationGranularity(Dataset& data) {
+  AssignZipfCosts(&data, 0.0, 0);
+  TablePrinter table(
+      "A3: customization granularity (FPR %, uniform costs, Shalla)");
+  table.AddRow({"bits/key", "per-key (HABF)", "per-group (partitioned)",
+                "none (BF)"});
+  for (double bpk : {7.0, 12.6, 18.3}) {
+    const size_t bits = BudgetBits(bpk, data.positives.size());
+    const Habf habf = BuildHabf(data, bits, false);
+    PartitionedBloomFilter::Options popt;
+    popt.num_bits = bits;
+    popt.k = OptimalNumHashes(bpk);
+    popt.num_groups = 8;
+    const PartitionedBloomFilter pbf(data.positives, popt);
+    const DoubleHashBloom bf = BuildBloom(data, bits);
+    table.AddRow(
+        {FormatValue(bpk, 3),
+         FormatValue(MeasureWeightedFpr(habf, data.negatives) * 100),
+         FormatValue(MeasureWeightedFpr(pbf, data.negatives) * 100),
+         FormatValue(MeasureWeightedFpr(bf, data.negatives) * 100)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void AblationDoubleHashing(Dataset& data) {
+  AssignZipfCosts(&data, 0.0, 0);
+  TablePrinter table(
+      "A4: double hashing vs distinct functions (plain BF half, FPR %)");
+  table.AddRow({"bits/key", "distinct (22-fn family)", "double hashing"});
+  for (double bpk : {7.0, 12.6, 18.3}) {
+    const size_t bits = BudgetBits(bpk, data.positives.size());
+    const StandardBloom distinct = BuildDistinctBloom(data, bits);
+
+    const size_t k = OptimalNumHashes(bpk);
+    DoubleHashProvider provider(k);
+    std::vector<uint8_t> fns(k);
+    for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+    BloomFilter doubled(bits, &provider, fns);
+    for (const auto& key : data.positives) doubled.Add(key);
+
+    table.AddRow(
+        {FormatValue(bpk, 3),
+         FormatValue(MeasureWeightedFpr(distinct, data.negatives) * 100),
+         FormatValue(MeasureWeightedFpr(doubled, data.negatives) * 100)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace habf
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  using namespace habf::bench;
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  DatasetOptions dopt;
+  dopt.num_positives = scale.shalla_keys;
+  dopt.num_negatives = scale.shalla_keys;
+  dopt.seed = 161;
+  Dataset data = GenerateShallaLike(dopt);
+
+  AblationGamma(data, scale.zipf_shuffles);
+  AblationQueueOrder(data, scale.zipf_shuffles);
+  AblationGranularity(data);
+  AblationDoubleHashing(data);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 8: measured FPR of HABF vs the theoretical upper bound of
+// Eq. (19), (a) varying the number of hash functions k at b = 10 bits/key,
+// (b) varying bits-per-key b at k = 4.
+// Paper shape: the bound always sits above the measured value.
+
+#include "bench_common.h"
+#include "core/theory.h"
+
+namespace habf {
+namespace bench {
+namespace {
+
+struct BoundRow {
+  double measured;
+  double bound;
+};
+
+BoundRow MeasureOne(const Dataset& data, size_t k, double bpk) {
+  HabfOptions options;
+  options.total_bits = BudgetBits(bpk, data.positives.size());
+  options.k = k;
+  options.cell_bits = 5;  // 15 usable functions so k can reach 10
+  const Habf filter = Habf::Build(data.positives, data.negatives, options);
+
+  const double measured = MeasureWeightedFpr(filter, data.negatives);
+  const size_t omega = filter.expressor().num_cells();
+  const double bloom_bpk = static_cast<double>(filter.bloom().num_bits()) /
+                           static_cast<double>(data.positives.size());
+  const double pc = PcPrimeModel(filter.options().k, bloom_bpk,
+                                 filter.usable_functions());
+  const double fbf_star =
+      FbfStarUpperBound(filter.options().k, bloom_bpk,
+                        data.negatives.size(), pc, omega);
+  const double bound =
+      HabfFprUpperBound(fbf_star, omega, filter.expressor().num_inserted());
+  return {measured, bound};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace habf
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  using namespace habf::bench;
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  DatasetOptions dopt;
+  dopt.num_positives = scale.shalla_keys;
+  dopt.num_negatives = scale.shalla_keys;
+  dopt.seed = 81;
+  Dataset data = GenerateShallaLike(dopt);
+  AssignZipfCosts(&data, 0.0, 0);
+
+  {
+    TablePrinter table("Fig 8(a): FPR(%) real vs theoretic bound, b=10");
+    table.AddRow({"k", "real(%)", "bound(%)", "bound>=real"});
+    for (size_t k = 2; k <= 10; ++k) {
+      const auto row = MeasureOne(data, k, 10.0);
+      table.AddRow({std::to_string(k), FormatValue(row.measured * 100),
+                    FormatValue(row.bound * 100),
+                    row.bound >= row.measured ? "yes" : "NO"});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  {
+    TablePrinter table("Fig 8(b): FPR(%) real vs theoretic bound, k=4");
+    table.AddRow({"bits/key", "real(%)", "bound(%)", "bound>=real"});
+    for (int b = 4; b <= 13; ++b) {
+      const auto row = MeasureOne(data, 4, static_cast<double>(b));
+      table.AddRow({std::to_string(b), FormatValue(row.measured * 100),
+                    FormatValue(row.bound * 100),
+                    row.bound >= row.measured ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+  return 0;
+}

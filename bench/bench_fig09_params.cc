@@ -1,0 +1,78 @@
+// Reproduces Fig. 9 (parameter study on Shalla, uniform costs):
+//  (a) weighted FPR vs the space-allocation ratio Δ, and vs k, at 2 MB;
+//  (b) weighted FPR vs HashExpressor cell size over the space axis.
+// Paper shape: Δ optimal near 0.25; k best at 3-5; cell size 4 wins.
+
+#include "bench_common.h"
+
+namespace habf {
+namespace bench {
+namespace {
+
+double RunPoint(const Dataset& data, double bpk, double delta, size_t k,
+                unsigned cell_bits) {
+  HabfOptions options;
+  options.total_bits = BudgetBits(bpk, data.positives.size());
+  options.delta = delta;
+  options.k = k;
+  options.cell_bits = cell_bits;
+  const Habf filter = Habf::Build(data.positives, data.negatives, options);
+  return MeasureWeightedFpr(filter, data.negatives);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace habf
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  using namespace habf::bench;
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  DatasetOptions dopt;
+  dopt.num_positives = scale.shalla_keys;
+  dopt.num_negatives = scale.shalla_keys;
+  dopt.seed = 91;
+  Dataset data = GenerateShallaLike(dopt);
+  AssignZipfCosts(&data, 0.0, 0);
+
+  // 2 MB over 1.491M positives = 11.2 bits/key.
+  const double kTwoMbBpk = 11.2;
+
+  {
+    TablePrinter table(
+        "Fig 9(a): weighted FPR(%) vs Delta (k=3, cell=4, 2MB-equivalent)");
+    table.AddRow({"Delta", "weighted FPR(%)"});
+    for (double delta : {0.1, 0.2, 0.25, 0.3, 0.5, 0.7, 0.9}) {
+      table.AddRow({FormatValue(delta, 2),
+                    FormatValue(RunPoint(data, kTwoMbBpk, delta, 3, 4) * 100)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  {
+    TablePrinter table(
+        "Fig 9(a): weighted FPR(%) vs k (Delta=0.25, cell=5, 2MB-equivalent)");
+    table.AddRow({"k", "weighted FPR(%)"});
+    for (size_t k = 2; k <= 8; ++k) {
+      table.AddRow({std::to_string(k),
+                    FormatValue(RunPoint(data, kTwoMbBpk, 0.25, k, 5) * 100)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  {
+    TablePrinter table(
+        "Fig 9(b): weighted FPR(%) vs cell size over the space axis");
+    table.AddRow({"space", "bits/key", "cell=3", "cell=4", "cell=5"});
+    for (const SpacePoint& point : ShallaSpaceAxis()) {
+      table.AddRow(
+          {point.paper_label, FormatValue(point.bits_per_key, 3),
+           FormatValue(RunPoint(data, point.bits_per_key, 0.25, 3, 3) * 100),
+           FormatValue(RunPoint(data, point.bits_per_key, 0.25, 3, 4) * 100),
+           FormatValue(RunPoint(data, point.bits_per_key, 0.25, 3, 5) * 100)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 10: weighted FPR vs space under UNIFORM cost distribution.
+//  (a) Shalla vs non-learned filters   (b) Shalla vs learned filters
+//  (c) YCSB   vs non-learned filters   (d) YCSB   vs learned filters
+// Paper shape: HABF lowest (or joint lowest) everywhere; learned filters
+// competitive on Shalla (evident characteristics) but not on YCSB.
+
+#include "bench_common.h"
+
+namespace habf {
+namespace bench {
+namespace {
+
+void RunDataset(const char* name, Dataset data,
+                const std::vector<SpacePoint>& axis) {
+  TablePrinter table(std::string("Fig 10 (") + name +
+                     ", uniform costs): weighted FPR vs space");
+  table.AddRow({"space", "bits/key", "HABF", "f-HABF", "BF", "Xor", "LBF",
+                "SLBF", "Ada-BF"});
+  AssignZipfCosts(&data, 0.0, 0);
+  for (const SpacePoint& point : axis) {
+    const size_t bits = BudgetBits(point.bits_per_key, data.positives.size());
+    const Habf habf = BuildHabf(data, bits, /*fast=*/false);
+    const Habf fhabf = BuildHabf(data, bits, /*fast=*/true);
+    const DoubleHashBloom bf = BuildBloom(data, bits);
+    const XorFilter xf = BuildXor(data, bits);
+    const auto lbf = BuildLbf(data, bits);
+    const auto slbf = BuildSlbf(data, bits);
+    const auto ada = BuildAdaBf(data, bits);
+    table.AddRow({point.paper_label, FormatValue(point.bits_per_key, 3),
+                  FormatValue(MeasureWeightedFpr(habf, data.negatives)),
+                  FormatValue(MeasureWeightedFpr(fhabf, data.negatives)),
+                  FormatValue(MeasureWeightedFpr(bf, data.negatives)),
+                  FormatValue(MeasureWeightedFpr(xf, data.negatives)),
+                  FormatValue(MeasureWeightedFpr(lbf, data.negatives)),
+                  FormatValue(MeasureWeightedFpr(slbf, data.negatives)),
+                  FormatValue(MeasureWeightedFpr(ada, data.negatives))});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace habf
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  using namespace habf::bench;
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  DatasetOptions shalla_opt;
+  shalla_opt.num_positives = scale.shalla_keys;
+  shalla_opt.num_negatives = scale.shalla_keys;
+  shalla_opt.seed = 101;
+  RunDataset("Shalla", GenerateShallaLike(shalla_opt), ShallaSpaceAxis());
+
+  DatasetOptions ycsb_opt;
+  ycsb_opt.num_positives = scale.ycsb_keys;
+  ycsb_opt.num_negatives = static_cast<size_t>(scale.ycsb_keys * 0.93);
+  ycsb_opt.seed = 102;
+  RunDataset("YCSB", GenerateYcsbLike(ycsb_opt), YcsbSpaceAxis());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 11: weighted FPR vs space under SKEWED (Zipf 1.0) costs,
+// averaged over reshuffled cost assignments, with WBF added as the
+// cost-aware non-learned baseline.
+// Paper shape: HABF lowest everywhere, and the HABF advantage is larger
+// than in Fig. 10 because it concentrates adjustments on expensive keys.
+
+#include "bench_common.h"
+
+namespace habf {
+namespace bench {
+namespace {
+
+constexpr double kTheta = 1.0;
+
+void RunDataset(const char* name, Dataset data,
+                const std::vector<SpacePoint>& axis, int shuffles) {
+  TablePrinter table(std::string("Fig 11 (") + name +
+                     ", Zipf 1.0 costs): weighted FPR vs space");
+  table.AddRow({"space", "bits/key", "HABF", "f-HABF", "BF", "Xor", "WBF",
+                "LBF", "SLBF", "Ada-BF"});
+  for (const SpacePoint& point : axis) {
+    const size_t bits = BudgetBits(point.bits_per_key, data.positives.size());
+    auto average = [&](auto&& build) {
+      return AverageOverShuffles(data, kTheta, shuffles,
+                                 [&](const Dataset& d) {
+                                   const auto filter = build(d);
+                                   return MeasureWeightedFpr(filter,
+                                                             d.negatives);
+                                 });
+    };
+    const double habf = average(
+        [&](const Dataset& d) { return BuildHabf(d, bits, false); });
+    const double fhabf =
+        average([&](const Dataset& d) { return BuildHabf(d, bits, true); });
+    const double bf =
+        average([&](const Dataset& d) { return BuildBloom(d, bits); });
+    const double xf =
+        average([&](const Dataset& d) { return BuildXor(d, bits); });
+    const double wbf =
+        average([&](const Dataset& d) { return BuildWbf(d, bits); });
+    const double lbf =
+        average([&](const Dataset& d) { return BuildLbf(d, bits); });
+    const double slbf =
+        average([&](const Dataset& d) { return BuildSlbf(d, bits); });
+    const double ada =
+        average([&](const Dataset& d) { return BuildAdaBf(d, bits); });
+    table.AddRow({point.paper_label, FormatValue(point.bits_per_key, 3),
+                  FormatValue(habf), FormatValue(fhabf), FormatValue(bf),
+                  FormatValue(xf), FormatValue(wbf), FormatValue(lbf),
+                  FormatValue(slbf), FormatValue(ada)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace habf
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  using namespace habf::bench;
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  DatasetOptions shalla_opt;
+  shalla_opt.num_positives = scale.shalla_keys;
+  shalla_opt.num_negatives = scale.shalla_keys;
+  shalla_opt.seed = 111;
+  RunDataset("Shalla", GenerateShallaLike(shalla_opt), ShallaSpaceAxis(),
+             scale.zipf_shuffles);
+
+  DatasetOptions ycsb_opt;
+  ycsb_opt.num_positives = scale.ycsb_keys;
+  ycsb_opt.num_negatives = static_cast<size_t>(scale.ycsb_keys * 0.93);
+  ycsb_opt.seed = 112;
+  RunDataset("YCSB", GenerateYcsbLike(ycsb_opt), YcsbSpaceAxis(),
+             scale.zipf_shuffles);
+  return 0;
+}

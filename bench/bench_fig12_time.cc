@@ -1,0 +1,93 @@
+// Reproduces Fig. 12: construction time and query latency in ns/key for
+// every filter on both datasets at the fixed paper budget (1.5 MB-equivalent
+// for Shalla, 15 MB-equivalent for YCSB).
+// Paper shape: BF fastest; Xor and f-HABF the same order of magnitude; HABF
+// ~10-20x BF construction and ~5x BF query; learned filters orders of
+// magnitude slower on both axes (SGD training / model inference). GPU rows
+// of the paper are out of scope (no GPU substrate; see EXPERIMENTS.md).
+
+#include "bench_common.h"
+
+namespace habf {
+namespace bench {
+namespace {
+
+struct TimeRow {
+  const char* name;
+  double construct_ns;
+  double query_ns;
+};
+
+template <typename Build>
+TimeRow MeasureFilter(const char* name, const Dataset& data, Build&& build) {
+  Stopwatch watch;
+  const auto filter = build(data);
+  const double construct_ns =
+      static_cast<double>(watch.ElapsedNanos()) /
+      static_cast<double>(data.positives.size());
+  const double query_ns =
+      MeasureQueryNsPerKey(filter, data.positives, data.negatives, 1);
+  return {name, construct_ns, query_ns};
+}
+
+void RunDataset(const char* label, Dataset data, double bpk) {
+  AssignZipfCosts(&data, 0.0, 0);
+  const size_t bits = BudgetBits(bpk, data.positives.size());
+  std::vector<TimeRow> rows;
+  rows.push_back(MeasureFilter("HABF", data, [&](const Dataset& d) {
+    return BuildHabf(d, bits, false);
+  }));
+  rows.push_back(MeasureFilter("f-HABF", data, [&](const Dataset& d) {
+    return BuildHabf(d, bits, true);
+  }));
+  rows.push_back(MeasureFilter(
+      "BF", data, [&](const Dataset& d) { return BuildBloom(d, bits); }));
+  rows.push_back(MeasureFilter(
+      "Xor", data, [&](const Dataset& d) { return BuildXor(d, bits); }));
+  rows.push_back(MeasureFilter(
+      "WBF", data, [&](const Dataset& d) { return BuildWbf(d, bits); }));
+  rows.push_back(MeasureFilter(
+      "LBF", data, [&](const Dataset& d) { return BuildLbf(d, bits); }));
+  rows.push_back(MeasureFilter(
+      "SLBF", data, [&](const Dataset& d) { return BuildSlbf(d, bits); }));
+  rows.push_back(MeasureFilter(
+      "Ada-BF", data, [&](const Dataset& d) { return BuildAdaBf(d, bits); }));
+
+  TablePrinter table(std::string("Fig 12 (") + label +
+                     "): construction and query time, ns/key");
+  table.AddRow({"filter", "construct(ns/key)", "query(ns/key)",
+                "construct/BF", "query/BF"});
+  const double bf_construct = rows[2].construct_ns;
+  const double bf_query = rows[2].query_ns;
+  for (const TimeRow& row : rows) {
+    table.AddRow({row.name, FormatValue(row.construct_ns),
+                  FormatValue(row.query_ns),
+                  FormatValue(row.construct_ns / bf_construct, 3),
+                  FormatValue(row.query_ns / bf_query, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace habf
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  using namespace habf::bench;
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  DatasetOptions shalla_opt;
+  shalla_opt.num_positives = scale.shalla_keys;
+  shalla_opt.num_negatives = scale.shalla_keys;
+  shalla_opt.seed = 121;
+  RunDataset("Shalla, 1.5MB-equivalent", GenerateShallaLike(shalla_opt), 8.4);
+
+  DatasetOptions ycsb_opt;
+  ycsb_opt.num_positives = scale.ycsb_keys;
+  ycsb_opt.num_negatives = static_cast<size_t>(scale.ycsb_keys * 0.93);
+  ycsb_opt.seed = 122;
+  RunDataset("YCSB, 15MB-equivalent", GenerateYcsbLike(ycsb_opt), 10.1);
+  return 0;
+}

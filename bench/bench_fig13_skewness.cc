@@ -1,0 +1,48 @@
+// Reproduces Fig. 13: weighted FPR vs cost skewness (Zipf theta 0..3) on
+// Shalla at the 1.5 MB-equivalent budget, for HABF, f-HABF, BF and Xor.
+// Paper shape: HABF/f-HABF decrease steadily with skew (they protect the
+// expensive keys); BF and Xor fluctuate because a single expensive false
+// positive dominates the weighted FPR.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  using namespace habf::bench;
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  DatasetOptions dopt;
+  dopt.num_positives = scale.shalla_keys;
+  dopt.num_negatives = scale.shalla_keys;
+  dopt.seed = 131;
+  Dataset data = GenerateShallaLike(dopt);
+
+  // 1.5 MB over 1.491M positives = 8.4 bits/key.
+  const size_t bits = BudgetBits(8.4, data.positives.size());
+
+  TablePrinter table(
+      "Fig 13: weighted FPR(%) vs skewness (Shalla, 1.5MB-equivalent)");
+  table.AddRow({"skew", "HABF", "f-HABF", "BF", "Xor"});
+  for (double theta : {0.0, 0.6, 1.2, 1.8, 2.4, 3.0}) {
+    auto average = [&](auto&& build) {
+      return AverageOverShuffles(
+          data, theta, scale.zipf_shuffles, [&](const Dataset& d) {
+            const auto filter = build(d);
+            return MeasureWeightedFpr(filter, d.negatives);
+          });
+    };
+    const double habf =
+        average([&](const Dataset& d) { return BuildHabf(d, bits, false); });
+    const double fhabf =
+        average([&](const Dataset& d) { return BuildHabf(d, bits, true); });
+    const double bf =
+        average([&](const Dataset& d) { return BuildBloom(d, bits); });
+    const double xf =
+        average([&](const Dataset& d) { return BuildXor(d, bits); });
+    table.AddRow({FormatValue(theta, 2), FormatValue(habf * 100),
+                  FormatValue(fhabf * 100), FormatValue(bf * 100),
+                  FormatValue(xf * 100)});
+  }
+  table.Print();
+  return 0;
+}

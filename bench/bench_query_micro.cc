@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: query latency per
+// filter split by answer (hit vs miss — misses short-circuit differently),
+// the two HABF rounds in isolation, and HashExpressor chain walks. This is
+// the fine-grained complement of Fig. 12's end-to-end numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/standard_bloom.h"
+#include "bloom/xor_filter.h"
+#include "core/habf.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+constexpr size_t kKeys = 50000;
+constexpr double kBitsPerKey = 10.0;
+
+const Dataset& SharedData() {
+  static const Dataset data = [] {
+    DatasetOptions options;
+    options.num_positives = kKeys;
+    options.num_negatives = kKeys;
+    options.seed = 777;
+    return GenerateShallaLike(options);
+  }();
+  return data;
+}
+
+const Habf& SharedHabf(bool fast) {
+  static const Habf habf = [] {
+    HabfOptions options;
+    options.total_bits = static_cast<size_t>(kBitsPerKey * kKeys);
+    return Habf::Build(SharedData().positives, SharedData().negatives,
+                       options);
+  }();
+  static const Habf fhabf = [] {
+    HabfOptions options;
+    options.total_bits = static_cast<size_t>(kBitsPerKey * kKeys);
+    options.fast = true;
+    return Habf::Build(SharedData().positives, SharedData().negatives,
+                       options);
+  }();
+  return fast ? fhabf : habf;
+}
+
+template <typename Filter>
+void QueryLoop(benchmark::State& state, const Filter& filter,
+               const std::vector<std::string>& keys) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MightContain(keys[i]));
+    if (++i == keys.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+std::vector<std::string> NegativeKeys() {
+  std::vector<std::string> keys;
+  for (const auto& wk : SharedData().negatives) keys.push_back(wk.key);
+  return keys;
+}
+
+void BM_HabfQueryHit(benchmark::State& state) {
+  QueryLoop(state, SharedHabf(false), SharedData().positives);
+}
+BENCHMARK(BM_HabfQueryHit);
+
+void BM_HabfQueryMiss(benchmark::State& state) {
+  static const auto negatives = NegativeKeys();
+  QueryLoop(state, SharedHabf(false), negatives);
+}
+BENCHMARK(BM_HabfQueryMiss);
+
+void BM_FhabfQueryHit(benchmark::State& state) {
+  QueryLoop(state, SharedHabf(true), SharedData().positives);
+}
+BENCHMARK(BM_FhabfQueryHit);
+
+void BM_FhabfQueryMiss(benchmark::State& state) {
+  static const auto negatives = NegativeKeys();
+  QueryLoop(state, SharedHabf(true), negatives);
+}
+BENCHMARK(BM_FhabfQueryMiss);
+
+void BM_HabfFirstRoundOnly(benchmark::State& state) {
+  const Habf& habf = SharedHabf(false);
+  const auto& keys = SharedData().positives;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(habf.ContainsFirstRound(keys[i]));
+    if (++i == keys.size()) i = 0;
+  }
+}
+BENCHMARK(BM_HabfFirstRoundOnly);
+
+void BM_ExpressorWalk(benchmark::State& state) {
+  const Habf& habf = SharedHabf(false);
+  static const auto negatives = NegativeKeys();
+  uint8_t fns[16];
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        habf.expressor().Query(negatives[i], fns, habf.options().k));
+    if (++i == negatives.size()) i = 0;
+  }
+}
+BENCHMARK(BM_ExpressorWalk);
+
+void BM_BloomQueryMiss(benchmark::State& state) {
+  static const DoubleHashBloom bloom(
+      SharedData().positives, static_cast<size_t>(kBitsPerKey * kKeys));
+  static const auto negatives = NegativeKeys();
+  QueryLoop(state, bloom, negatives);
+}
+BENCHMARK(BM_BloomQueryMiss);
+
+void BM_XorQueryMiss(benchmark::State& state) {
+  static const XorFilter filter = *XorFilter::Build(
+      SharedData().positives,
+      XorFilter::FingerprintBitsForBudget(
+          static_cast<size_t>(kBitsPerKey * kKeys), kKeys));
+  static const auto negatives = NegativeKeys();
+  QueryLoop(state, filter, negatives);
+}
+BENCHMARK(BM_XorQueryMiss);
+
+void BM_HabfBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DatasetOptions options;
+  options.num_positives = n;
+  options.num_negatives = n;
+  options.seed = 88;
+  const Dataset data = GenerateShallaLike(options);
+  HabfOptions habf_options;
+  habf_options.total_bits = static_cast<size_t>(kBitsPerKey * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Habf::Build(data.positives, data.negatives, habf_options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HabfBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace habf
+
+BENCHMARK_MAIN();

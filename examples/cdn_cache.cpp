@@ -1,0 +1,97 @@
+// CDN edge-cache scenario (paper intro: "Internet traffic is highly skewed
+// and concentrates on some popular files; popular files bring more
+// communication cost"). A summary filter of the cache's contents decides
+// whether to look locally or go straight to origin. A false positive on a
+// file the cache does NOT hold triggers a futile local lookup plus a slow
+// origin fetch on the critical path — and the penalty scales with the
+// file's transfer size and popularity.
+//
+// The example compares total mis-routing cost for a BF, an Xor filter, and
+// HABF summary at equal memory, and also demonstrates f-HABF as the
+// high-throughput option.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bloom/standard_bloom.h"
+#include "bloom/xor_filter.h"
+#include "core/habf.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+#include "workload/dataset.h"
+
+int main() {
+  using namespace habf;
+
+  // Cached objects (positives) and known-uncached hot objects (negatives,
+  // from the request log), with cost = popularity x size proxy.
+  constexpr size_t kCached = 80000;
+  constexpr size_t kUncached = 80000;
+  std::vector<std::string> cached;
+  for (size_t i = 0; i < kCached; ++i) {
+    cached.push_back("/asset/" + std::to_string(i * 7919 % 1000003) + ".bin");
+  }
+  std::vector<WeightedKey> uncached;
+  for (size_t i = 0; i < kUncached; ++i) {
+    uncached.push_back({"/miss/" + std::to_string(i) + ".bin", 1.0});
+  }
+  {
+    // Zipf popularity times a heavy-tailed size proxy.
+    const auto popularity = GenerateZipfCosts(kUncached, 1.0, 5);
+    Xoshiro256 rng(9);
+    for (size_t i = 0; i < kUncached; ++i) {
+      const double size_kb = 4.0 + static_cast<double>(rng.NextBounded(1020));
+      uncached[i].cost = popularity[i] * size_kb;
+    }
+  }
+
+  const size_t budget_bits = kCached * 12;
+
+  const StandardBloom bf(cached, budget_bits);
+  const auto xf = XorFilter::Build(
+      cached, XorFilter::FingerprintBitsForBudget(budget_bits, kCached));
+  HabfOptions habf_options;
+  habf_options.total_bits = budget_bits;
+  const Habf habf = Habf::Build(cached, uncached, habf_options);
+  HabfOptions fast_options = habf_options;
+  fast_options.fast = true;
+  const Habf fhabf = Habf::Build(cached, uncached, fast_options);
+
+  std::printf("CDN cache summary filter: %zu cached objects, 12 bits/object\n",
+              kCached);
+  std::printf("mis-routing cost = popularity x transfer size of each\n"
+              "uncached object wrongly reported as cached\n\n");
+  std::printf("%-8s %-24s %-18s\n", "filter", "weighted mis-route rate",
+              "query ns/key");
+
+  std::vector<std::string> probe_keys;
+  for (const auto& wk : uncached) probe_keys.push_back(wk.key);
+
+  auto report = [&](const char* name, const auto& filter) {
+    const double weighted = MeasureWeightedFpr(filter, uncached);
+    Stopwatch watch;
+    size_t hits = 0;
+    for (const auto& key : probe_keys) {
+      hits += filter.MightContain(key) ? 1 : 0;
+    }
+    const double ns = static_cast<double>(watch.ElapsedNanos()) /
+                      static_cast<double>(probe_keys.size());
+    DoNotOptimizeAway(hits);
+    std::printf("%-8s %-24.7f %-18.1f\n", name, weighted, ns);
+  };
+
+  report("BF", bf);
+  if (xf.has_value()) report("Xor", *xf);
+  report("HABF", habf);
+  report("f-HABF", fhabf);
+
+  std::printf(
+      "\nHABF: %zu of %zu colliding uncached objects resolved; the hottest\n"
+      "objects are protected first, so the weighted rate drops far below\n"
+      "the unweighted FPR.\n",
+      habf.stats().optimized, habf.stats().initial_collisions);
+  return 0;
+}

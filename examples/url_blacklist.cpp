@@ -1,0 +1,80 @@
+// Intrusion-detection scenario from the paper's introduction: a URL
+// blacklist filter sits on the request path. Misidentifying a *popular*
+// benign URL as blacklisted forces an expensive secondary check (or worse,
+// blocks traffic), and popularity is highly skewed — exactly the setting
+// HABF's cost-aware customization targets.
+//
+// The example builds the blacklist filter three ways (standard BF, Xor,
+// HABF) at the same space budget and replays a Zipf-popular benign traffic
+// trace, reporting how much "secondary check" cost each filter incurs.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bloom/standard_bloom.h"
+#include "bloom/xor_filter.h"
+#include "core/habf.h"
+#include "eval/metrics.h"
+#include "util/zipf.h"
+#include "workload/dataset.h"
+
+int main() {
+  using namespace habf;
+
+  // Blacklisted (positive) and benign (negative) URLs.
+  DatasetOptions dopt;
+  dopt.num_positives = 50000;
+  dopt.num_negatives = 50000;
+  dopt.seed = 7;
+  Dataset data = GenerateShallaLike(dopt);
+
+  // Benign-URL popularity is Zipf-like (web traffic concentrates on a few
+  // hot URLs); a false positive on a hot URL costs proportionally more.
+  AssignZipfCosts(&data, 1.2, 3);
+
+  const size_t budget_bits = data.positives.size() * 10;
+
+  const StandardBloom bf(data.positives, budget_bits);
+  const auto xf = XorFilter::Build(
+      data.positives, XorFilter::FingerprintBitsForBudget(
+                          budget_bits, data.positives.size()));
+  HabfOptions options;
+  options.total_bits = budget_bits;
+  const Habf habf = Habf::Build(data.positives, data.negatives, options);
+
+  std::printf("URL blacklist filter, %zu blacklisted URLs, 10 bits/URL\n\n",
+              data.positives.size());
+  std::printf("%-10s %-22s %-20s\n", "filter", "weighted cost of FPs",
+              "hot-100 FPs");
+
+  auto report = [&](const char* name, auto&& filter) {
+    const double weighted = MeasureWeightedFpr(filter, data.negatives);
+    // How many of the 100 hottest benign URLs are misflagged?
+    std::vector<const WeightedKey*> hot;
+    for (const auto& wk : data.negatives) hot.push_back(&wk);
+    std::sort(hot.begin(), hot.end(),
+              [](const WeightedKey* a, const WeightedKey* b) {
+                return a->cost > b->cost;
+              });
+    size_t hot_fp = 0;
+    for (size_t i = 0; i < 100; ++i) {
+      if (filter.MightContain(hot[i]->key)) ++hot_fp;
+    }
+    std::printf("%-10s %-22.6f %zu/100\n", name, weighted, hot_fp);
+  };
+
+  report("BF", bf);
+  if (xf.has_value()) report("Xor", *xf);
+  report("HABF", habf);
+
+  std::printf(
+      "\nHABF resolved %zu of %zu colliding benign URLs by customizing the\n"
+      "hash functions of %zu blacklist entries (stored in %zu bytes of\n"
+      "HashExpressor cells).\n",
+      habf.stats().optimized, habf.stats().initial_collisions,
+      habf.stats().adjusted_positives,
+      habf.expressor().MemoryUsageBytes());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Partitioned-hashing Bloom filter (Hao, Kodialam & Lakshman, SIGMETRICS
+// 2007) — the closest prior work the paper cites for per-key hash
+// customization: keys are grouped into disjoint subsets and each group uses
+// a different hash function set, coarsening HABF's per-key customization to
+// per-group. Included as an ablation baseline (DESIGN.md E15 discussion).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "hashing/hash_provider.h"
+
+namespace habf {
+
+/// Bloom filter over `num_groups` disjoint key groups; group g probes with
+/// the function indices (g, g+1, ..., g+k-1) mod |H| of the Table II family.
+/// The group of a key is a hash of the key itself, so queries need no
+/// side-table.
+class PartitionedBloomFilter {
+ public:
+  struct Options {
+    size_t num_bits = 1 << 20;
+    size_t k = 4;
+    size_t num_groups = 4;
+    uint64_t seed = 0;
+  };
+
+  PartitionedBloomFilter(const std::vector<std::string>& positives,
+                         const Options& options);
+
+  bool MightContain(std::string_view key) const;
+
+  /// Group index assigned to `key`.
+  size_t GroupOf(std::string_view key) const;
+
+  size_t MemoryUsageBytes() const { return filter_.MemoryUsageBytes(); }
+
+ private:
+  void GroupFns(size_t group, uint8_t* fns) const;
+
+  Options options_;
+  GlobalHashProvider provider_;
+  BloomFilter filter_;
+};
+
+}  // namespace habf

@@ -1,0 +1,102 @@
+// Convenience wrapper bundling a BloomFilter with its hash provider and the
+// paper's k = ln2·b sizing rule — the "BF" baseline of every experiment, and
+// the simplest entry point for library users who just want a Bloom filter.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "hashing/hash_provider.h"
+
+namespace habf {
+
+/// Standard Bloom filter over the first k distinct Table II functions,
+/// k chosen by the ln2 rule from the bits-per-key budget. Movable (the
+/// provider lives behind a unique_ptr, so the inner filter's pointer stays
+/// valid).
+class StandardBloom {
+ public:
+  /// Builds over `keys` with `total_bits` of space.
+  StandardBloom(const std::vector<std::string>& keys, size_t total_bits,
+                uint64_t seed = 0)
+      : provider_(std::make_unique<GlobalHashProvider>(
+            HashFamily::Global().size(), seed)),
+        filter_(total_bits, provider_.get(),
+                DefaultFns(total_bits, keys.size())) {
+    for (const auto& key : keys) filter_.Add(key);
+  }
+
+  bool MightContain(std::string_view key) const {
+    return filter_.MightContain(key);
+  }
+
+  void Add(std::string_view key) { filter_.Add(key); }
+
+  size_t num_hashes() const { return filter_.num_hashes(); }
+  size_t MemoryUsageBytes() const { return filter_.MemoryUsageBytes(); }
+  const BloomFilter& inner() const { return filter_; }
+
+ private:
+  static std::vector<uint8_t> DefaultFns(size_t total_bits, size_t num_keys) {
+    const double bpk = num_keys == 0
+                           ? 10.0
+                           : static_cast<double>(total_bits) /
+                                 static_cast<double>(num_keys);
+    const size_t k = OptimalNumHashes(bpk, HashFamily::Global().size());
+    std::vector<uint8_t> fns(k);
+    for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+    return fns;
+  }
+
+  std::unique_ptr<GlobalHashProvider> provider_;
+  BloomFilter filter_;
+};
+
+/// Bloom filter deriving its k probes from one 128-bit-strength digest via
+/// Kirsch-Mitzenmacher double hashing — the paper's default configuration
+/// for the BF baseline and the fastest practical Bloom filter here (two
+/// xxHash passes per key regardless of k).
+class DoubleHashBloom {
+ public:
+  DoubleHashBloom(const std::vector<std::string>& keys, size_t total_bits,
+                  uint64_t seed = 0)
+      : provider_(std::make_unique<DoubleHashProvider>(
+            NumHashes(total_bits, keys.size()), seed)),
+        filter_(total_bits, provider_.get(),
+                Iota(NumHashes(total_bits, keys.size()))) {
+    for (const auto& key : keys) filter_.Add(key);
+  }
+
+  bool MightContain(std::string_view key) const {
+    return filter_.MightContain(key);
+  }
+
+  void Add(std::string_view key) { filter_.Add(key); }
+
+  size_t num_hashes() const { return filter_.num_hashes(); }
+  size_t MemoryUsageBytes() const { return filter_.MemoryUsageBytes(); }
+  const BloomFilter& inner() const { return filter_; }
+
+ private:
+  static size_t NumHashes(size_t total_bits, size_t num_keys) {
+    const double bpk = num_keys == 0
+                           ? 10.0
+                           : static_cast<double>(total_bits) /
+                                 static_cast<double>(num_keys);
+    return OptimalNumHashes(bpk, 30);
+  }
+  static std::vector<uint8_t> Iota(size_t k) {
+    std::vector<uint8_t> fns(k);
+    for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+    return fns;
+  }
+
+  std::unique_ptr<DoubleHashProvider> provider_;
+  BloomFilter filter_;
+};
+
+}  // namespace habf

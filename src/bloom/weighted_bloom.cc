@@ -1,0 +1,92 @@
+#include "bloom/weighted_bloom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace habf {
+namespace {
+
+std::vector<uint8_t> Iota(size_t k) {
+  std::vector<uint8_t> fns(k);
+  for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+  return fns;
+}
+
+}  // namespace
+
+WeightedBloomFilter::WeightedBloomFilter(
+    const std::vector<std::string>& positives,
+    const std::vector<WeightedKey>& cost_bearing, const Options& options)
+    : options_(options),
+      provider_(options.k_max, options.seed),
+      filter_(options.num_bits, &provider_, Iota(options.k_base)) {
+  assert(options.k_base >= 1);
+  assert(options.k_max >= options.k_base);
+
+  if (!cost_bearing.empty()) {
+    double total = 0.0;
+    for (const auto& wk : cost_bearing) total += wk.cost;
+    mean_cost_ = total / static_cast<double>(cost_bearing.size());
+    if (mean_cost_ <= 0.0) mean_cost_ = 1.0;
+
+    // Cache the top cache_fraction keys by cost.
+    size_t cache_count = static_cast<size_t>(
+        options.cache_fraction * static_cast<double>(cost_bearing.size()));
+    cache_count = std::min(cache_count, cost_bearing.size());
+    if (cache_count > 0) {
+      std::vector<size_t> order(cost_bearing.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::partial_sort(order.begin(), order.begin() + cache_count,
+                        order.end(), [&](size_t a, size_t b) {
+                          return cost_bearing[a].cost > cost_bearing[b].cost;
+                        });
+      cost_cache_.reserve(cache_count);
+      for (size_t i = 0; i < cache_count; ++i) {
+        const auto& wk = cost_bearing[order[i]];
+        cost_cache_.emplace(wk.key, wk.cost);
+      }
+    }
+  }
+
+  // Positives are inserted with max(k_base, k(e)) probes so that any query
+  // probe subset is covered (indices 0..k(e)-1 are a prefix).
+  for (const auto& key : positives) {
+    const size_t k = std::max(options_.k_base, NumHashesFor(key));
+    uint8_t fns[32];
+    for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+    filter_.AddWith(key, fns, k);
+  }
+}
+
+size_t WeightedBloomFilter::NumHashesFor(std::string_view key) const {
+  const auto it = cost_cache_.find(std::string(key));
+  if (it == cost_cache_.end()) return options_.k_base;
+  const double ratio = it->second / mean_cost_;
+  const double k = static_cast<double>(options_.k_base) +
+                   std::log2(std::max(ratio, 1e-9));
+  const auto clamped = static_cast<long>(std::lround(k));
+  if (clamped < 1) return 1;
+  if (clamped > static_cast<long>(options_.k_max)) return options_.k_max;
+  return static_cast<size_t>(clamped);
+}
+
+bool WeightedBloomFilter::MightContain(std::string_view key) const {
+  const size_t k = NumHashesFor(key);
+  uint8_t fns[32];
+  for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+  return filter_.TestWith(key, fns, k);
+}
+
+size_t WeightedBloomFilter::MemoryUsageBytes() const {
+  size_t cache_bytes = 0;
+  for (const auto& [key, cost] : cost_cache_) {
+    (void)cost;
+    // Conservative accounting: node overhead + string payload + cost.
+    cache_bytes += sizeof(void*) * 2 + key.capacity() + sizeof(double);
+  }
+  return filter_.MemoryUsageBytes() + cache_bytes;
+}
+
+}  // namespace habf

@@ -1,0 +1,73 @@
+// Weighted Bloom filter (Bruck, Gao & Jiang, ISIT 2006): elements with
+// higher query frequency / misidentification cost receive more hash
+// functions. The paper's evaluation (Fig. 11, 12, 15) uses WBF as the
+// cost-aware non-learned baseline and notes its practical weakness: the
+// query path must recover each key's hash count, which requires keeping a
+// cost cache in memory and consulting it per query.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "hashing/hash_provider.h"
+
+namespace habf {
+
+/// A key with an associated misidentification cost (paper notation Θ(e)).
+struct WeightedKey {
+  std::string key;
+  double cost = 1.0;
+};
+
+/// Weighted Bloom filter with a high-cost key cache.
+///
+/// Keys whose cost is known (cached) are probed with
+///   k(e) = clamp(round(k_base + log2(cost(e) / mean_cost)), 1, k_max);
+/// uncached keys fall back to k_base. Zero false negatives hold because the
+/// insert path uses max(k_base, k(e)) probes for positives and the query
+/// k(e) is always <= the inserted count for any cached key.
+class WeightedBloomFilter {
+ public:
+  struct Options {
+    size_t num_bits = 1 << 20;
+    size_t k_base = 4;
+    size_t k_max = 12;
+    /// Fraction of the cost-bearing keys cached (highest cost first).
+    double cache_fraction = 0.01;
+    uint64_t seed = 0;
+  };
+
+  /// Builds over `positives`; `cost_bearing` supplies the cost oracle whose
+  /// top `cache_fraction` entries are cached (paper: "we cache some keys
+  /// with high costs in memory for WBF").
+  WeightedBloomFilter(const std::vector<std::string>& positives,
+                      const std::vector<WeightedKey>& cost_bearing,
+                      const Options& options);
+
+  /// Membership test; consults the cost cache to pick the probe count.
+  bool MightContain(std::string_view key) const;
+
+  /// Probe count used for `key` under the current cache state.
+  size_t NumHashesFor(std::string_view key) const;
+
+  size_t cache_size() const { return cost_cache_.size(); }
+
+  /// Bit-array bytes plus cost-cache bytes (the cache is real memory the
+  /// paper charges to WBF in Fig. 15).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  Options options_;
+  double mean_cost_ = 1.0;
+  DoubleHashProvider provider_;
+  BloomFilter filter_;
+  std::unordered_map<std::string, double> cost_cache_;
+};
+
+}  // namespace habf

@@ -1,0 +1,173 @@
+#include "bloom/xor_filter.h"
+
+#include <cassert>
+
+#include "hashing/xxhash.h"
+#include "util/serde.h"
+
+namespace habf {
+namespace {
+
+// Maps a 64-bit hash slice onto [0, n) without modulo bias.
+inline size_t Reduce(uint64_t x, size_t n) {
+  return static_cast<size_t>(
+      (static_cast<unsigned __int128>(x) * n) >> 64);
+}
+
+inline uint64_t Rotl64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+}  // namespace
+
+XorFilter::XorFilter(size_t segment_length, unsigned fingerprint_bits,
+                     uint64_t seed)
+    : segment_length_(segment_length),
+      fingerprint_bits_(fingerprint_bits),
+      seed_(seed),
+      slots_(3 * segment_length * fingerprint_bits) {}
+
+XorFilter::Slots3 XorFilter::SlotsOf(std::string_view key) const {
+  const uint64_t h = XxHash64(key.data(), key.size(), seed_);
+  return {Reduce(h, segment_length_),
+          segment_length_ + Reduce(Rotl64(h, 21), segment_length_),
+          2 * segment_length_ + Reduce(Rotl64(h, 42), segment_length_)};
+}
+
+uint64_t XorFilter::Fingerprint(std::string_view key) const {
+  const uint64_t h = XxHash64(key.data(), key.size(), seed_ ^ 0xf1e2d3c4b5a69788ULL);
+  const uint64_t mask = fingerprint_bits_ == 64
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << fingerprint_bits_) - 1;
+  // Reserve 0 so a key probing three never-assigned slots cannot match;
+  // this costs a 2^-w sliver of the fingerprint space.
+  uint64_t fp = h & mask;
+  if (fp == 0) fp = 1;
+  return fp;
+}
+
+std::optional<XorFilter> XorFilter::Build(const std::vector<std::string>& keys,
+                                          unsigned fingerprint_bits,
+                                          uint64_t seed, int max_attempts) {
+  assert(fingerprint_bits >= 1 && fingerprint_bits <= 32);
+  const size_t n = keys.size();
+  // Standard sizing: 1.23n + 32 slots split into three equal segments.
+  const size_t capacity = static_cast<size_t>(1.23 * static_cast<double>(n)) + 32;
+  const size_t segment_length = (capacity + 2) / 3;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    XorFilter filter(segment_length, fingerprint_bits,
+                     seed + static_cast<uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL);
+    const size_t num_slots = filter.num_slots();
+
+    // Peeling state: per-slot xor of incident key ids and degree counts.
+    std::vector<uint64_t> xor_ids(num_slots, 0);
+    std::vector<uint32_t> degree(num_slots, 0);
+    std::vector<Slots3> key_slots(n);
+
+    for (size_t i = 0; i < n; ++i) {
+      key_slots[i] = filter.SlotsOf(keys[i]);
+      for (size_t s : {key_slots[i].h0, key_slots[i].h1, key_slots[i].h2}) {
+        xor_ids[s] ^= i;
+        ++degree[s];
+      }
+    }
+
+    // Queue of degree-1 slots; peel to a stack of (key, slot) pairs.
+    std::vector<size_t> queue;
+    queue.reserve(num_slots);
+    for (size_t s = 0; s < num_slots; ++s) {
+      if (degree[s] == 1) queue.push_back(s);
+    }
+
+    std::vector<std::pair<uint64_t, size_t>> stack;  // (key index, slot)
+    stack.reserve(n);
+    while (!queue.empty()) {
+      const size_t slot = queue.back();
+      queue.pop_back();
+      if (degree[slot] != 1) continue;
+      const uint64_t key_idx = xor_ids[slot];
+      stack.emplace_back(key_idx, slot);
+      for (size_t s : {key_slots[key_idx].h0, key_slots[key_idx].h1,
+                       key_slots[key_idx].h2}) {
+        xor_ids[s] ^= key_idx;
+        --degree[s];
+        if (degree[s] == 1) queue.push_back(s);
+      }
+    }
+
+    if (stack.size() != n) continue;  // cyclic hypergraph; reseed
+
+    // Assign fingerprints in reverse peeling order.
+    const unsigned w = fingerprint_bits;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      const uint64_t key_idx = it->first;
+      const size_t slot = it->second;
+      const Slots3& s3 = key_slots[key_idx];
+      uint64_t value = filter.Fingerprint(keys[key_idx]);
+      value ^= filter.slots_.GetField(s3.h0 * w, w);
+      value ^= filter.slots_.GetField(s3.h1 * w, w);
+      value ^= filter.slots_.GetField(s3.h2 * w, w);
+      // Undo the double count of `slot` itself (its current value is part of
+      // the xor above), then store.
+      value ^= filter.slots_.GetField(slot * w, w);
+      filter.slots_.SetField(slot * w, w, value);
+    }
+    return filter;
+  }
+  return std::nullopt;
+}
+
+bool XorFilter::MightContain(std::string_view key) const {
+  const Slots3 s3 = SlotsOf(key);
+  const unsigned w = fingerprint_bits_;
+  const uint64_t stored = slots_.GetField(s3.h0 * w, w) ^
+                          slots_.GetField(s3.h1 * w, w) ^
+                          slots_.GetField(s3.h2 * w, w);
+  return stored == Fingerprint(key);
+}
+
+namespace {
+constexpr uint32_t kXorMagic = 0x46524F58;  // "XORF"
+constexpr uint32_t kXorVersion = 1;
+}  // namespace
+
+void XorFilter::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.WriteU32(kXorMagic);
+  writer.WriteU32(kXorVersion);
+  writer.WriteU64(segment_length_);
+  writer.WriteU32(fingerprint_bits_);
+  writer.WriteU64(seed_);
+  writer.WriteWords(slots_.words());
+}
+
+std::optional<XorFilter> XorFilter::Deserialize(std::string_view data) {
+  BinaryReader reader(data);
+  if (reader.ReadU32() != kXorMagic) return std::nullopt;
+  if (reader.ReadU32() != kXorVersion) return std::nullopt;
+  const uint64_t segment_length = reader.ReadU64();
+  const uint32_t fingerprint_bits = reader.ReadU32();
+  const uint64_t seed = reader.ReadU64();
+  std::vector<uint64_t> words = reader.ReadWords();
+  if (!reader.ok() || segment_length == 0 || fingerprint_bits < 1 ||
+      fingerprint_bits > 32) {
+    return std::nullopt;
+  }
+  XorFilter filter(segment_length, fingerprint_bits, seed);
+  if (!filter.slots_.LoadWords(std::move(words))) return std::nullopt;
+  return filter;
+}
+
+unsigned XorFilter::FingerprintBitsForBudget(size_t total_bits,
+                                             size_t num_keys) {
+  if (num_keys == 0) return 8;
+  const double b = static_cast<double>(total_bits) /
+                   static_cast<double>(num_keys);
+  double w = b / 1.23 + 32.0 / static_cast<double>(num_keys);
+  if (w < 1.0) w = 1.0;
+  if (w > 32.0) w = 32.0;
+  return static_cast<unsigned>(w);
+}
+
+}  // namespace habf

@@ -1,0 +1,745 @@
+#include "core/habf.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/serde.h"
+
+namespace habf {
+namespace {
+
+/// Per-key re-optimization budget: a cost-tradeoff adjustment may push an
+/// already-optimized key back onto the collision queue; bounding the number
+/// of attempts per key guarantees termination (the paper leaves this
+/// unspecified — see DESIGN.md §3).
+constexpr int kMaxAttemptsPerKey = 3;
+
+constexpr uint64_t kEntrySeed = 0x66656E7472794AULL;  // HashExpressor f
+
+std::unique_ptr<HashProvider> MakeProvider(const HabfOptions& options,
+                                           size_t usable_fns) {
+  if (options.fast) {
+    return std::make_unique<DoubleHashProvider>(usable_fns, options.seed);
+  }
+  return std::make_unique<GlobalHashProvider>(usable_fns, options.seed);
+}
+
+std::vector<uint8_t> PickH0(size_t k, size_t usable_fns, uint64_t seed) {
+  std::vector<uint8_t> all(usable_fns);
+  std::iota(all.begin(), all.end(), uint8_t{0});
+  Xoshiro256 rng(seed ^ 0x4830ULL);
+  for (size_t i = usable_fns - 1; i > 0; --i) {
+    const size_t j = rng.NextBounded(i + 1);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+Habf::Sizing Habf::ComputeSizing(const HabfOptions& options) {
+  assert(options.total_bits >= 64);
+  assert(options.delta >= 0.0);
+  assert(options.cell_bits >= 2 && options.cell_bits <= 8);
+
+  const double d1_fraction = options.delta / (1.0 + options.delta);
+  size_t d1_bits = static_cast<size_t>(
+      d1_fraction * static_cast<double>(options.total_bits));
+  size_t num_cells = d1_bits / options.cell_bits;
+  if (num_cells == 0) num_cells = 1;
+
+  const size_t family_cap = HashFamily::Global().size();
+  size_t usable = (size_t{1} << (options.cell_bits - 1)) - 1;
+  if (!options.fast && usable > family_cap) usable = family_cap;
+
+  Sizing sizing;
+  sizing.num_cells = num_cells;
+  sizing.bloom_bits = options.total_bits - num_cells * options.cell_bits;
+  sizing.usable_fns = usable;
+  assert(sizing.bloom_bits > 0);
+  return sizing;
+}
+
+Habf::Habf(const HabfOptions& options, Sizing sizing)
+    : options_(options),
+      provider_(MakeProvider(options, sizing.usable_fns)),
+      h0_(PickH0(options.k, sizing.usable_fns, options.seed)),
+      bloom_(sizing.bloom_bits, provider_.get(), h0_),
+      expressor_(sizing.num_cells, options.cell_bits, provider_.get(),
+                 options.seed ^ kEntrySeed) {}
+
+bool Habf::Contains(std::string_view key) const {
+  // Round 1: the shared initial subset H0.
+  if (bloom_.TestWith(key, h0_.data(), h0_.size())) return true;
+  // Round 2: customized subset from the HashExpressor, if any.
+  uint8_t fns[16];
+  const size_t k = h0_.size();
+  if (expressor_.Query(key, fns, k) && bloom_.TestWith(key, fns, k)) {
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// TPJO (Two-Phase Joint Optimization, §III-D)
+// ---------------------------------------------------------------------------
+
+class Habf::Builder {
+ public:
+  Builder(Habf& habf, const std::vector<std::string>& positives,
+          const std::vector<WeightedKey>& negatives)
+      : habf_(habf),
+        positives_(positives),
+        negatives_(negatives),
+        k_(habf.options_.k),
+        v_keyid_(habf.bloom_.num_bits(), kNull),
+        v_single_(habf.bloom_.num_bits(), 1),
+        phi_(positives.size()),
+        adjusted_(positives.size(), 0),
+        neg_state_(negatives.size(), NegState::kNegative),
+        attempts_(negatives.size(), 0) {
+    if (habf.options_.allow_double_adjustment) {
+      v_count_.assign(habf.bloom_.num_bits(), 0);
+      v_keyid2_.assign(habf.bloom_.num_bits(), kNull);
+    }
+  }
+
+  void Run();
+
+ private:
+  static constexpr int32_t kNull = -1;
+
+  enum class NegState : uint8_t { kNegative, kCollision, kOptimized, kFailed };
+
+  /// One possible adjustment: move function `hu` of positive key `es`
+  /// (single mapper of bit `unit`) to `hc`, whose bit is `nu`.
+  struct Candidate {
+    size_t unit;
+    int32_t es;
+    uint8_t hu;
+    uint8_t hc;
+    size_t nu;
+    /// 0 = bit nu already set (type A); 1 = new bit, no conflicts;
+    /// 2 = new bit breaking optimized keys worth `conflict_cost`.
+    int category;
+    double conflict_cost;
+    std::vector<int32_t> conflicts;
+    HashExpressor::InsertPlan plan;
+    /// Demotion (double-adjustment extension): `unit` stays set — only the
+    /// departing owner moves, making the unit singly mapped afterwards.
+    bool demote = false;
+  };
+
+  size_t PosOf(std::string_view key, uint8_t fn) const {
+    return habf_.bloom_.PositionOf(key, fn);
+  }
+
+  /// Distinct Bloom-filter positions of `key` under subset `fns`.
+  size_t DistinctPositions(std::string_view key, const uint8_t* fns, size_t n,
+                           size_t* out) const {
+    size_t count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = PosOf(key, fns[i]);
+      bool seen = false;
+      for (size_t j = 0; j < count; ++j) {
+        if (out[j] == p) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out[count++] = p;
+    }
+    return count;
+  }
+
+  void VInsert(size_t unit, int32_t key_idx) {
+    if (v_single_[unit]) {
+      if (v_keyid_[unit] == kNull) {
+        v_keyid_[unit] = key_idx;  // Case 1: first mapper
+      } else {
+        v_single_[unit] = 0;  // Case 2: now mapped at least twice
+      }
+    }
+    // Case 3: already multi-mapped; nothing to do.
+
+    // Double-adjustment extension: also track the second owner and a
+    // saturating mapping count.
+    if (!v_count_.empty()) {
+      if (v_count_[unit] == 0) {
+        v_count_[unit] = 1;
+      } else if (v_count_[unit] == 1) {
+        v_keyid2_[unit] = key_idx;
+        v_count_[unit] = 2;
+      } else {
+        v_count_[unit] = 3;  // 3+ owners: ids no longer sufficient
+      }
+    }
+  }
+
+  /// Clears all V state for a vacated unit (single adjustment).
+  void VReset(size_t unit) {
+    v_keyid_[unit] = kNull;
+    v_single_[unit] = 1;
+    if (!v_count_.empty()) {
+      v_count_[unit] = 0;
+      v_keyid2_[unit] = kNull;
+    }
+  }
+
+  /// Removes one of the two owners of a doubly-mapped unit (demotion); the
+  /// unit becomes singly mapped by the remaining owner.
+  void VDemote(size_t unit, int32_t departing) {
+    assert(!v_count_.empty() && v_count_[unit] == 2);
+    const int32_t remaining =
+        v_keyid_[unit] == departing ? v_keyid2_[unit] : v_keyid_[unit];
+    v_keyid_[unit] = remaining;
+    v_keyid2_[unit] = kNull;
+    v_count_[unit] = 1;
+    v_single_[unit] = 1;
+  }
+
+  void BuildInitialFilterAndV();
+  void BuildCollisionQueue();
+  void ProcessQueue();
+
+  /// Full two-round membership of a negative key against the current state
+  /// (Contains() equivalent; also reports which subset made it positive).
+  bool TestsPositive(int32_t neg_idx, const uint8_t** fns_out,
+                     size_t* n_out) const;
+
+  /// Attempts one adjustment that clears a bit probed by `fns[0..n)` (the
+  /// subset that currently makes the key test positive: H0 for a round-1
+  /// collision, the retrieved HashExpressor subset for a round-2 one — the
+  /// latter is an implementation strengthening over the paper, which only
+  /// resolves round 1; see DESIGN.md §3).
+  bool TryOptimize(int32_t neg_idx, const uint8_t* fns, size_t n);
+  void GatherCandidatesForUnit(int32_t neg_idx, size_t unit, int32_t es,
+                               bool demote, std::vector<Candidate>* out);
+  void Apply(int32_t neg_idx, Candidate& cand);
+  void AddToGamma(int32_t neg_idx);
+  void RemoveFromGamma(int32_t neg_idx);
+  void RecordMemory();
+
+  Habf& habf_;
+  const std::vector<std::string>& positives_;
+  const std::vector<WeightedKey>& negatives_;
+  size_t k_;
+
+  // V (Fig. 4), struct-of-arrays: singleflag + keyid per Bloom-filter bit.
+  std::vector<int32_t> v_keyid_;
+  std::vector<uint8_t> v_single_;
+  // Double-adjustment extension state (empty unless the option is on).
+  std::vector<uint8_t> v_count_;
+  std::vector<int32_t> v_keyid2_;
+
+  // Γ (Fig. 5): bit position -> optimized negative keys mapping to it. A
+  // hash map rather than m buckets: only bits touched by optimized keys are
+  // populated, which keeps Γ proportional to t, not m.
+  std::unordered_map<uint64_t, std::vector<int32_t>> gamma_;
+
+  // Current subset φ(es) per positive key (first k_ entries used).
+  std::vector<std::array<uint8_t, 16>> phi_;
+  std::vector<uint8_t> adjusted_;
+
+  std::vector<NegState> neg_state_;
+  std::vector<uint8_t> attempts_;
+  std::deque<int32_t> cq_;
+};
+
+void Habf::Builder::BuildInitialFilterAndV() {
+  for (size_t i = 0; i < positives_.size(); ++i) {
+    std::copy(habf_.h0_.begin(), habf_.h0_.end(), phi_[i].begin());
+    habf_.bloom_.AddWith(positives_[i], habf_.h0_.data(), k_);
+  }
+  habf_.stats_.initial_fill = habf_.bloom_.FillRatio();
+
+  // Random insertion order (§III-D): which key "owns" a singly-mapped unit
+  // must not be biased by input order.
+  std::vector<int32_t> order(positives_.size());
+  std::iota(order.begin(), order.end(), 0);
+  Xoshiro256 rng(habf_.options_.seed ^ 0x564f524445ULL);
+  for (size_t i = order.size(); i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  for (int32_t idx : order) {
+    for (size_t i = 0; i < k_; ++i) {
+      VInsert(PosOf(positives_[idx], phi_[idx][i]), idx);
+    }
+  }
+}
+
+void Habf::Builder::BuildCollisionQueue() {
+  std::vector<int32_t> collisions;
+  for (size_t i = 0; i < negatives_.size(); ++i) {
+    if (habf_.bloom_.TestWith(negatives_[i].key, habf_.h0_.data(), k_)) {
+      neg_state_[i] = NegState::kCollision;
+      collisions.push_back(static_cast<int32_t>(i));
+    }
+  }
+  // Most costly first (phase-I ordering).
+  std::stable_sort(collisions.begin(), collisions.end(),
+                   [&](int32_t a, int32_t b) {
+                     return negatives_[a].cost > negatives_[b].cost;
+                   });
+  cq_.assign(collisions.begin(), collisions.end());
+  habf_.stats_.initial_collisions = collisions.size();
+}
+
+void Habf::Builder::GatherCandidatesForUnit(int32_t neg_idx, size_t unit,
+                                            int32_t es, bool demote,
+                                            std::vector<Candidate>* out) {
+  const std::string& es_key = positives_[es];
+  const double eck_cost = negatives_[neg_idx].cost;
+
+  // Locate hu: the (unique, since singleflag==1) member of φ(es) mapping es
+  // to `unit`.
+  uint8_t hu = 0xFF;
+  for (size_t i = 0; i < k_; ++i) {
+    if (PosOf(es_key, phi_[es][i]) == unit) {
+      hu = phi_[es][i];
+      break;
+    }
+  }
+  if (hu == 0xFF) return;  // stale V entry; skip defensively
+
+  const size_t usable = habf_.provider_->NumFunctions();
+  for (size_t fn = 0; fn < usable; ++fn) {
+    const uint8_t hc = static_cast<uint8_t>(fn);
+    bool in_phi = false;
+    for (size_t i = 0; i < k_; ++i) {
+      if (phi_[es][i] == hc) {
+        in_phi = true;
+        break;
+      }
+    }
+    if (in_phi) continue;  // Hc = H - φ(es)
+
+    const size_t nu = PosOf(es_key, hc);
+    if (nu == unit) continue;  // would keep the colliding bit set
+
+    Candidate cand;
+    cand.unit = unit;
+    cand.es = es;
+    cand.hu = hu;
+    cand.hc = hc;
+    cand.nu = nu;
+    cand.conflict_cost = 0.0;
+    cand.demote = demote;
+
+    if (habf_.bloom_.GetBit(nu)) {
+      cand.category = 0;  // type A: no new bit is set
+    } else if (habf_.options_.fast || gamma_.empty()) {
+      // f-HABF disables Γ: assume conflict-free (may silently re-break
+      // optimized keys; accepted accuracy loss, §III-G).
+      cand.category = 1;
+    } else {
+      const auto it = gamma_.find(nu);
+      if (it == gamma_.end() || it->second.empty()) {
+        cand.category = 1;
+      } else {
+        // Conflict detection (Algorithm 1): an optimized key re-breaks iff
+        // every one of its positions outside `nu` is already set.
+        for (int32_t eopk : it->second) {
+          size_t positions[16];
+          const size_t np = DistinctPositions(negatives_[eopk].key,
+                                              habf_.h0_.data(), k_, positions);
+          bool all_set = true;
+          for (size_t p = 0; p < np; ++p) {
+            if (positions[p] == nu) continue;
+            if (!habf_.bloom_.GetBit(positions[p])) {
+              all_set = false;
+              break;
+            }
+          }
+          if (all_set) {
+            cand.conflicts.push_back(eopk);
+            cand.conflict_cost += negatives_[eopk].cost;
+          }
+        }
+        if (cand.conflicts.empty()) {
+          cand.category = 1;
+        } else {
+          cand.category = 2;
+          // Only strictly beneficial trades are applied (DESIGN.md §3: the
+          // paper accepts zero-sum trades, which can cycle).
+          if (eck_cost - cand.conflict_cost <= 0.0) continue;
+        }
+      }
+    }
+    out->push_back(std::move(cand));
+  }
+}
+
+bool Habf::Builder::TestsPositive(int32_t neg_idx, const uint8_t** fns_out,
+                                  size_t* n_out) const {
+  const std::string& key = negatives_[neg_idx].key;
+  if (habf_.bloom_.TestWith(key, habf_.h0_.data(), k_)) {
+    *fns_out = habf_.h0_.data();
+    *n_out = k_;
+    return true;
+  }
+  static thread_local uint8_t retrieved[16];
+  if (habf_.expressor_.Query(key, retrieved, k_) &&
+      habf_.bloom_.TestWith(key, retrieved, k_)) {
+    *fns_out = retrieved;
+    *n_out = k_;
+    return true;
+  }
+  return false;
+}
+
+bool Habf::Builder::TryOptimize(int32_t neg_idx, const uint8_t* fns,
+                                size_t n) {
+  const std::string& eck = negatives_[neg_idx].key;
+
+  // ξck: units mapped by eck that are singly mapped by an unadjusted
+  // positive key (§III-D and Theorem 4.1).
+  size_t positions[16];
+  const size_t np = DistinctPositions(eck, fns, n, positions);
+
+  std::vector<Candidate> candidates;
+  for (size_t p = 0; p < np; ++p) {
+    const size_t unit = positions[p];
+    const int32_t es = v_keyid_[unit];
+    if (!v_single_[unit] || es == kNull || adjusted_[es]) continue;
+    GatherCandidatesForUnit(neg_idx, unit, es, /*demote=*/false, &candidates);
+  }
+
+  // Double-adjustment extension: ξck empty — look for a doubly-mapped unit
+  // whose owners include an unadjusted key, and *demote* it: relocate that
+  // owner so the unit becomes singly mapped. The bit stays set, so eck is
+  // not resolved by this step; the re-queue gives it a follow-up attempt
+  // through the normal single-adjustment path.
+  if (candidates.empty() && !v_count_.empty()) {
+    for (size_t p = 0; p < np; ++p) {
+      const size_t unit = positions[p];
+      if (v_count_[unit] != 2) continue;
+      for (int32_t es : {v_keyid_[unit], v_keyid2_[unit]}) {
+        if (es == kNull || adjusted_[es]) continue;
+        GatherCandidatesForUnit(neg_idx, unit, es, /*demote=*/true,
+                                &candidates);
+        break;  // one departing owner per unit is enough
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+
+  auto plan_candidate = [&](Candidate& cand) {
+    uint8_t new_phi[16];
+    size_t n_fns = 0;
+    for (size_t i = 0; i < k_; ++i) {
+      new_phi[n_fns++] =
+          phi_[cand.es][i] == cand.hu ? cand.hc : phi_[cand.es][i];
+    }
+    cand.plan = habf_.expressor_.Plan(positives_[cand.es], new_phi, n_fns);
+    if (!cand.plan.ok) ++habf_.stats_.expressor_insert_failures;
+  };
+
+  // f-HABF (§III-G) trades selection quality for construction speed: take
+  // the first candidate (free ones first) whose chain fits instead of
+  // planning and ranking all of them.
+  if (habf_.options_.fast) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.category < b.category;
+                     });
+    for (auto& cand : candidates) {
+      plan_candidate(cand);
+      if (cand.plan.ok) {
+        Apply(neg_idx, cand);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Plan the HashExpressor insertion of each candidate's φ'(es) so the
+  // ranking can prefer maximal cell overlap (§III-D, example).
+  for (auto& cand : candidates) plan_candidate(cand);
+
+  // Rank: free adjustments first (type A before new-bit), by overlap; then
+  // cost trades by net benefit.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     if (a.category != b.category)
+                       return a.category < b.category;
+                     if (a.category == 2) {
+                       return a.conflict_cost < b.conflict_cost;
+                     }
+                     return a.plan.overlap > b.plan.overlap;
+                   });
+
+  for (auto& cand : candidates) {
+    if (!cand.plan.ok) continue;
+    Apply(neg_idx, cand);
+    return true;
+  }
+  return false;
+}
+
+void Habf::Builder::Apply(int32_t neg_idx, Candidate& cand) {
+  (void)neg_idx;  // resolution state is decided by the caller's re-test
+  // Commit the customized subset to the HashExpressor.
+  habf_.expressor_.Commit(cand.plan);
+  ++habf_.stats_.adjusted_positives;
+
+  // Update φ(es) and mark es immutable (HashExpressor has no deletion).
+  for (size_t i = 0; i < k_; ++i) {
+    if (phi_[cand.es][i] == cand.hu) {
+      phi_[cand.es][i] = cand.hc;
+      break;
+    }
+  }
+  adjusted_[cand.es] = 1;
+
+  // Update the Bloom filter and V. Single adjustment: `unit` was singly
+  // mapped by es, so its bit clears and the unit resets. Demotion: the
+  // other owner keeps the bit set; es merely departs.
+  if (cand.demote) {
+    VDemote(cand.unit, cand.es);
+    ++habf_.stats_.double_adjustments;
+  } else {
+    habf_.bloom_.ClearBit(cand.unit);
+    VReset(cand.unit);
+  }
+  habf_.bloom_.SetBit(cand.nu);
+  VInsert(cand.nu, cand.es);
+
+  // Cost-trade conflicts re-enter the queue (tail, per §III-D). Whether
+  // `neg_idx` itself is now resolved is decided by the caller with a full
+  // two-round re-test (the adjustment may have shifted it between rounds).
+  for (int32_t eopk : cand.conflicts) {
+    RemoveFromGamma(eopk);
+    neg_state_[eopk] = NegState::kCollision;
+    cq_.push_back(eopk);
+    ++habf_.stats_.reinstated;
+  }
+}
+
+void Habf::Builder::AddToGamma(int32_t neg_idx) {
+  size_t positions[16];
+  const size_t np = DistinctPositions(negatives_[neg_idx].key,
+                                      habf_.h0_.data(), k_, positions);
+  for (size_t p = 0; p < np; ++p) {
+    gamma_[positions[p]].push_back(neg_idx);
+  }
+}
+
+void Habf::Builder::RemoveFromGamma(int32_t neg_idx) {
+  size_t positions[16];
+  const size_t np = DistinctPositions(negatives_[neg_idx].key,
+                                      habf_.h0_.data(), k_, positions);
+  for (size_t p = 0; p < np; ++p) {
+    auto it = gamma_.find(positions[p]);
+    if (it == gamma_.end()) continue;
+    auto& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), neg_idx),
+                 bucket.end());
+  }
+}
+
+void Habf::Builder::RecordMemory() {
+  MemoryCounter& mem = habf_.stats_.construction_memory;
+  mem.Add("bloom_bits", habf_.bloom_.MemoryUsageBytes());
+  mem.Add("hash_expressor_bits", habf_.expressor_.MemoryUsageBytes());
+  mem.Add("index_V",
+          v_keyid_.size() * sizeof(int32_t) + v_single_.size() +
+              v_count_.size() + v_keyid2_.size() * sizeof(int32_t));
+  size_t gamma_bytes = 0;
+  for (const auto& [pos, bucket] : gamma_) {
+    (void)pos;
+    gamma_bytes += sizeof(uint64_t) + sizeof(bucket) +
+                   bucket.capacity() * sizeof(int32_t) + 16;
+  }
+  mem.Add("index_Gamma", gamma_bytes);
+  mem.Add("positive_phi", phi_.size() * sizeof(phi_[0]) + adjusted_.size());
+  size_t neg_bytes = 0;
+  for (const auto& wk : negatives_) {
+    neg_bytes += wk.key.size() + sizeof(double) + sizeof(std::string);
+  }
+  mem.Add("negative_keys", neg_bytes);
+  mem.Add("collision_queue",
+          habf_.stats_.initial_collisions * sizeof(int32_t));
+}
+
+void Habf::Builder::Run() {
+  habf_.stats_.num_positives = positives_.size();
+  habf_.stats_.num_negatives = negatives_.size();
+
+  BuildInitialFilterAndV();
+  BuildCollisionQueue();
+  ProcessQueue();
+
+  // Final verification sweeps: as the HashExpressor filled, negatives that
+  // were clean at queue-build time can have become round-2 false positives.
+  // Catch and re-process them (bounded; the per-key attempt budget still
+  // applies). f-HABF skips the sweeps for construction speed (§III-G).
+  const int max_sweeps = habf_.options_.fast ? 0 : 2;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool found = false;
+    for (size_t i = 0; i < negatives_.size(); ++i) {
+      if (neg_state_[i] == NegState::kFailed ||
+          neg_state_[i] == NegState::kCollision) {
+        continue;
+      }
+      const uint8_t* fns = nullptr;
+      size_t n = 0;
+      if (TestsPositive(static_cast<int32_t>(i), &fns, &n)) {
+        if (neg_state_[i] == NegState::kOptimized) {
+          RemoveFromGamma(static_cast<int32_t>(i));
+        }
+        neg_state_[i] = NegState::kCollision;
+        cq_.push_back(static_cast<int32_t>(i));
+        found = true;
+      }
+    }
+    if (!found) break;
+    ProcessQueue();
+  }
+
+  for (NegState s : neg_state_) {
+    if (s == NegState::kOptimized) ++habf_.stats_.optimized;
+    if (s == NegState::kFailed) ++habf_.stats_.failed;
+  }
+  habf_.stats_.final_fill = habf_.bloom_.FillRatio();
+  RecordMemory();
+}
+
+void Habf::Builder::ProcessQueue() {
+  while (!cq_.empty()) {
+    const int32_t neg_idx = cq_.front();
+    cq_.pop_front();
+    if (neg_state_[neg_idx] != NegState::kCollision) continue;
+    // A previous adjustment may have resolved this key as a side effect.
+    const uint8_t* offending_fns = nullptr;
+    size_t offending_n = 0;
+    if (!TestsPositive(neg_idx, &offending_fns, &offending_n)) {
+      neg_state_[neg_idx] = NegState::kOptimized;
+      AddToGamma(neg_idx);
+      continue;
+    }
+    if (attempts_[neg_idx] >= kMaxAttemptsPerKey) {
+      neg_state_[neg_idx] = NegState::kFailed;
+      continue;
+    }
+    ++attempts_[neg_idx];
+    if (!TryOptimize(neg_idx, offending_fns, offending_n)) {
+      neg_state_[neg_idx] = NegState::kFailed;
+      continue;
+    }
+    // Verify with the full two-round test: an adjustment can move the key
+    // from round 1 to a round-2 HashExpressor collision. Re-queue until
+    // clean or the attempt budget runs out.
+    if (!TestsPositive(neg_idx, &offending_fns, &offending_n)) {
+      neg_state_[neg_idx] = NegState::kOptimized;
+      AddToGamma(neg_idx);
+    } else {
+      cq_.push_back(neg_idx);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x46424148;  // "HABF"
+constexpr uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+void Habf::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotVersion);
+  writer.WriteU64(options_.total_bits);
+  writer.WriteDouble(options_.delta);
+  writer.WriteU64(options_.k);
+  writer.WriteU8(static_cast<uint8_t>(options_.cell_bits));
+  writer.WriteU8(options_.fast ? 1 : 0);
+  writer.WriteU64(options_.seed);
+  writer.WriteBytes(std::string_view(
+      reinterpret_cast<const char*>(h0_.data()), h0_.size()));
+  writer.WriteU64(dynamic_insertions_);
+  writer.WriteU64(expressor_.num_inserted());
+  writer.WriteWords(bloom_.bits().words());
+  writer.WriteWords(expressor_.cells().words());
+}
+
+std::optional<Habf> Habf::Deserialize(std::string_view data) {
+  BinaryReader reader(data);
+  if (reader.ReadU32() != kSnapshotMagic) return std::nullopt;
+  if (reader.ReadU32() != kSnapshotVersion) return std::nullopt;
+
+  HabfOptions options;
+  options.total_bits = reader.ReadU64();
+  options.delta = reader.ReadDouble();
+  options.k = reader.ReadU64();
+  options.cell_bits = reader.ReadU8();
+  options.fast = reader.ReadU8() != 0;
+  options.seed = reader.ReadU64();
+  const std::string h0_bytes = reader.ReadBytes();
+  const uint64_t dynamic_insertions = reader.ReadU64();
+  const uint64_t expressor_inserted = reader.ReadU64();
+  std::vector<uint64_t> bloom_words = reader.ReadWords();
+  std::vector<uint64_t> cell_words = reader.ReadWords();
+  if (!reader.ok()) return std::nullopt;
+  if (options.total_bits < 64 || options.cell_bits < 2 ||
+      options.cell_bits > 8 || options.k == 0 || options.k > 16 ||
+      options.delta < 0.0) {
+    return std::nullopt;
+  }
+
+  const Sizing sizing = ComputeSizing(options);
+  if (options.k > sizing.usable_fns) return std::nullopt;
+  Habf habf(options, sizing);
+  // H0 is derived from the seed; the stored copy must agree or the snapshot
+  // was produced by an incompatible build.
+  if (h0_bytes.size() != habf.h0_.size() ||
+      std::memcmp(h0_bytes.data(), habf.h0_.data(), h0_bytes.size()) != 0) {
+    return std::nullopt;
+  }
+  if (!habf.bloom_.LoadBits(std::move(bloom_words))) return std::nullopt;
+  if (!habf.expressor_.LoadCells(std::move(cell_words), expressor_inserted)) {
+    return std::nullopt;
+  }
+  habf.dynamic_insertions_ = dynamic_insertions;
+  return habf;
+}
+
+bool Habf::SaveToFile(const std::string& path) const {
+  std::string bytes;
+  Serialize(&bytes);
+  return WriteFileBytes(path, bytes);
+}
+
+std::optional<Habf> Habf::LoadFromFile(const std::string& path) {
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes)) return std::nullopt;
+  return Deserialize(bytes);
+}
+
+Habf Habf::Build(const std::vector<std::string>& positives,
+                 const std::vector<WeightedKey>& negatives,
+                 const HabfOptions& options) {
+  HabfOptions effective = options;
+  Sizing sizing = ComputeSizing(effective);
+  if (effective.k > sizing.usable_fns) effective.k = sizing.usable_fns;
+  if (effective.k == 0) effective.k = 1;
+
+  Habf habf(effective, sizing);
+  Builder builder(habf, positives, negatives);
+  builder.Run();
+  return habf;
+}
+
+}  // namespace habf

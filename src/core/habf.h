@@ -1,0 +1,188 @@
+// Hash Adaptive Bloom Filter (paper §III): a standard Bloom filter plus a
+// HashExpressor, built by the Two-Phase Joint Optimization (TPJO) algorithm.
+//
+// Construction: all positive keys are inserted with the shared initial
+// subset H0; negative keys that test positive ("collision keys") are then
+// resolved, most costly first, by moving one hash function of a
+// singly-mapping positive key ("adjustment"), with the adjusted subset
+// stored in the HashExpressor (phase-II). Two runtime indexes support this:
+//   V — for every Bloom-filter bit, whether it is mapped by exactly one
+//       positive key and which key that is (Fig. 4);
+//   Γ — for every bit, which already-optimized negative keys map to it, so
+//       an adjustment that would re-break them is detected (Fig. 5, Alg. 1).
+//
+// Query (§III-E): round 1 tests with H0; on failure, round 2 retrieves a
+// customized subset from the HashExpressor and tests again. Positive iff
+// either round passes — zero false negatives, FPR bounded in §III-F.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/weighted_bloom.h"  // for WeightedKey
+#include "core/hash_expressor.h"
+#include "hashing/hash_provider.h"
+#include "util/memory.h"
+
+namespace habf {
+
+/// Build-time parameters (defaults are the paper's tuned values, §V-D).
+struct HabfOptions {
+  /// Total space budget in bits (HashExpressor + Bloom filter).
+  size_t total_bits = size_t{1} << 23;
+
+  /// Space allocation ratio Δ = Δ1/Δ2 (HashExpressor : Bloom filter).
+  /// Paper finds 0.25 optimal (Fig. 9a).
+  double delta = 0.25;
+
+  /// Number of hash functions per key; paper default 3 (Fig. 9a).
+  size_t k = 3;
+
+  /// HashExpressor cell width in bits; paper default 4 (Fig. 9b). A cell
+  /// addresses 2^(cell_bits-1) - 1 family members, which caps the usable
+  /// prefix of the 22-function global family.
+  unsigned cell_bits = 4;
+
+  /// f-HABF (§III-G): simulate the family with double hashing (two real
+  /// digests per key) and disable the Γ index / conflict detection.
+  bool fast = false;
+
+  /// Extension beyond the paper: when a collision key has no singly-mapped
+  /// bit (Theorem 4.1's ~e^{-k/b}-probability failure mode), allow demoting
+  /// a doubly-mapped bit by relocating one of its two owners, which makes
+  /// the bit singly-mapped for the key's next optimization attempt. Costs
+  /// extra builder memory (a second owner id per bit) and a few more
+  /// HashExpressor entries; reduces unoptimizable high-cost keys.
+  bool allow_double_adjustment = false;
+
+  /// Deterministic seed for H0 selection, V construction order and hashing.
+  uint64_t seed = 0;
+};
+
+/// Construction statistics (TPJO event counts and final tallies).
+struct HabfBuildStats {
+  size_t num_positives = 0;
+  size_t num_negatives = 0;
+  /// Collision keys found when the initial filter was built (the T of §IV-B).
+  size_t initial_collisions = 0;
+  /// Negatives resolved and still resolved at the end (the t of §IV-B).
+  size_t optimized = 0;
+  /// Collision keys that could not be resolved (no adjustable unit, no
+  /// acceptable candidate, or every candidate failed HashExpressor insert).
+  size_t failed = 0;
+  /// Optimized keys re-broken by a later cost-tradeoff adjustment and pushed
+  /// back onto the collision queue (may be re-optimized afterwards).
+  size_t reinstated = 0;
+  /// Positive keys whose subset was customized (HashExpressor inserts).
+  size_t adjusted_positives = 0;
+  /// Demotions performed by the double-adjustment extension (0 unless
+  /// HabfOptions::allow_double_adjustment).
+  size_t double_adjustments = 0;
+  /// Candidate adjustments rejected because the HashExpressor had no room.
+  size_t expressor_insert_failures = 0;
+  /// Bloom-filter fill ratio before/after optimization.
+  double initial_fill = 0.0;
+  double final_fill = 0.0;
+  /// Logical bytes held during construction (V, Γ, queue, key copies...) —
+  /// the Fig. 15 quantity.
+  MemoryCounter construction_memory;
+};
+
+/// The Hash Adaptive Bloom Filter.
+///
+/// Thread-compatible: Build() is single-threaded; Contains() is const and
+/// safe to call concurrently after construction.
+class Habf {
+ public:
+  /// Builds a filter over `positives`, optimizing against `negatives` (keys
+  /// with misidentification costs Θ). Negative information is advisory: keys
+  /// outside both sets still query correctly with FPR ≈ a standard filter's.
+  static Habf Build(const std::vector<std::string>& positives,
+                    const std::vector<WeightedKey>& negatives,
+                    const HabfOptions& options);
+
+  /// Two-round membership test: zero false negatives for the build set.
+  bool Contains(std::string_view key) const;
+
+  /// Alias matching the MightContain() interface of every other filter in
+  /// this repository (so the shared measurement templates apply).
+  bool MightContain(std::string_view key) const { return Contains(key); }
+
+  /// First-round-only test (diagnostic; equals a standard BF probe with H0).
+  bool ContainsFirstRound(std::string_view key) const {
+    return bloom_.TestWith(key, h0_.data(), h0_.size());
+  }
+
+  const HabfBuildStats& stats() const { return stats_; }
+  const HabfOptions& options() const { return options_; }
+  const BloomFilter& bloom() const { return bloom_; }
+  const HashExpressor& expressor() const { return expressor_; }
+  const std::vector<uint8_t>& h0() const { return h0_; }
+
+  /// Resident filter bytes (bit array + cell array), the apples-to-apples
+  /// space the paper equalizes across filters.
+  size_t MemoryUsageBytes() const {
+    return bloom_.MemoryUsageBytes() + expressor_.MemoryUsageBytes();
+  }
+
+  /// Number of usable family functions under the configured cell width.
+  size_t usable_functions() const { return provider_->NumFunctions(); }
+
+  // --- persistence (versioned binary format) ------------------------------
+
+  /// Appends a self-contained snapshot (options + both bit arrays) to
+  /// `*out`. Build statistics are not persisted.
+  void Serialize(std::string* out) const;
+
+  /// Restores a filter from Serialize() output. Returns nullopt on any
+  /// format/version/consistency error. Queries on the restored filter
+  /// behave identically to the original.
+  static std::optional<Habf> Deserialize(std::string_view data);
+
+  /// Convenience file wrappers; false on I/O or format errors.
+  bool SaveToFile(const std::string& path) const;
+  static std::optional<Habf> LoadFromFile(const std::string& path);
+
+  // --- dynamic updates (future-work extension, see DESIGN.md) -------------
+
+  /// Inserts a positive key after construction with the shared subset H0.
+  /// Zero false negatives still hold for every key ever inserted; FPR (and
+  /// the optimization of previously-resolved negatives) degrades gracefully
+  /// as bits fill in — quantified by bench_extension_dynamic.
+  void AddPositive(std::string_view key) {
+    bloom_.AddWith(key, h0_.data(), h0_.size());
+    ++dynamic_insertions_;
+  }
+
+  /// Number of keys added via AddPositive() since construction.
+  size_t dynamic_insertions() const { return dynamic_insertions_; }
+
+ private:
+  struct Sizing {
+    size_t bloom_bits;
+    size_t num_cells;
+    size_t usable_fns;
+  };
+  static Sizing ComputeSizing(const HabfOptions& options);
+
+  Habf(const HabfOptions& options, Sizing sizing);
+
+  class Builder;  // TPJO implementation (habf.cc)
+
+  HabfOptions options_;
+  std::unique_ptr<HashProvider> provider_;
+  std::vector<uint8_t> h0_;
+  BloomFilter bloom_;
+  HashExpressor expressor_;
+  HabfBuildStats stats_;
+  size_t dynamic_insertions_ = 0;
+};
+
+}  // namespace habf

@@ -1,0 +1,58 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace habf {
+
+double StandardBloomFpr(size_t k, double bits_per_key) {
+  const double kk = static_cast<double>(k);
+  return std::pow(1.0 - std::exp(-kk / bits_per_key), kk);
+}
+
+double PxiLowerBound(size_t k, double bits_per_key) {
+  const double x = static_cast<double>(k) / bits_per_key;
+  return x / (std::exp(x) - 1.0);
+}
+
+double InsertSuccessLowerBound(size_t k, size_t omega, size_t t) {
+  const double kk = static_cast<double>(k);
+  const double w = static_cast<double>(omega);
+  const double base = 1.0 - (kk * static_cast<double>(t) + kk) / w;
+  if (base <= 0.0) return 0.0;
+  return std::pow(base, kk);
+}
+
+double ExpectedOptimizedLowerBound(size_t collision_count, double pc_prime,
+                                   size_t omega, size_t k) {
+  const double T = static_cast<double>(collision_count);
+  const double w = static_cast<double>(omega);
+  const double k2 = static_cast<double>(k) * static_cast<double>(k);
+  if (w <= k2) return 0.0;
+  const double value = T * pc_prime * (w - k2) / (w + T * pc_prime * k2);
+  return std::max(0.0, value);
+}
+
+double FbfStarUpperBound(size_t k, double bits_per_key, size_t num_negatives,
+                         double pc_prime, size_t omega) {
+  const double fbf = StandardBloomFpr(k, bits_per_key);
+  const double T = fbf * static_cast<double>(num_negatives);
+  const double t_lower =
+      ExpectedOptimizedLowerBound(static_cast<size_t>(T), pc_prime, omega, k);
+  const double bound = fbf - t_lower / static_cast<double>(num_negatives);
+  return std::max(0.0, bound);
+}
+
+double HabfFprUpperBound(double fbf_star, size_t omega, size_t t) {
+  const double w = static_cast<double>(omega);
+  return (w + static_cast<double>(t)) / w * fbf_star;
+}
+
+double PcPrimeModel(size_t k, double bits_per_key, size_t usable_fns) {
+  if (usable_fns <= k) return 0.0;
+  const double free_candidates = static_cast<double>(usable_fns - k);
+  return 1.0 - std::exp(-static_cast<double>(k) * free_candidates /
+                        bits_per_key);
+}
+
+}  // namespace habf

@@ -1,0 +1,43 @@
+// Closed-form expressions from the paper's analysis (§III-F and §IV), used
+// by the Fig. 8 reproduction and the theory tests: the bound must sit above
+// the measured value everywhere.
+
+#pragma once
+
+#include <cstddef>
+
+namespace habf {
+
+/// Standard Bloom-filter FPR (1 - e^{-k/b})^k for bits-per-key b and k hash
+/// functions (§II).
+double StandardBloomFpr(size_t k, double bits_per_key);
+
+/// Theorem 4.1 lower bound on E(Pξ), the probability that a unit mapped by a
+/// collision key is singly mapped: (k/b) / (e^{k/b} - 1).
+double PxiLowerBound(size_t k, double bits_per_key);
+
+/// Eq. (11) lower bound on Ps(t): probability the t-th adjusted subset still
+/// fits the HashExpressor, (1 - (kt + k)/ω)^k (clamped at 0).
+double InsertSuccessLowerBound(size_t k, size_t omega, size_t t);
+
+/// Theorem 4.2 lower bound on E(t), the expected number of optimized
+/// collision keys: T·P'c·(ω - k²) / (ω + T·P'c·k²).
+double ExpectedOptimizedLowerBound(size_t collision_count, double pc_prime,
+                                   size_t omega, size_t k);
+
+/// Eq. (19) upper bound on E(F*bf), the post-optimization Bloom FPR:
+/// Fbf - E(t)/|O| with E(t) from Theorem 4.2.
+double FbfStarUpperBound(size_t k, double bits_per_key, size_t num_negatives,
+                         double pc_prime, size_t omega);
+
+/// §III-F upper bound on the full two-round FPR: (ω + t)/ω · F*bf.
+double HabfFprUpperBound(double fbf_star, size_t omega, size_t t);
+
+/// A conservative model of P'c (whose exact form the paper defers to its
+/// appendix): the chance that at least one of the |Hc| = |H| - k candidate
+/// replacements is *free*, i.e. lands on an already-set bit. Each candidate
+/// is free with probability equal to the filter load 1 - e^{-k/b}:
+///   P'c >= 1 - (1 - (1 - e^{-k/b}))^{|H|-k} = 1 - e^{-k(|H|-k)/b}.
+double PcPrimeModel(size_t k, double bits_per_key, size_t usable_fns);
+
+}  // namespace habf

@@ -1,0 +1,97 @@
+// Measurement harness shared by the benches and integration tests:
+// weighted FPR (Eq. 20), construction/query timing, and false-negative
+// checking.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+#include "workload/dataset.h"
+
+namespace habf {
+
+/// Weighted FPR of `filter` over the dataset's negatives (Eq. 20):
+/// Σ Θ(e)·[filter says positive] / Σ Θ(e). With uniform costs this is the
+/// traditional FPR.
+template <typename Filter>
+double MeasureWeightedFpr(const Filter& filter,
+                          const std::vector<WeightedKey>& negatives) {
+  double hit_cost = 0.0;
+  double total_cost = 0.0;
+  for (const auto& wk : negatives) {
+    total_cost += wk.cost;
+    if (filter.MightContain(wk.key)) hit_cost += wk.cost;
+  }
+  return total_cost == 0.0 ? 0.0 : hit_cost / total_cost;
+}
+
+/// Number of build-set keys the filter misses. Must be 0 for every filter in
+/// this repository (one-sided error).
+template <typename Filter>
+size_t CountFalseNegatives(const Filter& filter,
+                           const std::vector<std::string>& positives) {
+  size_t misses = 0;
+  for (const auto& key : positives) {
+    if (!filter.MightContain(key)) ++misses;
+  }
+  return misses;
+}
+
+/// Average query latency in ns/key over positives and negatives interleaved
+/// (the paper reports per-key membership-testing time).
+template <typename Filter>
+double MeasureQueryNsPerKey(const Filter& filter,
+                            const std::vector<std::string>& positives,
+                            const std::vector<WeightedKey>& negatives,
+                            int rounds = 3) {
+  size_t queries = 0;
+  size_t hits = 0;
+  Stopwatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& key : positives) {
+      hits += filter.MightContain(key) ? 1 : 0;
+      ++queries;
+    }
+    for (const auto& wk : negatives) {
+      hits += filter.MightContain(wk.key) ? 1 : 0;
+      ++queries;
+    }
+  }
+  const uint64_t nanos = watch.ElapsedNanos();
+  DoNotOptimizeAway(hits);
+  return queries == 0 ? 0.0
+                      : static_cast<double>(nanos) /
+                            static_cast<double>(queries);
+}
+
+/// Times `build` (a nullary callable returning the filter) and reports
+/// construction ns per positive key.
+template <typename BuildFn>
+double MeasureConstructionNsPerKey(BuildFn&& build, size_t num_positives) {
+  Stopwatch watch;
+  auto filter = build();
+  const uint64_t nanos = watch.ElapsedNanos();
+  DoNotOptimizeAway(&filter);
+  return num_positives == 0 ? 0.0
+                            : static_cast<double>(nanos) /
+                                  static_cast<double>(num_positives);
+}
+
+/// Adapter giving any callable a MightContain() interface, so lambdas can be
+/// passed to the measurement templates.
+template <typename Fn>
+struct FilterAdapter {
+  Fn fn;
+  bool MightContain(std::string_view key) const { return fn(key); }
+};
+
+template <typename Fn>
+FilterAdapter<Fn> MakeFilterAdapter(Fn fn) {
+  return FilterAdapter<Fn>{std::move(fn)};
+}
+
+}  // namespace habf

@@ -1,0 +1,160 @@
+#include "hashing/cityhash.h"
+
+#include <cstring>
+#include <utility>
+
+namespace habf {
+namespace {
+
+constexpr uint64_t k0 = 0xc3a5c85c97cb3127ULL;
+constexpr uint64_t k1 = 0xb492b66fbe98f273ULL;
+constexpr uint64_t k2 = 0x9ae16a3b2f90404fULL;
+
+inline uint64_t Read64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t Rotate(uint64_t x, int r) {
+  return r == 0 ? x : (x >> r) | (x << (64 - r));
+}
+
+inline uint64_t ShiftMix(uint64_t v) { return v ^ (v >> 47); }
+
+inline uint64_t HashLen16(uint64_t u, uint64_t v, uint64_t mul) {
+  uint64_t a = (u ^ v) * mul;
+  a ^= a >> 47;
+  uint64_t b = (v ^ a) * mul;
+  b ^= b >> 47;
+  b *= mul;
+  return b;
+}
+
+uint64_t HashLen0to16(const uint8_t* s, size_t len) {
+  if (len >= 8) {
+    const uint64_t mul = k2 + len * 2;
+    const uint64_t a = Read64(s) + k2;
+    const uint64_t b = Read64(s + len - 8);
+    const uint64_t c = Rotate(b, 37) * mul + a;
+    const uint64_t d = (Rotate(a, 25) + b) * mul;
+    return HashLen16(c, d, mul);
+  }
+  if (len >= 4) {
+    const uint64_t mul = k2 + len * 2;
+    const uint64_t a = Read32(s);
+    return HashLen16(len + (a << 3), Read32(s + len - 4), mul);
+  }
+  if (len > 0) {
+    const uint8_t a = s[0];
+    const uint8_t b = s[len >> 1];
+    const uint8_t c = s[len - 1];
+    const uint32_t y = static_cast<uint32_t>(a) +
+                       (static_cast<uint32_t>(b) << 8);
+    const uint32_t z = static_cast<uint32_t>(len) +
+                       (static_cast<uint32_t>(c) << 2);
+    return ShiftMix(y * k2 ^ z * k0) * k2;
+  }
+  return k2;
+}
+
+uint64_t HashLen17to32(const uint8_t* s, size_t len) {
+  const uint64_t mul = k2 + len * 2;
+  const uint64_t a = Read64(s) * k1;
+  const uint64_t b = Read64(s + 8);
+  const uint64_t c = Read64(s + len - 8) * mul;
+  const uint64_t d = Read64(s + len - 16) * k2;
+  return HashLen16(Rotate(a + b, 43) + Rotate(c, 30) + d,
+                   a + Rotate(b + k2, 18) + c, mul);
+}
+
+uint64_t HashLen33to64(const uint8_t* s, size_t len) {
+  const uint64_t mul = k2 + len * 2;
+  uint64_t a = Read64(s) * k2;
+  uint64_t b = Read64(s + 8);
+  const uint64_t c = Read64(s + len - 24);
+  const uint64_t d = Read64(s + len - 32);
+  const uint64_t e = Read64(s + 16) * k2;
+  const uint64_t f = Read64(s + 24) * 9;
+  const uint64_t g = Read64(s + len - 8);
+  const uint64_t h = Read64(s + len - 16) * mul;
+
+  const uint64_t u = Rotate(a + g, 43) + (Rotate(b, 30) + c) * 9;
+  const uint64_t v = ((a + g) ^ d) + f + 1;
+  const uint64_t w = (u + v) * mul + h;  // simplified byteswap-free variant
+  const uint64_t x = Rotate(e + f, 42) + c;
+  const uint64_t y = ((v + w) * mul + g) * mul;
+  const uint64_t z = e + f + c;
+  a = ((x + z) * mul + y) + b;
+  b = ShiftMix((z + a) * mul + d + h) * mul;
+  return b + x;
+}
+
+struct U128 {
+  uint64_t first;
+  uint64_t second;
+};
+
+// One step of the 64-byte chaining state update.
+U128 WeakHashLen32WithSeeds(uint64_t w, uint64_t x, uint64_t y, uint64_t z,
+                            uint64_t a, uint64_t b) {
+  a += w;
+  b = Rotate(b + a + z, 21);
+  const uint64_t c = a;
+  a += x;
+  a += y;
+  b += Rotate(a, 44);
+  return {a + z, b + c};
+}
+
+U128 WeakHashLen32WithSeeds(const uint8_t* s, uint64_t a, uint64_t b) {
+  return WeakHashLen32WithSeeds(Read64(s), Read64(s + 8), Read64(s + 16),
+                                Read64(s + 24), a, b);
+}
+
+uint64_t CityHash64NoSeed(const uint8_t* s, size_t len) {
+  if (len <= 16) return HashLen0to16(s, len);
+  if (len <= 32) return HashLen17to32(s, len);
+  if (len <= 64) return HashLen33to64(s, len);
+
+  uint64_t x = Read64(s + len - 40);
+  uint64_t y = Read64(s + len - 16) + Read64(s + len - 56);
+  uint64_t z = HashLen16(Read64(s + len - 48) + len, Read64(s + len - 24), k2);
+  U128 v = WeakHashLen32WithSeeds(s + len - 64, len, z);
+  U128 w = WeakHashLen32WithSeeds(s + len - 32, y + k1, x);
+  x = x * k1 + Read64(s);
+
+  size_t remaining = (len - 1) & ~size_t{63};
+  do {
+    x = Rotate(x + y + v.first + Read64(s + 8), 37) * k1;
+    y = Rotate(y + v.second + Read64(s + 48), 42) * k1;
+    x ^= w.second;
+    y += v.first + Read64(s + 40);
+    z = Rotate(z + w.first, 33) * k1;
+    v = WeakHashLen32WithSeeds(s, v.second * k1, x + w.first);
+    w = WeakHashLen32WithSeeds(s + 32, z + w.second, y + Read64(s + 16));
+    std::swap(z, x);
+    s += 64;
+    remaining -= 64;
+  } while (remaining != 0);
+
+  return HashLen16(HashLen16(v.first, w.first, k2) + ShiftMix(y) * k1 + z,
+                   HashLen16(v.second, w.second, k2) + x, k2);
+}
+
+}  // namespace
+
+uint64_t CityHash64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* s = static_cast<const uint8_t*>(data);
+  const uint64_t h = CityHash64NoSeed(s, len);
+  // CityHash64WithSeeds construction: fold the seed pair (k2, seed) in.
+  return HashLen16(h - k2, seed, k2 + 2 * (len + 1));
+}
+
+}  // namespace habf

@@ -1,0 +1,19 @@
+// From-scratch implementation following the CityHash64 algorithm structure
+// (Pike & Alakuijala): short-input special cases (0-16, 17-32, 33-64 bytes)
+// plus a rolling 64-byte loop with two 128-bit-ish accumulators for long
+// inputs. Independent re-implementation of the published construction; not
+// guaranteed byte-compatible with google/cityhash, which the paper does not
+// require — it needs a fast, well-distributed 64-bit family member.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace habf {
+
+/// CityHash64-style digest of `len` bytes; `seed` is folded in with the
+/// canonical CityHash64WithSeed construction.
+uint64_t CityHash64(const void* data, size_t len, uint64_t seed);
+
+}  // namespace habf

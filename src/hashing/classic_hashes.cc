@@ -1,0 +1,283 @@
+#include "hashing/classic_hashes.h"
+
+#include <cstring>
+
+#include "hashing/hash_function.h"
+
+namespace habf {
+namespace {
+
+inline const uint8_t* Bytes(const void* data) {
+  return static_cast<const uint8_t*>(data);
+}
+
+/// Widens a natively-32/64-bit classic hash, decorrelating it from the seed
+/// and the length (several classics otherwise collide trivially on short
+/// keys).
+inline uint64_t Widen(uint64_t h, uint64_t seed, size_t len) {
+  return Fmix64(h ^ (seed * 0x9E3779B97F4A7C15ULL) ^ (len << 1));
+}
+
+inline uint16_t Read16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+}  // namespace
+
+uint64_t SuperFastHash(const void* data, size_t len, uint64_t seed) {
+  // Paul Hsieh's SuperFastHash: 16-bit chunks, shift-xor avalanche.
+  const uint8_t* p = Bytes(data);
+  uint32_t hash = static_cast<uint32_t>(len) ^ static_cast<uint32_t>(seed);
+  size_t rem = len & 3;
+  size_t blocks = len >> 2;
+
+  for (; blocks > 0; --blocks) {
+    hash += Read16(p);
+    const uint32_t tmp = (static_cast<uint32_t>(Read16(p + 2)) << 11) ^ hash;
+    hash = (hash << 16) ^ tmp;
+    p += 4;
+    hash += hash >> 11;
+  }
+
+  switch (rem) {
+    case 3:
+      hash += Read16(p);
+      hash ^= hash << 16;
+      hash ^= static_cast<uint32_t>(p[2]) << 18;
+      hash += hash >> 11;
+      break;
+    case 2:
+      hash += Read16(p);
+      hash ^= hash << 11;
+      hash += hash >> 17;
+      break;
+    case 1:
+      hash += p[0];
+      hash ^= hash << 10;
+      hash += hash >> 1;
+      break;
+    default:
+      break;
+  }
+
+  hash ^= hash << 3;
+  hash += hash >> 5;
+  hash ^= hash << 4;
+  hash += hash >> 17;
+  hash ^= hash << 25;
+  hash += hash >> 6;
+  return Widen(hash, seed, len);
+}
+
+uint64_t FnvHash(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a, 64-bit: xor byte then multiply by the FNV prime.
+  const uint8_t* p = Bytes(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Fmix64(h);
+}
+
+uint64_t OaatHash(const void* data, size_t len, uint64_t seed) {
+  // Bob Jenkins's one-at-a-time.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h += p[i];
+    h += h << 10;
+    h ^= h >> 6;
+  }
+  h += h << 3;
+  h ^= h >> 11;
+  h += h << 15;
+  return Widen(h, seed, len);
+}
+
+uint64_t DekHash(const void* data, size_t len, uint64_t seed) {
+  // Knuth (The Art of Computer Programming Vol. 3, §6.4).
+  const uint8_t* p = Bytes(data);
+  uint32_t h = static_cast<uint32_t>(len) ^ static_cast<uint32_t>(seed >> 7);
+  for (size_t i = 0; i < len; ++i) {
+    h = ((h << 5) ^ (h >> 27)) ^ p[i];
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t HsiehHash(const void* data, size_t len, uint64_t seed) {
+  // Incremental variant distinct from SuperFastHash: 32-bit chunks with a
+  // rotate-multiply round (Hsieh's experimental revision).
+  const uint8_t* p = Bytes(data);
+  uint32_t h = 0x9747b28cu ^ static_cast<uint32_t>(seed);
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    uint32_t w;
+    std::memcpy(&w, p + i, 4);
+    h = (h ^ w) * 0x5bd1e995u;
+    h ^= h >> 13;
+  }
+  for (; i < len; ++i) {
+    h = (h ^ p[i]) * 0x5bd1e995u;
+    h ^= h >> 15;
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t PyHash(const void* data, size_t len, uint64_t seed) {
+  // CPython 2 string hash: x = c0 << 7; x = (1000003 * x) ^ c; x ^= len.
+  const uint8_t* p = Bytes(data);
+  if (len == 0) return Fmix64(seed);
+  uint64_t x = (static_cast<uint64_t>(p[0]) << 7) ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    x = (1000003ULL * x) ^ p[i];
+  }
+  x ^= len;
+  return Fmix64(x);
+}
+
+uint64_t BrpHash(const void* data, size_t len, uint64_t seed) {
+  // Rotating-prime hash (BRP of the "miscellaneous hash functions" set):
+  // rotate accumulator and xor-in bytes scaled by a small prime.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = 0x1505u + static_cast<uint32_t>(seed & 0xffffffffu);
+  for (size_t i = 0; i < len; ++i) {
+    h = ((h << 7) | (h >> 25)) ^ (p[i] * 31u);
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t TwmxHash(const void* data, size_t len, uint64_t seed) {
+  // Thomas Wang 64-bit integer mix applied as a chaining round over 8-byte
+  // words (TWMX of the miscellaneous set).
+  const uint8_t* p = Bytes(data);
+  uint64_t h = seed + 0x9E3779B97F4A7C15ULL;
+  size_t i = 0;
+  auto wang = [](uint64_t key) {
+    key = (~key) + (key << 21);
+    key = key ^ (key >> 24);
+    key = (key + (key << 3)) + (key << 8);
+    key = key ^ (key >> 14);
+    key = (key + (key << 2)) + (key << 4);
+    key = key ^ (key >> 28);
+    key = key + (key << 31);
+    return key;
+  };
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = wang(h ^ w);
+  }
+  uint64_t tail = 0;
+  if (i < len) std::memcpy(&tail, p + i, len - i);
+  return wang(h ^ tail ^ len);
+}
+
+uint64_t ApHash(const void* data, size_t len, uint64_t seed) {
+  // Arash Partow's AP hash: alternate two update forms by byte parity.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = 0xAAAAAAAAu ^ static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    if ((i & 1) == 0) {
+      h ^= (h << 7) ^ (p[i] * (h >> 3));
+    } else {
+      h ^= ~((h << 11) + (p[i] ^ (h >> 5)));
+    }
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t NdjbHash(const void* data, size_t len, uint64_t seed) {
+  // DJB2a ("new DJB"): h = h * 33 XOR c.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = 5381u + static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h = (h * 33u) ^ p[i];
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t DjbHash(const void* data, size_t len, uint64_t seed) {
+  // Daniel J. Bernstein's DJB2: h = h * 33 + c.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = 5381u + static_cast<uint32_t>(seed >> 16);
+  for (size_t i = 0; i < len; ++i) {
+    h = ((h << 5) + h) + p[i];
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t BkdrHash(const void* data, size_t len, uint64_t seed) {
+  // Brian Kernighan & Dennis Ritchie (The C Programming Language): radix 131.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h = h * 131u + p[i];
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t PjwHash(const void* data, size_t len, uint64_t seed) {
+  // Peter J. Weinberger's hash (AT&T compiler book version).
+  const uint8_t* p = Bytes(data);
+  uint32_t h = static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h = (h << 4) + p[i];
+    const uint32_t high = h & 0xF0000000u;
+    if (high != 0) {
+      h ^= high >> 24;
+      h &= ~high;
+    }
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t JsHash(const void* data, size_t len, uint64_t seed) {
+  // Justin Sobel's bitwise hash.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = 1315423911u ^ static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= (h << 5) + p[i] + (h >> 2);
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t RsHash(const void* data, size_t len, uint64_t seed) {
+  // Robert Sedgwick (Algorithms in C): multiplier chain 63689 / 378551.
+  const uint8_t* p = Bytes(data);
+  uint32_t a = 63689u;
+  const uint32_t b = 378551u;
+  uint32_t h = static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h = h * a + p[i];
+    a *= b;
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t SdbmHash(const void* data, size_t len, uint64_t seed) {
+  // sdbm database library: h = c + (h << 6) + (h << 16) - h.
+  const uint8_t* p = Bytes(data);
+  uint32_t h = static_cast<uint32_t>(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h = p[i] + (h << 6) + (h << 16) - h;
+  }
+  return Widen(h, seed, len);
+}
+
+uint64_t ElfHash(const void* data, size_t len, uint64_t seed) {
+  // Unix ELF object-file hash (PJW variant).
+  const uint8_t* p = Bytes(data);
+  uint32_t h = static_cast<uint32_t>(seed) & 0x0FFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h << 4) + p[i];
+    const uint32_t g = h & 0xF0000000u;
+    if (g != 0) h ^= g >> 24;
+    h &= ~g;
+  }
+  return Widen(h, seed, len);
+}
+
+}  // namespace habf

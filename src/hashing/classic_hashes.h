@@ -1,0 +1,37 @@
+// The classic byte-at-a-time string hashes of Table II, implemented from
+// their published recurrences: SuperFast (Hsieh), FNV-1a, OAAT (Jenkins
+// one-at-a-time), DEK (Knuth), Hsieh (incremental variant), PYHash (CPython
+// 2 string hash), BRP (rotating-prime), TWMX (Thomas Wang mix chain), APHash
+// (Arash Partow), NDJB (DJB2a, xor variant), DJB (DJB2), BKDR, PJW, JSHash
+// (Justin Sobel), RSHash (Robert Sedgwick), SDBM, ELF.
+//
+// Most of these are natively 32-bit; every adapter folds the seed into the
+// initial state and widens the result through Fmix64 so all family members
+// present uniform 64-bit outputs (the HABF core reduces them mod m).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace habf {
+
+uint64_t SuperFastHash(const void* data, size_t len, uint64_t seed);
+uint64_t FnvHash(const void* data, size_t len, uint64_t seed);
+uint64_t OaatHash(const void* data, size_t len, uint64_t seed);
+uint64_t DekHash(const void* data, size_t len, uint64_t seed);
+uint64_t HsiehHash(const void* data, size_t len, uint64_t seed);
+uint64_t PyHash(const void* data, size_t len, uint64_t seed);
+uint64_t BrpHash(const void* data, size_t len, uint64_t seed);
+uint64_t TwmxHash(const void* data, size_t len, uint64_t seed);
+uint64_t ApHash(const void* data, size_t len, uint64_t seed);
+uint64_t NdjbHash(const void* data, size_t len, uint64_t seed);
+uint64_t DjbHash(const void* data, size_t len, uint64_t seed);
+uint64_t BkdrHash(const void* data, size_t len, uint64_t seed);
+uint64_t PjwHash(const void* data, size_t len, uint64_t seed);
+uint64_t JsHash(const void* data, size_t len, uint64_t seed);
+uint64_t RsHash(const void* data, size_t len, uint64_t seed);
+uint64_t SdbmHash(const void* data, size_t len, uint64_t seed);
+uint64_t ElfHash(const void* data, size_t len, uint64_t seed);
+
+}  // namespace habf

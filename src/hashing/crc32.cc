@@ -1,0 +1,43 @@
+#include "hashing/crc32.h"
+
+#include <array>
+
+#include "hashing/hash_function.h"
+
+namespace habf {
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;  // reflected IEEE polynomial
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t init) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint64_t Crc32Hash(const void* data, size_t len, uint64_t seed) {
+  const uint32_t crc =
+      Crc32(data, len, static_cast<uint32_t>(seed ^ (seed >> 32)));
+  return Fmix64(crc ^ (seed << 32) ^ len);
+}
+
+}  // namespace habf

@@ -1,0 +1,50 @@
+#include "hashing/hash_function.h"
+
+#include "hashing/classic_hashes.h"
+#include "hashing/cityhash.h"
+#include "hashing/crc32.h"
+#include "hashing/lookup3.h"
+#include "hashing/murmur3.h"
+#include "hashing/xxhash.h"
+
+namespace habf {
+namespace {
+
+// Table II, in the paper's order.
+constexpr HashSpec kGlobalFamily[] = {
+    {"xxHash", &XxHash64},
+    {"CityHash", &CityHash64},
+    {"MurmurHash", &Murmur3Low},
+    {"SuperFast", &SuperFastHash},
+    {"crc32", &Crc32Hash},
+    {"FNV", &FnvHash},
+    {"BOB", &BobLookup3},
+    {"OAAT", &OaatHash},
+    {"DEK", &DekHash},
+    {"Hsieh", &HsiehHash},
+    {"PYHash", &PyHash},
+    {"BRP", &BrpHash},
+    {"TWMX", &TwmxHash},
+    {"APHash", &ApHash},
+    {"NDJB", &NdjbHash},
+    {"DJB", &DjbHash},
+    {"BKDR", &BkdrHash},
+    {"PJW", &PjwHash},
+    {"JSHash", &JsHash},
+    {"RSHash", &RsHash},
+    {"SDBM", &SdbmHash},
+    {"ELF", &ElfHash},
+};
+
+constexpr size_t kGlobalFamilySize =
+    sizeof(kGlobalFamily) / sizeof(kGlobalFamily[0]);
+static_assert(kGlobalFamilySize == 22, "Table II lists exactly 22 functions");
+
+}  // namespace
+
+const HashFamily& HashFamily::Global() {
+  static const HashFamily family(kGlobalFamily, kGlobalFamilySize);
+  return family;
+}
+
+}  // namespace habf

@@ -1,0 +1,68 @@
+// The global hash function family H of the paper (Table II).
+//
+// Every function in this module has the uniform signature
+//   uint64_t fn(const void* data, size_t len, uint64_t seed)
+// so the HABF core can treat the family as an indexed array. The paper's
+// Table II lists 22 functions; we implement each algorithm from scratch (see
+// per-file headers) and register them in the canonical Table II order.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace habf {
+
+/// Uniform signature for every member of the global family H.
+using HashFn = uint64_t (*)(const void* data, size_t len, uint64_t seed);
+
+/// 64-bit finalization mix (MurmurHash3 fmix64). Used to widen and seed the
+/// classic 32-bit hash functions so that all 22 family members produce
+/// well-distributed 64-bit outputs.
+inline uint64_t Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// One registered member of the family.
+struct HashSpec {
+  const char* name;
+  HashFn fn;
+};
+
+/// The global family H (Table II): 22 independently implemented functions in
+/// the paper's order: xxHash, CityHash, MurmurHash, SuperFast, crc32, FNV,
+/// BOB, OAAT, DEK, Hsieh, PYHash, BRP, TWMX, APHash, NDJB, DJB, BKDR, PJW,
+/// JSHash, RSHash, SDBM, ELF.
+class HashFamily {
+ public:
+  /// The singleton global family.
+  static const HashFamily& Global();
+
+  /// Number of registered functions (22).
+  size_t size() const { return size_; }
+
+  /// Evaluates function `idx` on `key` with `seed`. Precondition: idx < size.
+  uint64_t Hash(size_t idx, std::string_view key, uint64_t seed = 0) const {
+    return specs_[idx].fn(key.data(), key.size(), seed);
+  }
+
+  /// Human-readable name of function `idx`.
+  const char* Name(size_t idx) const { return specs_[idx].name; }
+
+  /// Raw spec access.
+  const HashSpec& spec(size_t idx) const { return specs_[idx]; }
+
+ private:
+  HashFamily(const HashSpec* specs, size_t size) : specs_(specs), size_(size) {}
+
+  const HashSpec* specs_;
+  size_t size_;
+};
+
+}  // namespace habf

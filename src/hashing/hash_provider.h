@@ -1,0 +1,93 @@
+// Indexed hash providers used by the HABF core and the Bloom substrate.
+//
+// A provider presents N indexed hash functions over string keys. Two
+// implementations:
+//  * GlobalHashProvider — the first N distinct functions of Table II (HABF).
+//  * DoubleHashProvider — the Kirsch-Mitzenmacher simulated family
+//    g_i(x) = h1(x) + (i+1) * h2(x), computing only two real digests per key
+//    (f-HABF, §III-G).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "hashing/hash_function.h"
+#include "hashing/xxhash.h"
+
+namespace habf {
+
+/// Abstract family of `NumFunctions()` indexed hash functions.
+class HashProvider {
+ public:
+  virtual ~HashProvider() = default;
+
+  /// Number of indexable functions.
+  virtual size_t NumFunctions() const = 0;
+
+  /// Raw 64-bit value of function `idx` on `key`.
+  virtual uint64_t Value(std::string_view key, size_t idx) const = 0;
+
+  /// Batched evaluation: values of functions `idxs[0..n)` on `key` into
+  /// `out`. Lets double-hashing providers amortize the two real digests.
+  virtual void Values(std::string_view key, const uint8_t* idxs, size_t n,
+                      uint64_t* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = Value(key, idxs[i]);
+  }
+
+  /// Display name of function `idx`.
+  virtual const char* Name(size_t idx) const = 0;
+};
+
+/// The first `count` distinct functions of the global Table II family.
+class GlobalHashProvider final : public HashProvider {
+ public:
+  /// Exposes the first `count` (<= 22) functions, evaluated with `seed`.
+  explicit GlobalHashProvider(size_t count, uint64_t seed = 0);
+
+  size_t NumFunctions() const override { return count_; }
+  uint64_t Value(std::string_view key, size_t idx) const override {
+    return HashFamily::Global().Hash(idx, key, seed_);
+  }
+  const char* Name(size_t idx) const override {
+    return HashFamily::Global().Name(idx);
+  }
+
+ private:
+  size_t count_;
+  uint64_t seed_;
+};
+
+/// Kirsch-Mitzenmacher double hashing over xxHash64: two real digests per
+/// key, `count` simulated functions g_i = h1 + (i+1) * h2.
+class DoubleHashProvider final : public HashProvider {
+ public:
+  explicit DoubleHashProvider(size_t count, uint64_t seed = 0);
+
+  size_t NumFunctions() const override { return count_; }
+
+  uint64_t Value(std::string_view key, size_t idx) const override {
+    const uint64_t h1 = XxHash64(key.data(), key.size(), seed1_);
+    const uint64_t h2 = XxHash64(key.data(), key.size(), seed2_) | 1u;
+    return h1 + (idx + 1) * h2;
+  }
+
+  void Values(std::string_view key, const uint8_t* idxs, size_t n,
+              uint64_t* out) const override {
+    const uint64_t h1 = XxHash64(key.data(), key.size(), seed1_);
+    const uint64_t h2 = XxHash64(key.data(), key.size(), seed2_) | 1u;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = h1 + (static_cast<uint64_t>(idxs[i]) + 1) * h2;
+    }
+  }
+
+  const char* Name(size_t idx) const override;
+
+ private:
+  size_t count_;
+  uint64_t seed1_;
+  uint64_t seed2_;
+};
+
+}  // namespace habf

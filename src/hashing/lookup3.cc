@@ -1,0 +1,71 @@
+#include "hashing/lookup3.h"
+
+#include <cstring>
+
+namespace habf {
+namespace {
+
+inline uint32_t Rot32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline void Mix(uint32_t& a, uint32_t& b, uint32_t& c) {
+  a -= c; a ^= Rot32(c, 4);  c += b;
+  b -= a; b ^= Rot32(a, 6);  a += c;
+  c -= b; c ^= Rot32(b, 8);  b += a;
+  a -= c; a ^= Rot32(c, 16); c += b;
+  b -= a; b ^= Rot32(a, 19); a += c;
+  c -= b; c ^= Rot32(b, 4);  b += a;
+}
+
+inline void Final(uint32_t& a, uint32_t& b, uint32_t& c) {
+  c ^= b; c -= Rot32(b, 14);
+  a ^= c; a -= Rot32(c, 11);
+  b ^= a; b -= Rot32(a, 25);
+  c ^= b; c -= Rot32(b, 16);
+  a ^= c; a -= Rot32(c, 4);
+  b ^= a; b -= Rot32(a, 14);
+  c ^= b; c -= Rot32(b, 24);
+}
+
+inline uint32_t Read32(const uint8_t* p, size_t avail) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, avail < 4 ? avail : 4);
+  return v;
+}
+
+}  // namespace
+
+uint64_t BobLookup3(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t a = 0xdeadbeef + static_cast<uint32_t>(len) +
+               static_cast<uint32_t>(seed);
+  uint32_t b = a;
+  uint32_t c = a + static_cast<uint32_t>(seed >> 32);
+
+  size_t remaining = len;
+  while (remaining > 12) {
+    a += Read32(p, 4);
+    b += Read32(p + 4, 4);
+    c += Read32(p + 8, 4);
+    Mix(a, b, c);
+    p += 12;
+    remaining -= 12;
+  }
+
+  if (remaining > 0) {
+    if (remaining > 8) {
+      a += Read32(p, 4);
+      b += Read32(p + 4, 4);
+      c += Read32(p + 8, remaining - 8);
+    } else if (remaining > 4) {
+      a += Read32(p, 4);
+      b += Read32(p + 4, remaining - 4);
+    } else {
+      a += Read32(p, remaining);
+    }
+    Final(a, b, c);
+  }
+
+  return (static_cast<uint64_t>(c) << 32) | b;
+}
+
+}  // namespace habf

@@ -1,0 +1,16 @@
+// From-scratch implementation of Bob Jenkins's lookup3 ("BOB" in Table II):
+// 12-byte mix/final rounds over 32-bit thirds, returning the (c, b) pair
+// widened to 64 bits.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace habf {
+
+/// lookup3 hashlittle2-style digest: returns (c << 32) | b after the final
+/// round, with the two 32-bit initial values derived from `seed`.
+uint64_t BobLookup3(const void* data, size_t len, uint64_t seed);
+
+}  // namespace habf

@@ -1,0 +1,19 @@
+// From-scratch implementation of MurmurHash3 x64-128 (Austin Appleby, public
+// domain algorithm). The family adapter returns the low 64 bits.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hashing/xxhash.h"  // for Hash128
+
+namespace habf {
+
+/// Full 128-bit MurmurHash3 (x64 variant) with a 64-bit seed.
+Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed);
+
+/// Family-signature adapter: low 64 bits of Murmur3_128.
+uint64_t Murmur3Low(const void* data, size_t len, uint64_t seed);
+
+}  // namespace habf

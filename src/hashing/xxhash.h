@@ -1,0 +1,34 @@
+// From-scratch implementation of the xxHash64 algorithm (Yann Collet),
+// following the published algorithm description: four parallel 64-bit
+// accumulator lanes over 32-byte stripes, merge, tail, avalanche.
+//
+// XxHash128 is this repository's 128-bit variant: two decorrelated 64-bit
+// passes (distinct seed schedules) exposed as low/high halves. It is an
+// independent re-implementation of the *construction idea*, not a
+// byte-compatible port of XXH128 — the paper only requires a strong
+// 128-bit-capable member of the family (its BF(XXH128) baseline derives k
+// index values by reseeding).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace habf {
+
+/// xxHash64 of `len` bytes with `seed`.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+/// 128-bit output as two 64-bit halves.
+struct Hash128 {
+  uint64_t low;
+  uint64_t high;
+};
+
+/// 128-bit xxHash-style digest (see file header for fidelity notes).
+Hash128 XxHash128(const void* data, size_t len, uint64_t seed);
+
+/// Family-signature adapter returning the low half of XxHash128.
+uint64_t XxHash128Low(const void* data, size_t len, uint64_t seed);
+
+}  // namespace habf

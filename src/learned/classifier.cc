@@ -1,0 +1,170 @@
+#include "learned/classifier.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "learned/feature_hasher.h"
+#include "util/rng.h"
+
+namespace habf {
+namespace {
+
+inline float Sigmoid(float z) {
+  if (z >= 0.0f) {
+    const float e = std::exp(-z);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(z);
+  return e / (1.0f + e);
+}
+
+/// Shuffled (index, label) training order over both classes.
+std::vector<std::pair<uint32_t, uint8_t>> MakeOrder(size_t num_pos,
+                                                    size_t num_neg,
+                                                    uint64_t seed) {
+  std::vector<std::pair<uint32_t, uint8_t>> order;
+  order.reserve(num_pos + num_neg);
+  for (size_t i = 0; i < num_pos; ++i) {
+    order.emplace_back(static_cast<uint32_t>(i), uint8_t{1});
+  }
+  for (size_t i = 0; i < num_neg; ++i) {
+    order.emplace_back(static_cast<uint32_t>(i), uint8_t{0});
+  }
+  Xoshiro256 rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+[[maybe_unused]] bool IsPowerOfTwo(uint32_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+void LogisticModel::Train(const std::vector<std::string>& positives,
+                          const std::vector<WeightedKey>& negatives,
+                          const TrainOptions& options) {
+  assert(IsPowerOfTwo(options.feature_dim));
+  feature_dim_ = options.feature_dim;
+  weights_.assign(feature_dim_, 0.0f);
+  bias_ = 0.0f;
+
+  const auto order =
+      MakeOrder(positives.size(), negatives.size(), options.seed);
+  std::vector<uint32_t> features;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const float lr =
+        options.learning_rate / (1.0f + 0.5f * static_cast<float>(epoch));
+    for (const auto& [idx, label] : order) {
+      const std::string& key =
+          label ? positives[idx] : negatives[idx].key;
+      features.clear();
+      ExtractFeatures(key, feature_dim_, &features);
+      if (features.empty()) continue;
+      // Normalize by feature count so long keys don't dominate updates.
+      const float scale = 1.0f / static_cast<float>(features.size());
+      float z = bias_;
+      for (uint32_t f : features) z += weights_[f] * scale;
+      const float gradient = Sigmoid(z) - static_cast<float>(label);
+      const float step = lr * gradient;
+      bias_ -= step;
+      for (uint32_t f : features) weights_[f] -= step * scale;
+    }
+  }
+}
+
+float LogisticModel::Score(std::string_view key) const {
+  std::vector<uint32_t> features;
+  features.reserve(2 * key.size());
+  ExtractFeatures(key, feature_dim_, &features);
+  if (features.empty()) return Sigmoid(bias_);
+  const float scale = 1.0f / static_cast<float>(features.size());
+  float z = bias_;
+  for (uint32_t f : features) z += weights_[f] * scale;
+  return Sigmoid(z);
+}
+
+void MlpModel::Train(const std::vector<std::string>& positives,
+                     const std::vector<WeightedKey>& negatives,
+                     const MlpOptions& options) {
+  assert(IsPowerOfTwo(options.feature_dim));
+  feature_dim_ = options.feature_dim;
+  hidden_ = options.hidden;
+  Xoshiro256 rng(options.seed ^ 0x6d6c70ULL);
+  const float init = 0.5f / std::sqrt(static_cast<float>(feature_dim_));
+  w1_.resize(static_cast<size_t>(hidden_) * feature_dim_);
+  for (auto& w : w1_) {
+    w = (static_cast<float>(rng.NextDouble()) - 0.5f) * 2.0f * init;
+  }
+  b1_.assign(hidden_, 0.0f);
+  w2_.resize(hidden_);
+  for (auto& w : w2_) {
+    w = (static_cast<float>(rng.NextDouble()) - 0.5f) * 0.2f;
+  }
+  b2_ = 0.0f;
+
+  const auto order =
+      MakeOrder(positives.size(), negatives.size(), options.seed);
+  std::vector<uint32_t> features;
+  std::vector<float> act(hidden_);
+  std::vector<float> pre(hidden_);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const float lr =
+        options.learning_rate / (1.0f + 0.5f * static_cast<float>(epoch));
+    for (const auto& [idx, label] : order) {
+      const std::string& key = label ? positives[idx] : negatives[idx].key;
+      features.clear();
+      ExtractFeatures(key, feature_dim_, &features);
+      if (features.empty()) continue;
+      const float scale = 1.0f / static_cast<float>(features.size());
+
+      // Forward (tanh hidden units: saturating but never dead, which
+      // matters at these tiny widths).
+      for (uint32_t h = 0; h < hidden_; ++h) {
+        float z = b1_[h];
+        const float* row = &w1_[static_cast<size_t>(h) * feature_dim_];
+        for (uint32_t f : features) z += row[f] * scale;
+        pre[h] = z;
+        act[h] = std::tanh(z);
+      }
+      float out = b2_;
+      for (uint32_t h = 0; h < hidden_; ++h) out += w2_[h] * act[h];
+      const float delta_out =
+          Sigmoid(out) - static_cast<float>(label);  // dL/d(out)
+
+      // Backward.
+      b2_ -= lr * delta_out;
+      for (uint32_t h = 0; h < hidden_; ++h) {
+        const float grad_w2 = delta_out * act[h];
+        const float dtanh = 1.0f - act[h] * act[h];
+        const float delta_h = delta_out * w2_[h] * dtanh;
+        w2_[h] -= lr * grad_w2;
+        b1_[h] -= lr * delta_h;
+        float* row = &w1_[static_cast<size_t>(h) * feature_dim_];
+        const float step = lr * delta_h * scale;
+        for (uint32_t f : features) row[f] -= step;
+      }
+    }
+  }
+}
+
+float MlpModel::Score(std::string_view key) const {
+  std::vector<uint32_t> features;
+  features.reserve(2 * key.size());
+  ExtractFeatures(key, feature_dim_, &features);
+  if (features.empty()) return Sigmoid(b2_);
+  const float scale = 1.0f / static_cast<float>(features.size());
+  float out = b2_;
+  for (uint32_t h = 0; h < hidden_; ++h) {
+    float z = b1_[h];
+    const float* row = &w1_[static_cast<size_t>(h) * feature_dim_];
+    for (uint32_t f : features) z += row[f] * scale;
+    out += w2_[h] * std::tanh(z);
+  }
+  return Sigmoid(out);
+}
+
+}  // namespace habf

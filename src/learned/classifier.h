@@ -1,0 +1,76 @@
+// From-scratch classifiers standing in for the paper's Keras models (GRU /
+// six-layer fully-connected net). See DESIGN.md §3: the experiments need a
+// score function with the right *qualitative* behaviour — separates
+// structured keys, fails on random keys, costs real memory and real
+// inference time — not a specific architecture.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/weighted_bloom.h"  // WeightedKey
+
+namespace habf {
+
+/// SGD training parameters shared by both models.
+struct TrainOptions {
+  uint32_t feature_dim = 2048;  ///< power of two
+  int epochs = 4;
+  float learning_rate = 0.15f;
+  uint64_t seed = 7;
+};
+
+/// Logistic regression over hashed n-gram features.
+class LogisticModel {
+ public:
+  /// Trains on positives (label 1) vs negatives (label 0) with SGD.
+  void Train(const std::vector<std::string>& positives,
+             const std::vector<WeightedKey>& negatives,
+             const TrainOptions& options);
+
+  /// P(key is positive) in (0, 1).
+  float Score(std::string_view key) const;
+
+  /// Model size charged against the filter's space budget (weights + bias).
+  size_t MemoryBits() const { return (weights_.size() + 1) * 32; }
+
+  uint32_t feature_dim() const { return feature_dim_; }
+
+ private:
+  uint32_t feature_dim_ = 0;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+/// Two-layer perceptron (dim -> hidden -> 1, ReLU) over the same features —
+/// the heavier model used by the learned-filter ablation bench.
+class MlpModel {
+ public:
+  struct MlpOptions : TrainOptions {
+    uint32_t hidden = 16;
+  };
+
+  void Train(const std::vector<std::string>& positives,
+             const std::vector<WeightedKey>& negatives,
+             const MlpOptions& options);
+
+  float Score(std::string_view key) const;
+
+  size_t MemoryBits() const {
+    return (w1_.size() + b1_.size() + w2_.size() + 1) * 32;
+  }
+
+ private:
+  uint32_t feature_dim_ = 0;
+  uint32_t hidden_ = 0;
+  std::vector<float> w1_;  // hidden x dim, row-major
+  std::vector<float> b1_;
+  std::vector<float> w2_;  // hidden
+  float b2_ = 0.0f;
+};
+
+}  // namespace habf

@@ -1,0 +1,38 @@
+// Hashed character-n-gram feature extraction for the learned-filter
+// substrate. Replaces the paper's Keras embedding layer: every key maps to a
+// sparse bag of 1- and 3-gram indices in [0, dim), which is enough for a
+// linear model to separate the Shalla-like classes (their structure is in
+// the character surface) and — deliberately — useless on YcsbLike keys.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace habf {
+
+/// Appends the hashed feature indices of `key` (with multiplicity) to `out`.
+/// `dim` must be a power of two.
+inline void ExtractFeatures(std::string_view key, uint32_t dim,
+                            std::vector<uint32_t>* out) {
+  const uint32_t mask = dim - 1;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(key.data());
+  const size_t n = key.size();
+  // Unigrams anchor single-character signal (digits vs letters etc.).
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(static_cast<uint32_t>(p[i]) & mask);
+  }
+  // Hashed trigrams carry the word-fragment signal.
+  for (size_t i = 0; i + 3 <= n; ++i) {
+    uint32_t h = 2166136261u;
+    h = (h ^ p[i]) * 16777619u;
+    h = (h ^ p[i + 1]) * 16777619u;
+    h = (h ^ p[i + 2]) * 16777619u;
+    out->push_back((h ^ 0x100u) & mask);  // offset from the unigram space
+  }
+}
+
+}  // namespace habf

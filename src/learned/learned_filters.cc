@@ -1,0 +1,317 @@
+#include "learned/learned_filters.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/theory.h"
+#include "hashing/xxhash.h"
+
+namespace habf {
+namespace {
+
+/// Scores every key of both classes; the returned vectors are sorted
+/// ascending so quantile lookups are O(1).
+struct ScoreProfile {
+  std::vector<float> positive;  // sorted
+  std::vector<float> negative;  // sorted
+};
+
+ScoreProfile ScoreAll(const LogisticModel& model,
+                      const std::vector<std::string>& positives,
+                      const std::vector<WeightedKey>& negatives) {
+  ScoreProfile profile;
+  profile.positive.reserve(positives.size());
+  for (const auto& key : positives) profile.positive.push_back(model.Score(key));
+  profile.negative.reserve(negatives.size());
+  for (const auto& wk : negatives) profile.negative.push_back(model.Score(wk.key));
+  std::sort(profile.positive.begin(), profile.positive.end());
+  std::sort(profile.negative.begin(), profile.negative.end());
+  return profile;
+}
+
+/// Value at quantile q of a sorted vector.
+float Quantile(const std::vector<float>& sorted, double q) {
+  if (sorted.empty()) return 0.5f;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+/// Count of entries >= value in a sorted vector.
+size_t CountAtLeast(const std::vector<float>& sorted, float value) {
+  return sorted.end() -
+         std::lower_bound(sorted.begin(), sorted.end(), value);
+}
+
+double BloomFprForBudget(size_t bits, size_t keys) {
+  if (keys == 0) return 0.0;
+  if (bits == 0) return 1.0;
+  const double bpk = static_cast<double>(bits) / static_cast<double>(keys);
+  return StandardBloomFpr(OptimalNumHashes(bpk), bpk);
+}
+
+constexpr double kTauQuantiles[] = {0.50, 0.70, 0.80,  0.90,  0.95,
+                                    0.98, 0.99, 0.995, 0.999, 0.9999};
+
+/// Shrinks the requested feature dimension until the model fits a quarter of
+/// the space budget (the paper's models are a small fraction of the filter
+/// at its scales; our down-scaled benches need the same property).
+TrainOptions FitModelToBudget(TrainOptions train, size_t total_bits) {
+  while (train.feature_dim > 256 &&
+         (static_cast<size_t>(train.feature_dim) + 1) * 32 > total_bits / 4) {
+    train.feature_dim /= 2;
+  }
+  return train;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LBF
+// ---------------------------------------------------------------------------
+
+LearnedBloomFilter LearnedBloomFilter::Build(
+    const std::vector<std::string>& positives,
+    const std::vector<WeightedKey>& negatives, const LearnedOptions& options) {
+  LearnedBloomFilter lbf;
+  lbf.model_.Train(positives, negatives,
+                   FitModelToBudget(options.train, options.total_bits));
+  lbf.trained_keys_ = positives.size() + negatives.size();
+
+  const ScoreProfile profile = ScoreAll(lbf.model_, positives, negatives);
+  const size_t model_bits = lbf.model_.MemoryBits();
+  const size_t budget =
+      options.total_bits > model_bits ? options.total_bits - model_bits : 0;
+
+  // Pick tau minimizing the estimated overall FPR
+  //   P(neg >= tau) + P(neg < tau) * FPR(backup over positives below tau).
+  double best_fpr = 2.0;
+  float best_tau = 1.0f;
+  for (double q : kTauQuantiles) {
+    const float tau = Quantile(profile.negative, q);
+    const size_t pos_below =
+        profile.positive.size() - CountAtLeast(profile.positive, tau);
+    const double neg_above =
+        static_cast<double>(CountAtLeast(profile.negative, tau)) /
+        std::max<size_t>(1, profile.negative.size());
+    const double est = neg_above +
+                       (1.0 - neg_above) * BloomFprForBudget(budget, pos_below);
+    if (est < best_fpr) {
+      best_fpr = est;
+      best_tau = tau;
+    }
+  }
+  lbf.tau_ = best_tau;
+
+  std::vector<const std::string*> below;
+  for (size_t i = 0; i < positives.size(); ++i) {
+    if (lbf.model_.Score(positives[i]) < lbf.tau_) below.push_back(&positives[i]);
+  }
+  if (!below.empty()) {
+    const size_t bits = std::max<size_t>(64, budget);
+    const double bpk = static_cast<double>(bits) /
+                       static_cast<double>(below.size());
+    lbf.backup_.emplace(bits, OptimalNumHashes(bpk), &XxHash64,
+                        options.seed ^ 0x6c6266ULL);
+    for (const std::string* key : below) lbf.backup_->Add(*key);
+  }
+  return lbf;
+}
+
+bool LearnedBloomFilter::MightContain(std::string_view key) const {
+  if (model_.Score(key) >= tau_) return true;
+  return backup_.has_value() && backup_->MightContain(key);
+}
+
+size_t LearnedBloomFilter::MemoryUsageBits() const {
+  return model_.MemoryBits() +
+         (backup_ ? backup_->MemoryUsageBytes() * 8 : 0);
+}
+
+void LearnedBloomFilter::ReportConstructionMemory(MemoryCounter* mem) const {
+  mem->Add("model_weights", model_.MemoryBits() / 8);
+  mem->Add("training_scores", trained_keys_ * sizeof(float));
+  // SGD keeps the full training set and per-key feature buffers resident.
+  mem->Add("training_order", trained_keys_ * (sizeof(uint32_t) + 1));
+  if (backup_) mem->Add("backup_filter", backup_->MemoryUsageBytes());
+}
+
+// ---------------------------------------------------------------------------
+// SLBF
+// ---------------------------------------------------------------------------
+
+SandwichedLearnedBloomFilter SandwichedLearnedBloomFilter::Build(
+    const std::vector<std::string>& positives,
+    const std::vector<WeightedKey>& negatives, const LearnedOptions& options) {
+  SandwichedLearnedBloomFilter slbf;
+  slbf.model_.Train(positives, negatives,
+                    FitModelToBudget(options.train, options.total_bits));
+  slbf.trained_keys_ = positives.size() + negatives.size();
+
+  const ScoreProfile profile = ScoreAll(slbf.model_, positives, negatives);
+  const size_t model_bits = slbf.model_.MemoryBits();
+  const size_t budget =
+      options.total_bits > model_bits ? options.total_bits - model_bits : 0;
+
+  // Joint sweep over the pre/backup split and tau (Mitzenmacher shows an
+  // interior optimum exists; a coarse grid is within a few percent of it).
+  constexpr double kPreFractions[] = {0.20, 0.35, 0.50, 0.65, 0.80};
+  double best_fpr = 2.0;
+  float best_tau = 1.0f;
+  double best_frac = 0.5;
+  for (double frac : kPreFractions) {
+    const size_t pre_bits = static_cast<size_t>(frac * budget);
+    const double pre_fpr = BloomFprForBudget(pre_bits, positives.size());
+    for (double q : kTauQuantiles) {
+      const float tau = Quantile(profile.negative, q);
+      const size_t pos_below =
+          profile.positive.size() - CountAtLeast(profile.positive, tau);
+      const double neg_above =
+          static_cast<double>(CountAtLeast(profile.negative, tau)) /
+          std::max<size_t>(1, profile.negative.size());
+      const double est =
+          pre_fpr * (neg_above + (1.0 - neg_above) *
+                                     BloomFprForBudget(budget - pre_bits,
+                                                       pos_below));
+      if (est < best_fpr) {
+        best_fpr = est;
+        best_tau = tau;
+        best_frac = frac;
+      }
+    }
+  }
+  slbf.tau_ = best_tau;
+
+  const size_t pre_bits =
+      std::max<size_t>(64, static_cast<size_t>(best_frac * budget));
+  {
+    const double bpk = static_cast<double>(pre_bits) /
+                       std::max<size_t>(1, positives.size());
+    slbf.pre_.emplace(pre_bits, OptimalNumHashes(bpk), &XxHash64,
+                      options.seed ^ 0x736c6266ULL);
+    for (const auto& key : positives) slbf.pre_->Add(key);
+  }
+  std::vector<const std::string*> below;
+  for (const auto& key : positives) {
+    if (slbf.model_.Score(key) < slbf.tau_) below.push_back(&key);
+  }
+  if (!below.empty()) {
+    const size_t bits =
+        std::max<size_t>(64, budget > pre_bits ? budget - pre_bits : 0);
+    const double bpk =
+        static_cast<double>(bits) / static_cast<double>(below.size());
+    slbf.backup_.emplace(bits, OptimalNumHashes(bpk), &XxHash64,
+                         options.seed ^ 0x626b32ULL);
+    for (const std::string* key : below) slbf.backup_->Add(*key);
+  }
+  return slbf;
+}
+
+bool SandwichedLearnedBloomFilter::MightContain(std::string_view key) const {
+  if (pre_ && !pre_->MightContain(key)) return false;
+  if (model_.Score(key) >= tau_) return true;
+  return backup_.has_value() && backup_->MightContain(key);
+}
+
+size_t SandwichedLearnedBloomFilter::MemoryUsageBits() const {
+  return model_.MemoryBits() + (pre_ ? pre_->MemoryUsageBytes() * 8 : 0) +
+         (backup_ ? backup_->MemoryUsageBytes() * 8 : 0);
+}
+
+void SandwichedLearnedBloomFilter::ReportConstructionMemory(
+    MemoryCounter* mem) const {
+  mem->Add("model_weights", model_.MemoryBits() / 8);
+  mem->Add("training_scores", trained_keys_ * sizeof(float));
+  mem->Add("training_order", trained_keys_ * (sizeof(uint32_t) + 1));
+  if (pre_) mem->Add("pre_filter", pre_->MemoryUsageBytes());
+  if (backup_) mem->Add("backup_filter", backup_->MemoryUsageBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Ada-BF
+// ---------------------------------------------------------------------------
+
+AdaptiveLearnedBloomFilter AdaptiveLearnedBloomFilter::Build(
+    const std::vector<std::string>& positives,
+    const std::vector<WeightedKey>& negatives, const AdaOptions& options) {
+  assert(options.num_groups >= 2);
+  AdaptiveLearnedBloomFilter ada;
+  ada.model_.Train(positives, negatives,
+                   FitModelToBudget(options.train, options.total_bits));
+  ada.trained_keys_ = positives.size() + negatives.size();
+
+  const ScoreProfile profile = ScoreAll(ada.model_, positives, negatives);
+
+  // Band boundaries at geometrically spaced quantiles of the *negative*
+  // scores: the top (auto-accept) band admits only ~0.2% of negatives, and
+  // each band below admits geometrically more. This mirrors Ada-BF's tuned
+  // region splits without its hyper-parameter search.
+  ada.thresholds_.clear();
+  const double groups = static_cast<double>(options.num_groups);
+  for (size_t g = 1; g < options.num_groups; ++g) {
+    const double q =
+        1.0 - std::pow(0.002, static_cast<double>(g) / (groups - 1.0));
+    ada.thresholds_.push_back(Quantile(profile.negative, q));
+  }
+  std::sort(ada.thresholds_.begin(), ada.thresholds_.end());
+
+  // Probe counts: k_max down to 0 (top band auto-accepts).
+  ada.group_k_.resize(options.num_groups);
+  for (size_t g = 0; g < options.num_groups; ++g) {
+    const double frac = static_cast<double>(g) /
+                        static_cast<double>(options.num_groups - 1);
+    ada.group_k_[g] = static_cast<size_t>(
+        std::lround(static_cast<double>(options.k_max) * (1.0 - frac)));
+  }
+
+  const size_t model_bits = ada.model_.MemoryBits();
+  const size_t bits = std::max<size_t>(
+      64, options.total_bits > model_bits ? options.total_bits - model_bits
+                                          : 0);
+  ada.provider_ = std::make_unique<DoubleHashProvider>(
+      std::max<size_t>(1, options.k_max), options.seed ^ 0x616461ULL);
+  std::vector<uint8_t> default_fns(std::max<size_t>(1, options.k_max));
+  for (size_t i = 0; i < default_fns.size(); ++i) {
+    default_fns[i] = static_cast<uint8_t>(i);
+  }
+  ada.filter_.emplace(bits, ada.provider_.get(), default_fns);
+
+  uint8_t fns[32];
+  for (const auto& key : positives) {
+    const size_t k = ada.group_k_[ada.GroupOfScore(ada.model_.Score(key))];
+    if (k == 0) continue;  // auto-accepted band
+    for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+    ada.filter_->AddWith(key, fns, k);
+  }
+  return ada;
+}
+
+size_t AdaptiveLearnedBloomFilter::GroupOfScore(float score) const {
+  size_t group = 0;
+  while (group < thresholds_.size() && score >= thresholds_[group]) ++group;
+  return group;
+}
+
+bool AdaptiveLearnedBloomFilter::MightContain(std::string_view key) const {
+  const size_t k = group_k_[GroupOfScore(model_.Score(key))];
+  if (k == 0) return true;
+  uint8_t fns[32];
+  for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+  return filter_->TestWith(key, fns, k);
+}
+
+size_t AdaptiveLearnedBloomFilter::MemoryUsageBits() const {
+  return model_.MemoryBits() + (filter_ ? filter_->MemoryUsageBytes() * 8 : 0);
+}
+
+void AdaptiveLearnedBloomFilter::ReportConstructionMemory(
+    MemoryCounter* mem) const {
+  mem->Add("model_weights", model_.MemoryBits() / 8);
+  mem->Add("training_scores", trained_keys_ * sizeof(float));
+  mem->Add("training_order", trained_keys_ * (sizeof(uint32_t) + 1));
+  if (filter_) mem->Add("shared_filter", filter_->MemoryUsageBytes());
+}
+
+}  // namespace habf

@@ -1,0 +1,119 @@
+// The learned-filter baselines of the paper's evaluation (§V-A.2):
+//  * LBF   — Learned Bloom filter (Kraska et al.): model + backup filter.
+//  * SLBF  — Sandwiched LBF (Mitzenmacher): pre-filter + model + backup.
+//  * AdaBF — Adaptive LBF (Dai & Shrivastava): score-banded hash counts in
+//            one shared filter.
+// All three charge their model weights against the space budget, auto-tune
+// their thresholds on the training data, and preserve zero false negatives
+// by construction (a positive key either clears the model gate or is stored
+// in a backup/shared filter with exactly the probes used at query time).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/weighted_bloom.h"
+#include "learned/classifier.h"
+#include "util/memory.h"
+
+namespace habf {
+
+/// Shared build parameters for the learned filters.
+struct LearnedOptions {
+  /// Total space budget in bits, model weights included.
+  size_t total_bits = size_t{1} << 23;
+  TrainOptions train;
+  uint64_t seed = 0;
+};
+
+/// Learned Bloom filter: keys scoring >= tau are accepted by the model; the
+/// rest of the positives live in a backup Bloom filter.
+class LearnedBloomFilter {
+ public:
+  static LearnedBloomFilter Build(const std::vector<std::string>& positives,
+                                  const std::vector<WeightedKey>& negatives,
+                                  const LearnedOptions& options);
+
+  bool MightContain(std::string_view key) const;
+
+  float threshold() const { return tau_; }
+  const LogisticModel& model() const { return model_; }
+
+  /// Model bits + backup-filter bits (= the budget, minus rounding).
+  size_t MemoryUsageBits() const;
+
+  /// Construction-time footprint (training buffers, score arrays).
+  void ReportConstructionMemory(MemoryCounter* mem) const;
+
+ private:
+  LogisticModel model_;
+  float tau_ = 1.0f;
+  std::optional<SeededBloomFilter> backup_;
+  size_t trained_keys_ = 0;
+};
+
+/// Sandwiched LBF: an initial filter over all positives in front of the
+/// model removes most negatives before they can exploit model error.
+class SandwichedLearnedBloomFilter {
+ public:
+  static SandwichedLearnedBloomFilter Build(
+      const std::vector<std::string>& positives,
+      const std::vector<WeightedKey>& negatives,
+      const LearnedOptions& options);
+
+  bool MightContain(std::string_view key) const;
+
+  float threshold() const { return tau_; }
+  size_t MemoryUsageBits() const;
+  void ReportConstructionMemory(MemoryCounter* mem) const;
+
+ private:
+  LogisticModel model_;
+  float tau_ = 1.0f;
+  std::optional<SeededBloomFilter> pre_;
+  std::optional<SeededBloomFilter> backup_;
+  size_t trained_keys_ = 0;
+};
+
+/// Adaptive learned Bloom filter: the score space is banded; higher-scoring
+/// (more positive-looking) keys probe with fewer hash functions, the top
+/// band with none (auto-accept).
+class AdaptiveLearnedBloomFilter {
+ public:
+  struct AdaOptions : LearnedOptions {
+    size_t num_groups = 4;
+    size_t k_max = 6;
+  };
+
+  static AdaptiveLearnedBloomFilter Build(
+      const std::vector<std::string>& positives,
+      const std::vector<WeightedKey>& negatives, const AdaOptions& options);
+
+  bool MightContain(std::string_view key) const;
+
+  /// Band index of `key` (0 = lowest scores, most probes).
+  size_t GroupOf(std::string_view key) const { return GroupOfScore(model_.Score(key)); }
+  size_t NumHashesForGroup(size_t group) const { return group_k_[group]; }
+
+  size_t MemoryUsageBits() const;
+  void ReportConstructionMemory(MemoryCounter* mem) const;
+
+ private:
+  size_t GroupOfScore(float score) const;
+
+  LogisticModel model_;
+  std::vector<float> thresholds_;  // ascending, size num_groups - 1
+  std::vector<size_t> group_k_;    // size num_groups, descending
+  std::unique_ptr<DoubleHashProvider> provider_;
+  std::optional<BloomFilter> filter_;
+  size_t trained_keys_ = 0;
+};
+
+}  // namespace habf

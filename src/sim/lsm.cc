@@ -1,0 +1,255 @@
+#include "sim/lsm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bloom/standard_bloom.h"
+#include "bloom/xor_filter.h"
+#include "core/habf.h"
+
+namespace habf {
+namespace sim {
+namespace {
+
+/// Adapts any concrete filter with a MightContain/MemoryUsageBytes surface.
+template <typename Inner>
+class FilterAdapter final : public MembershipFilter {
+ public:
+  explicit FilterAdapter(Inner inner) : inner_(std::move(inner)) {}
+  bool MightContain(std::string_view key) const override {
+    return inner_.MightContain(key);
+  }
+  size_t MemoryUsageBytes() const override {
+    return inner_.MemoryUsageBytes();
+  }
+
+ private:
+  Inner inner_;
+};
+
+class BloomFactory final : public FilterFactory {
+ public:
+  std::unique_ptr<MembershipFilter> Build(
+      const std::vector<std::string>& keys, size_t total_bits,
+      const std::vector<WeightedKey>& negative_hints) const override {
+    (void)negative_hints;
+    return std::make_unique<FilterAdapter<StandardBloom>>(
+        StandardBloom(keys, std::max<size_t>(total_bits, 64)));
+  }
+  const char* name() const override { return "bloom"; }
+};
+
+class XorFactory final : public FilterFactory {
+ public:
+  std::unique_ptr<MembershipFilter> Build(
+      const std::vector<std::string>& keys, size_t total_bits,
+      const std::vector<WeightedKey>& negative_hints) const override {
+    (void)negative_hints;
+    auto filter = XorFilter::Build(
+        keys, XorFilter::FingerprintBitsForBudget(
+                  std::max<size_t>(total_bits, 64),
+                  std::max<size_t>(keys.size(), 1)));
+    if (!filter.has_value()) {
+      // Fall back to a Bloom filter on the (astronomically rare) repeated
+      // construction failure rather than crashing the store.
+      return BloomFactory().Build(keys, total_bits, negative_hints);
+    }
+    return std::make_unique<FilterAdapter<XorFilter>>(std::move(*filter));
+  }
+  const char* name() const override { return "xor"; }
+};
+
+class HabfFactory final : public FilterFactory {
+ public:
+  explicit HabfFactory(bool fast) : fast_(fast) {}
+
+  std::unique_ptr<MembershipFilter> Build(
+      const std::vector<std::string>& keys, size_t total_bits,
+      const std::vector<WeightedKey>& negative_hints) const override {
+    HabfOptions options;
+    options.total_bits = std::max<size_t>(total_bits, 256);
+    options.fast = fast_;
+    // De-correlate runs: each run gets its own H0 / hash seeds, so a key
+    // that is unoptimizable under one seed (≈1% of collision keys) is
+    // almost surely resolved on the other runs — the same reason storage
+    // engines salt per-SSTable filters.
+    options.seed = keys.empty() ? keys.size()
+                                : XxHash64(keys.front().data(),
+                                           keys.front().size(), keys.size());
+    return std::make_unique<FilterAdapter<Habf>>(
+        Habf::Build(keys, negative_hints, options));
+  }
+  const char* name() const override { return fast_ ? "f-habf" : "habf"; }
+
+ private:
+  bool fast_;
+};
+
+}  // namespace
+
+std::unique_ptr<FilterFactory> MakeBloomFactory() {
+  return std::make_unique<BloomFactory>();
+}
+
+std::unique_ptr<FilterFactory> MakeXorFactory() {
+  return std::make_unique<XorFactory>();
+}
+
+std::unique_ptr<FilterFactory> MakeHabfFactory(bool fast) {
+  return std::make_unique<HabfFactory>(fast);
+}
+
+/// One immutable sorted run plus its guarding filter.
+struct LsmStore::Run {
+  std::vector<std::pair<std::string, std::string>> entries;  // sorted by key
+  std::unique_ptr<MembershipFilter> filter;
+  size_t level = 0;
+
+  const std::string* Find(std::string_view key) const {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), key,
+        [](const auto& entry, std::string_view k) { return entry.first < k; });
+    if (it != entries.end() && it->first == key) return &it->second;
+    return nullptr;
+  }
+
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(entries.size());
+    for (const auto& [key, value] : entries) {
+      (void)value;
+      keys.push_back(key);
+    }
+    return keys;
+  }
+};
+
+LsmStore::LsmStore(LsmOptions options, std::unique_ptr<FilterFactory> factory)
+    : options_(options), factory_(std::move(factory)) {
+  assert(factory_ != nullptr);
+  assert(options_.memtable_capacity >= 1);
+  assert(options_.fanout >= 2);
+  levels_.resize(options_.max_levels);
+}
+
+LsmStore::~LsmStore() = default;
+
+double LsmStore::LevelIoCost(size_t level) const {
+  return options_.level0_io_cost +
+         options_.io_cost_per_level * static_cast<double>(level);
+}
+
+std::unique_ptr<MembershipFilter> LsmStore::BuildFilter(
+    const std::vector<std::string>& keys, size_t level) const {
+  const size_t bits = static_cast<size_t>(
+      options_.bits_per_key * static_cast<double>(std::max<size_t>(
+                                  keys.size(), 1)));
+  std::vector<WeightedKey> hints;
+  hints.reserve(failed_lookups_.size());
+  const double io_cost = LevelIoCost(level);
+  for (const auto& [key, count] : failed_lookups_) {
+    hints.push_back({key, static_cast<double>(count) * io_cost});
+  }
+  return factory_->Build(keys, bits, hints);
+}
+
+void LsmStore::Put(std::string key, std::string value) {
+  memtable_[std::move(key)] = std::move(value);
+  if (memtable_.size() >= options_.memtable_capacity) Flush();
+}
+
+void LsmStore::Flush() {
+  if (memtable_.empty()) return;
+  Run run;
+  run.level = 0;
+  run.entries.assign(memtable_.begin(), memtable_.end());  // already sorted
+  run.filter = BuildFilter(run.Keys(), /*level=*/0);
+  memtable_.clear();
+  levels_[0].push_back(std::move(run));
+  MaybeCompact(0);
+}
+
+void LsmStore::MaybeCompact(size_t level) {
+  if (level + 1 >= levels_.size()) return;  // bottom level grows unbounded
+  if (levels_[level].size() < options_.fanout) return;
+
+  // Merge all runs of this level (newest wins on duplicate keys) into a
+  // single run pushed to the next level.
+  std::map<std::string, std::string> merged;
+  for (const Run& run : levels_[level]) {  // oldest first; later overwrite
+    for (const auto& [key, value] : run.entries) merged[key] = value;
+  }
+  levels_[level].clear();
+
+  Run run;
+  run.level = level + 1;
+  run.entries.assign(merged.begin(), merged.end());
+  run.filter = BuildFilter(run.Keys(), level + 1);
+  levels_[level + 1].push_back(std::move(run));
+  MaybeCompact(level + 1);
+}
+
+std::optional<std::string> LsmStore::Get(std::string_view key) {
+  const auto mem_it = memtable_.find(std::string(key));
+  if (mem_it != memtable_.end()) return mem_it->second;
+
+  // Probe newest-to-oldest, shallow levels first.
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    const auto& runs = levels_[level];
+    for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+      if (!it->filter->MightContain(key)) {
+        ++io_stats_.filter_negatives;
+        continue;
+      }
+      ++io_stats_.disk_reads;
+      io_stats_.io_cost += LevelIoCost(level);
+      if (const std::string* value = it->Find(key)) return *value;
+      ++io_stats_.filter_fps;
+    }
+  }
+  ++failed_lookups_[std::string(key)];
+  return std::nullopt;
+}
+
+void LsmStore::RebuildFiltersFromLog() {
+  for (auto& runs : levels_) {
+    for (Run& run : runs) {
+      run.filter = BuildFilter(run.Keys(), run.level);
+    }
+  }
+}
+
+void LsmStore::ClearFailedLookupLog() { failed_lookups_.clear(); }
+
+size_t LsmStore::num_runs() const {
+  size_t total = 0;
+  for (const auto& runs : levels_) total += runs.size();
+  return total;
+}
+
+size_t LsmStore::num_levels() const {
+  size_t deepest = 0;
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    if (!levels_[level].empty()) deepest = level + 1;
+  }
+  return deepest;
+}
+
+size_t LsmStore::total_entries() const {
+  size_t total = memtable_.size();
+  for (const auto& runs : levels_) {
+    for (const Run& run : runs) total += run.entries.size();
+  }
+  return total;
+}
+
+size_t LsmStore::filter_memory_bytes() const {
+  size_t total = 0;
+  for (const auto& runs : levels_) {
+    for (const Run& run : runs) total += run.filter->MemoryUsageBytes();
+  }
+  return total;
+}
+
+}  // namespace sim
+}  // namespace habf

@@ -1,0 +1,125 @@
+// Miniature LSM-tree storage engine simulator — the deployment scenario the
+// paper's introduction motivates (LevelDB/RocksDB): membership filters guard
+// on-disk runs, a false positive costs a disk read whose price grows with
+// the level, and the keys of frequently *failing* lookups can be logged and
+// fed back to cost-aware filters as negative keys.
+//
+// The simulator is deliberately storage-free (values live in memory, "disk"
+// is an accounting fiction) — what it models faithfully is the part the
+// paper cares about: how many charged reads each filter policy admits.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/weighted_bloom.h"  // WeightedKey
+
+namespace habf {
+namespace sim {
+
+/// Type-erased membership filter guarding one run.
+class MembershipFilter {
+ public:
+  virtual ~MembershipFilter() = default;
+  virtual bool MightContain(std::string_view key) const = 0;
+  virtual size_t MemoryUsageBytes() const = 0;
+};
+
+/// Builds a filter for a run. `negative_hints` carries the store's
+/// failed-lookup log (key + accumulated cost at this run's level); factories
+/// for cost-oblivious filters ignore it.
+class FilterFactory {
+ public:
+  virtual ~FilterFactory() = default;
+  virtual std::unique_ptr<MembershipFilter> Build(
+      const std::vector<std::string>& keys, size_t total_bits,
+      const std::vector<WeightedKey>& negative_hints) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Standard Bloom filter factory (ignores hints).
+std::unique_ptr<FilterFactory> MakeBloomFactory();
+
+/// Xor filter factory (ignores hints).
+std::unique_ptr<FilterFactory> MakeXorFactory();
+
+/// HABF factory: optimizes against the failed-lookup hints. `fast` selects
+/// f-HABF.
+std::unique_ptr<FilterFactory> MakeHabfFactory(bool fast = false);
+
+/// Accounting of simulated I/O.
+struct IoStats {
+  size_t disk_reads = 0;       ///< runs actually probed on disk
+  double io_cost = 0.0;        ///< Σ per-level read costs charged
+  size_t filter_negatives = 0; ///< probes a filter short-circuited
+  size_t filter_fps = 0;       ///< disk reads that found nothing (filter FP)
+};
+
+/// Engine parameters.
+struct LsmOptions {
+  size_t memtable_capacity = 4096;  ///< entries before a flush
+  size_t fanout = 4;                ///< runs per level before compaction
+  size_t max_levels = 6;
+  double bits_per_key = 10.0;       ///< filter budget per run
+  double level0_io_cost = 1.0;      ///< read cost at level 0
+  double io_cost_per_level = 1.0;   ///< added per deeper level
+};
+
+/// The store. Single-threaded; deterministic given the operation sequence.
+class LsmStore {
+ public:
+  LsmStore(LsmOptions options, std::unique_ptr<FilterFactory> factory);
+  ~LsmStore();
+
+  /// Inserts or overwrites. May trigger a flush and cascading compactions.
+  void Put(std::string key, std::string value);
+
+  /// Point lookup. Missing keys are recorded in the failed-lookup log.
+  std::optional<std::string> Get(std::string_view key);
+
+  /// Rebuilds every run's filter using the failed-lookup log accumulated so
+  /// far as the negative-key hints (cost = frequency x the run's level I/O
+  /// cost). This is the feedback loop the paper describes for LSM stores.
+  void RebuildFiltersFromLog();
+
+  /// Clears the failed-lookup log (e.g. after a rebuild).
+  void ClearFailedLookupLog();
+
+  const IoStats& io_stats() const { return io_stats_; }
+  void ResetIoStats() { io_stats_ = IoStats(); }
+
+  size_t num_runs() const;
+  size_t num_levels() const;
+  size_t total_entries() const;  ///< entries across memtable and runs
+  size_t filter_memory_bytes() const;
+  const std::unordered_map<std::string, size_t>& failed_lookup_log() const {
+    return failed_lookups_;
+  }
+
+ private:
+  struct Run;
+
+  void Flush();
+  void MaybeCompact(size_t level);
+  double LevelIoCost(size_t level) const;
+  std::unique_ptr<MembershipFilter> BuildFilter(
+      const std::vector<std::string>& keys, size_t level) const;
+
+  LsmOptions options_;
+  std::unique_ptr<FilterFactory> factory_;
+  std::map<std::string, std::string> memtable_;
+  std::vector<std::vector<Run>> levels_;  // levels_[L] = runs, newest last
+  std::unordered_map<std::string, size_t> failed_lookups_;
+  IoStats io_stats_;
+};
+
+}  // namespace sim
+}  // namespace habf

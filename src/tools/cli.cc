@@ -1,0 +1,359 @@
+#include "tools/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/habf.h"
+#include "eval/metrics.h"
+#include "util/serde.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace cli {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: habf_tool <command> [options]\n"
+    "  build    --positives FILE --out FILTER [--negatives FILE]\n"
+    "           [--bits-per-key N] [--delta D] [--k K] [--cell-bits C]\n"
+    "           [--fast]\n"
+    "  query    --filter FILTER (--key KEY ... | --keys FILE)\n"
+    "  stats    --filter FILTER\n"
+    "  eval     --filter FILTER --negatives FILE\n"
+    "  generate --dataset shalla|ycsb --positives FILE --negatives FILE\n"
+    "           [--count N] [--zipf THETA] [--seed S]\n";
+
+/// Parsed flags: --name value pairs, repeated flags collected, bare --fast
+/// style booleans mapped to "1".
+struct Flags {
+  std::map<std::string, std::vector<std::string>> values;
+
+  const std::string* GetOne(const std::string& name) const {
+    const auto it = values.find(name);
+    if (it == values.end() || it->second.empty()) return nullptr;
+    return &it->second.front();
+  }
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+};
+
+std::optional<Flags> ParseFlags(const std::vector<std::string>& args,
+                                size_t start, std::string* err) {
+  Flags flags;
+  for (size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      *err += "unexpected argument: " + arg + "\n";
+      return std::nullopt;
+    }
+    const std::string name = arg.substr(2);
+    if (name == "fast") {
+      flags.values[name].push_back("1");
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      *err += "missing value for --" + name + "\n";
+      return std::nullopt;
+    }
+    flags.values[name].push_back(args[++i]);
+  }
+  return flags;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+bool ParseSize(const std::string& text, size_t* out) {
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+/// Reads one key per line. Returns false on I/O failure.
+bool ReadKeyLines(const std::string& path, std::vector<std::string>* keys,
+                  std::string* err) {
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    *err += "cannot read " + path + "\n";
+    return false;
+  }
+  std::istringstream stream(bytes);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) keys->push_back(line);
+  }
+  return true;
+}
+
+/// Reads "key" or "key\tcost" lines.
+bool ReadWeightedLines(const std::string& path,
+                       std::vector<WeightedKey>* keys, std::string* err) {
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    *err += "cannot read " + path + "\n";
+    return false;
+  }
+  std::istringstream stream(bytes);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      keys->push_back({line, 1.0});
+    } else {
+      double cost = 1.0;
+      if (!ParseDouble(line.substr(tab + 1), &cost)) {
+        *err += "bad cost in line: " + line + "\n";
+        return false;
+      }
+      keys->push_back({line.substr(0, tab), cost});
+    }
+  }
+  return true;
+}
+
+int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
+  const std::string* positives_path = flags.GetOne("positives");
+  const std::string* out_path = flags.GetOne("out");
+  if (positives_path == nullptr || out_path == nullptr) {
+    *err += "build requires --positives and --out\n";
+    return 1;
+  }
+  std::vector<std::string> positives;
+  if (!ReadKeyLines(*positives_path, &positives, err)) return 2;
+  if (positives.empty()) {
+    *err += "no positive keys in " + *positives_path + "\n";
+    return 2;
+  }
+  std::vector<WeightedKey> negatives;
+  if (const std::string* path = flags.GetOne("negatives")) {
+    if (!ReadWeightedLines(*path, &negatives, err)) return 2;
+  }
+
+  double bits_per_key = 10.0;
+  if (const std::string* v = flags.GetOne("bits-per-key")) {
+    if (!ParseDouble(*v, &bits_per_key) || bits_per_key <= 0) {
+      *err += "bad --bits-per-key\n";
+      return 1;
+    }
+  }
+  HabfOptions options;
+  options.total_bits = static_cast<size_t>(
+      bits_per_key * static_cast<double>(positives.size()));
+  if (const std::string* v = flags.GetOne("delta")) {
+    if (!ParseDouble(*v, &options.delta) || options.delta < 0) {
+      *err += "bad --delta\n";
+      return 1;
+    }
+  }
+  if (const std::string* v = flags.GetOne("k")) {
+    if (!ParseSize(*v, &options.k) || options.k == 0 || options.k > 16) {
+      *err += "bad --k\n";
+      return 1;
+    }
+  }
+  if (const std::string* v = flags.GetOne("cell-bits")) {
+    size_t cell = 0;
+    if (!ParseSize(*v, &cell) || cell < 2 || cell > 8) {
+      *err += "bad --cell-bits\n";
+      return 1;
+    }
+    options.cell_bits = static_cast<unsigned>(cell);
+  }
+  options.fast = flags.Has("fast");
+
+  const Habf filter = Habf::Build(positives, negatives, options);
+  if (!filter.SaveToFile(*out_path)) {
+    *err += "cannot write " + *out_path + "\n";
+    return 2;
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "built %s: %zu positives, %zu negatives, %zu/%zu collision "
+                "keys optimized, %zu bytes\n",
+                out_path->c_str(), positives.size(), negatives.size(),
+                filter.stats().optimized, filter.stats().initial_collisions,
+                filter.MemoryUsageBytes());
+  *out += line;
+  return 0;
+}
+
+std::optional<Habf> LoadFilter(const Flags& flags, std::string* err) {
+  const std::string* path = flags.GetOne("filter");
+  if (path == nullptr) {
+    *err += "missing --filter\n";
+    return std::nullopt;
+  }
+  auto filter = Habf::LoadFromFile(*path);
+  if (!filter.has_value()) {
+    *err += "cannot load filter from " + *path + "\n";
+  }
+  return filter;
+}
+
+int CmdQuery(const Flags& flags, std::string* out, std::string* err) {
+  auto filter = LoadFilter(flags, err);
+  if (!filter.has_value()) return 2;
+  std::vector<std::string> keys;
+  if (flags.Has("key")) {
+    keys = flags.values.at("key");
+  }
+  if (const std::string* path = flags.GetOne("keys")) {
+    if (!ReadKeyLines(*path, &keys, err)) return 2;
+  }
+  if (keys.empty()) {
+    *err += "query requires --key or --keys\n";
+    return 1;
+  }
+  for (const std::string& key : keys) {
+    *out += key;
+    *out += filter->Contains(key) ? "\tmaybe-in-set\n" : "\tnot-in-set\n";
+  }
+  return 0;
+}
+
+int CmdStats(const Flags& flags, std::string* out, std::string* err) {
+  auto filter = LoadFilter(flags, err);
+  if (!filter.has_value()) return 2;
+  const HabfOptions& options = filter->options();
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "total_bits=%zu delta=%.3f k=%zu cell_bits=%u fast=%d seed=%llu\n"
+      "bloom_bits=%zu expressor_cells=%zu expressor_inserted=%zu\n"
+      "memory_bytes=%zu dynamic_insertions=%zu\n",
+      options.total_bits, options.delta, options.k, options.cell_bits,
+      options.fast ? 1 : 0, static_cast<unsigned long long>(options.seed),
+      filter->bloom().num_bits(), filter->expressor().num_cells(),
+      filter->expressor().num_inserted(), filter->MemoryUsageBytes(),
+      filter->dynamic_insertions());
+  *out += line;
+  return 0;
+}
+
+int CmdEval(const Flags& flags, std::string* out, std::string* err) {
+  auto filter = LoadFilter(flags, err);
+  if (!filter.has_value()) return 2;
+  const std::string* path = flags.GetOne("negatives");
+  if (path == nullptr) {
+    *err += "eval requires --negatives\n";
+    return 1;
+  }
+  std::vector<WeightedKey> negatives;
+  if (!ReadWeightedLines(*path, &negatives, err)) return 2;
+  if (negatives.empty()) {
+    *err += "no negative keys in " + *path + "\n";
+    return 2;
+  }
+  const double fpr = MeasureWeightedFpr(*filter, negatives);
+  char line[128];
+  std::snprintf(line, sizeof(line), "weighted_fpr=%.8f over %zu keys\n", fpr,
+                negatives.size());
+  *out += line;
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags, std::string* out, std::string* err) {
+  const std::string* dataset = flags.GetOne("dataset");
+  const std::string* positives_path = flags.GetOne("positives");
+  const std::string* negatives_path = flags.GetOne("negatives");
+  if (dataset == nullptr || positives_path == nullptr ||
+      negatives_path == nullptr) {
+    *err += "generate requires --dataset, --positives and --negatives\n";
+    return 1;
+  }
+  if (*dataset != "shalla" && *dataset != "ycsb") {
+    *err += "unknown dataset: " + *dataset + " (shalla or ycsb)\n";
+    return 1;
+  }
+  DatasetOptions options;
+  if (const std::string* v = flags.GetOne("count")) {
+    size_t count = 0;
+    if (!ParseSize(*v, &count) || count == 0) {
+      *err += "bad --count\n";
+      return 1;
+    }
+    options.num_positives = count;
+    options.num_negatives = count;
+  }
+  if (const std::string* v = flags.GetOne("seed")) {
+    size_t seed = 0;
+    if (!ParseSize(*v, &seed)) {
+      *err += "bad --seed\n";
+      return 1;
+    }
+    options.seed = seed;
+  }
+  double theta = 0.0;
+  if (const std::string* v = flags.GetOne("zipf")) {
+    if (!ParseDouble(*v, &theta) || theta < 0) {
+      *err += "bad --zipf\n";
+      return 1;
+    }
+  }
+
+  Dataset data = *dataset == "shalla" ? GenerateShallaLike(options)
+                                      : GenerateYcsbLike(options);
+  if (theta > 0) AssignZipfCosts(&data, theta, options.seed + 1);
+
+  std::string pos_bytes;
+  for (const auto& key : data.positives) {
+    pos_bytes += key;
+    pos_bytes += '\n';
+  }
+  std::string neg_bytes;
+  char cost[64];
+  for (const auto& wk : data.negatives) {
+    neg_bytes += wk.key;
+    std::snprintf(cost, sizeof(cost), "\t%.6f\n", wk.cost);
+    neg_bytes += cost;
+  }
+  if (!WriteFileBytes(*positives_path, pos_bytes) ||
+      !WriteFileBytes(*negatives_path, neg_bytes)) {
+    *err += "cannot write output files\n";
+    return 2;
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "generated %s dataset: %zu positives -> %s, %zu negatives "
+                "(zipf %.2f) -> %s\n",
+                dataset->c_str(), data.positives.size(),
+                positives_path->c_str(), data.negatives.size(), theta,
+                negatives_path->c_str());
+  *out += line;
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::string* out,
+           std::string* err) {
+  if (args.empty()) {
+    *err += kUsage;
+    return 1;
+  }
+  const std::string& command = args[0];
+  auto flags = ParseFlags(args, 1, err);
+  if (!flags.has_value()) {
+    *err += kUsage;
+    return 1;
+  }
+  if (command == "build") return CmdBuild(*flags, out, err);
+  if (command == "query") return CmdQuery(*flags, out, err);
+  if (command == "stats") return CmdStats(*flags, out, err);
+  if (command == "eval") return CmdEval(*flags, out, err);
+  if (command == "generate") return CmdGenerate(*flags, out, err);
+  *err += "unknown command: " + command + "\n";
+  *err += kUsage;
+  return 1;
+}
+
+}  // namespace cli
+}  // namespace habf

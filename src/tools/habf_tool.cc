@@ -1,0 +1,17 @@
+// Thin binary wrapper around the CLI library (see cli.h for commands).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  std::string err;
+  const int code = habf::cli::RunCli(args, &out, &err);
+  if (!out.empty()) std::fputs(out.c_str(), stdout);
+  if (!err.empty()) std::fputs(err.c_str(), stderr);
+  return code;
+}

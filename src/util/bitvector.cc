@@ -1,0 +1,47 @@
+#include "util/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace habf {
+
+uint64_t BitVector::GetField(size_t pos, unsigned width) const {
+  assert(width >= 1 && width <= 64);
+  assert(pos + width <= num_bits_);
+  const size_t word = pos >> 6;
+  const unsigned shift = pos & 63;
+  const uint64_t mask = width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  uint64_t value = words_[word] >> shift;
+  if (shift + width > 64) {
+    value |= words_[word + 1] << (64 - shift);
+  }
+  return value & mask;
+}
+
+void BitVector::SetField(size_t pos, unsigned width, uint64_t value) {
+  assert(width >= 1 && width <= 64);
+  assert(pos + width <= num_bits_);
+  const size_t word = pos >> 6;
+  const unsigned shift = pos & 63;
+  const uint64_t mask = width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  value &= mask;
+  words_[word] = (words_[word] & ~(mask << shift)) | (value << shift);
+  if (shift + width > 64) {
+    const unsigned low_bits = 64 - shift;
+    const uint64_t high_mask = mask >> low_bits;
+    words_[word + 1] =
+        (words_[word + 1] & ~high_mask) | (value >> low_bits);
+  }
+}
+
+void BitVector::Reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+size_t BitVector::CountOnes() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+}  // namespace habf

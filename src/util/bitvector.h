@@ -1,0 +1,85 @@
+// Copyright (c) the HABF reproduction authors.
+// Fixed-size packed bit vector used as the backing store of every filter in
+// this repository (Bloom filter bit array, HashExpressor cell array).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace habf {
+
+/// A fixed-size vector of bits packed into 64-bit words.
+///
+/// Supports single-bit get/set/clear plus fixed-width small-field access
+/// (GetField/SetField) used by HashExpressor, whose cells are 3-5 bit wide
+/// records packed back to back. Fields may straddle a word boundary.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `num_bits` bits, all zero.
+  explicit BitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Number of addressable bits.
+  size_t size() const { return num_bits_; }
+
+  /// Returns true when the vector holds zero bits.
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Reads bit `i`. Precondition: i < size().
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i` to 1.
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+
+  /// Clears bit `i` to 0.
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Assigns bit `i`.
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Reads a `width`-bit little-endian field starting at bit offset `pos`.
+  /// Precondition: width in [1, 64] and pos + width <= size().
+  uint64_t GetField(size_t pos, unsigned width) const;
+
+  /// Writes the low `width` bits of `value` at bit offset `pos`.
+  void SetField(size_t pos, unsigned width, uint64_t value);
+
+  /// Sets every bit to zero without changing the size.
+  void Reset();
+
+  /// Number of set bits in the whole vector.
+  size_t CountOnes() const;
+
+  /// Heap bytes consumed by the packed words.
+  size_t MemoryUsageBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Direct word access (read-only), for serialization and tests.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Replaces the packed words wholesale (deserialization). Returns false
+  /// and leaves the vector unchanged when the word count does not match the
+  /// current size.
+  bool LoadWords(std::vector<uint64_t> words) {
+    if (words.size() != words_.size()) return false;
+    words_ = std::move(words);
+    return true;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace habf

@@ -1,0 +1,55 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace habf {
+
+void MemoryCounter::Add(const std::string& category, size_t bytes) {
+  for (auto& entry : entries_) {
+    if (entry.first == category) {
+      entry.second += bytes;
+      return;
+    }
+  }
+  entries_.emplace_back(category, bytes);
+}
+
+size_t MemoryCounter::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& entry : entries_) total += entry.second;
+  return total;
+}
+
+size_t MemoryCounter::CategoryBytes(const std::string& category) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == category) return entry.second;
+  }
+  return 0;
+}
+
+namespace {
+
+size_t ReadProcStatusField(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, " %zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+size_t ReadResidentSetBytes() { return ReadProcStatusField("VmRSS:"); }
+
+size_t ReadPeakResidentSetBytes() { return ReadProcStatusField("VmHWM:"); }
+
+}  // namespace habf

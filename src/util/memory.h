@@ -1,0 +1,48 @@
+// Memory accounting for the construction-footprint experiment (Fig. 15).
+//
+// Two complementary mechanisms:
+//  * MemoryCounter — explicit logical accounting that structures report into
+//    (bit arrays, runtime indexes V and Γ, caches, model weights). Portable
+//    and deterministic; what the benches print.
+//  * ReadResidentSetBytes() — the process RSS from /proc/self/status, used as
+//    a sanity cross-check on Linux.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace habf {
+
+/// Accumulates logical byte counts by named category.
+class MemoryCounter {
+ public:
+  /// Adds `bytes` under `category`, creating the category on first use.
+  void Add(const std::string& category, size_t bytes);
+
+  /// Total bytes across all categories.
+  size_t TotalBytes() const;
+
+  /// Bytes recorded for one category (0 when absent).
+  size_t CategoryBytes(const std::string& category) const;
+
+  /// All categories in insertion order.
+  const std::vector<std::pair<std::string, size_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, size_t>> entries_;
+};
+
+/// Current resident set size of this process in bytes (VmRSS), or 0 when
+/// /proc is unavailable.
+size_t ReadResidentSetBytes();
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 when
+/// /proc is unavailable.
+size_t ReadPeakResidentSetBytes();
+
+}  // namespace habf

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Benchmarks and property tests require reproducible streams, so we avoid
+// std::mt19937 (whose distributions differ across standard libraries) and use
+// splitmix64 for seeding plus xoshiro256** for bulk generation.
+
+#pragma once
+
+#include <cstdint>
+
+namespace habf {
+
+/// splitmix64 step: advances `state` and returns the next 64-bit output.
+/// Used both directly and to seed Xoshiro256 streams.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator: fast, high-quality, deterministic across
+/// platforms. Not cryptographic.
+class Xoshiro256 {
+ public:
+  /// Seeds the four lanes from a single 64-bit seed via splitmix64.
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t sm = seed;
+    for (auto& lane : s_) lane = SplitMix64(&sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection-free mapping (tiny bias is
+  /// irrelevant at our bounds, all far below 2^48).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace habf

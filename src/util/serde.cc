@@ -1,0 +1,30 @@
+#include "util/serde.h"
+
+#include <cstdio>
+
+namespace habf {
+
+bool WriteFileBytes(const std::string& path, std::string_view data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const bool ok = written == data.size() && std::fclose(f) == 0;
+  if (written != data.size()) std::fclose(f);
+  return ok;
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace habf

@@ -1,0 +1,137 @@
+// Minimal binary serialization used by the filters' Save/Load support:
+// little-endian fixed-width integers, length-prefixed byte strings, and
+// bounds-checked reading. The format is versioned per filter (each filter
+// writes its own magic + version header).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace habf {
+
+/// Appends fixed-width little-endian values to a byte string.
+class BinaryWriter {
+ public:
+  /// Writes into `*out` (appended; not cleared). `out` must outlive the
+  /// writer.
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void WriteU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out_->append(buf, 4);
+  }
+
+  void WriteU64(uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out_->append(buf, 8);
+  }
+
+  void WriteDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    WriteU64(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void WriteBytes(std::string_view bytes) {
+    WriteU64(bytes.size());
+    out_->append(bytes.data(), bytes.size());
+  }
+
+  /// Raw 64-bit word array with a length prefix (in words).
+  void WriteWords(const std::vector<uint64_t>& words) {
+    WriteU64(words.size());
+    for (uint64_t w : words) WriteU64(w);
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reader over a byte view. After any failed read, ok() is
+/// false and all subsequent reads return zero values.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t ReadU8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t ReadU32() {
+    if (!Require(4)) return 0;
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t ReadU64() {
+    if (!Require(8)) return 0;
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  double ReadDouble() {
+    const uint64_t bits = ReadU64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  std::string ReadBytes() {
+    const uint64_t n = ReadU64();
+    if (!Require(n)) return {};
+    std::string bytes(data_.substr(pos_, n));
+    pos_ += n;
+    return bytes;
+  }
+
+  std::vector<uint64_t> ReadWords() {
+    const uint64_t n = ReadU64();
+    if (!ok_ || n > remaining() / 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint64_t> words(n);
+    for (uint64_t i = 0; i < n; ++i) words[i] = ReadU64();
+    return words;
+  }
+
+ private:
+  bool Require(uint64_t n) {
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Writes `data` to `path` atomically enough for our purposes (truncate +
+/// write). Returns false on any I/O error.
+bool WriteFileBytes(const std::string& path, std::string_view data);
+
+/// Reads the whole file into `*out`. Returns false on any I/O error.
+bool ReadFileBytes(const std::string& path, std::string* out);
+
+}  // namespace habf

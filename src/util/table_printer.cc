@@ -1,0 +1,67 @@
+#include "util/table_printer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace habf {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t i = 0; i < widths.size(); ++i) {
+        total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+      }
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatValue(double v, int digits) {
+  char buf[64];
+  if (v != 0.0 && (std::fabs(v) < 1e-3 || std::fabs(v) >= 1e6)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  }
+  return buf;
+}
+
+}  // namespace habf

@@ -1,0 +1,40 @@
+// ASCII table / CSV emitter shared by every bench binary so that each figure
+// reproduction prints the same row/series layout the paper reports.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace habf {
+
+/// Collects rows of string cells and renders them as an aligned ASCII table
+/// (default) or CSV. The first added row is treated as the header.
+class TablePrinter {
+ public:
+  /// Creates a printer titled `title` (printed above the table).
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Adds one row of cells. The first row becomes the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the aligned ASCII table.
+  std::string ToString() const;
+
+  /// Renders rows as CSV (comma-separated, no quoting; cells must not
+  /// contain commas).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (scientific when small),
+/// matching how the paper quotes weighted FPRs like 3.63e-06.
+std::string FormatValue(double v, int digits = 4);
+
+}  // namespace habf

@@ -1,0 +1,44 @@
+// Wall-clock timing helpers for the construction/query-time experiments
+// (paper Fig. 12). All results are reported in nanoseconds per key.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace habf {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Seconds elapsed as a double.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Prevents the compiler from optimizing away a computed value inside
+/// measurement loops (same idiom as benchmark::DoNotOptimize).
+template <typename T>
+inline void DoNotOptimizeAway(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace habf

@@ -1,0 +1,60 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace habf {
+
+ZipfSampler::ZipfSampler(size_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  assert(n > 0);
+  assert(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), theta);
+    cdf_[rank - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+size_t ZipfSampler::Sample() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  assert(rank >= 1 && rank <= n_);
+  const double hi = cdf_[rank - 1];
+  const double lo = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return hi - lo;
+}
+
+std::vector<double> GenerateZipfCosts(size_t num_keys, double theta,
+                                      uint64_t seed) {
+  std::vector<double> costs(num_keys);
+  if (num_keys == 0) return costs;
+  if (theta == 0.0) {
+    std::fill(costs.begin(), costs.end(), 1.0);
+    return costs;
+  }
+  // cost(rank) = (n / rank)^theta so that the least popular rank costs 1.0
+  // and cost ratios follow the Zipf popularity ratios.
+  const double n = static_cast<double>(num_keys);
+  for (size_t i = 0; i < num_keys; ++i) {
+    costs[i] = std::pow(n / static_cast<double>(i + 1), theta);
+  }
+  // Fisher-Yates shuffle with our deterministic RNG: the paper assigns the
+  // shuffled Zipf costs to keys at random.
+  Xoshiro256 rng(seed);
+  for (size_t i = num_keys - 1; i > 0; --i) {
+    const size_t j = rng.NextBounded(i + 1);
+    std::swap(costs[i], costs[j]);
+  }
+  return costs;
+}
+
+}  // namespace habf

@@ -1,0 +1,45 @@
+// Zipf-distributed cost generation (paper §V-C): negative-key costs follow a
+// Zipf distribution with skewness θ in [0, 3]; θ = 0 degenerates to uniform.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace habf {
+
+/// Samples ranks from a Zipf(θ) distribution over {1..n} by inverting the
+/// CDF with binary search over precomputed partial sums. Deterministic given
+/// the seed.
+class ZipfSampler {
+ public:
+  /// Builds the sampler for `n` ranks with skewness `theta` >= 0.
+  ZipfSampler(size_t n, double theta, uint64_t seed = 1);
+
+  /// Returns a rank in [1, n]; rank 1 is the most probable.
+  size_t Sample();
+
+  /// Probability mass of `rank` (1-based).
+  double Probability(size_t rank) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+  Xoshiro256 rng_;
+};
+
+/// Produces a per-key cost vector of length `num_keys`:
+///   cost_i = 1 / rank_i^theta, scaled so the minimum cost is 1.0,
+/// then randomly shuffled (the paper shuffles the generated Zipf distribution
+/// before applying it to keys). theta == 0 yields all-equal costs.
+std::vector<double> GenerateZipfCosts(size_t num_keys, double theta,
+                                      uint64_t seed);
+
+}  // namespace habf

@@ -1,0 +1,130 @@
+#include "workload/dataset.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace habf {
+namespace {
+
+// Vocabulary for the Shalla-like generator. Positive (blacklisted) URLs are
+// biased toward the "suspicious" pools; negatives toward the "benign" pools.
+// A 10% feature-swap rate keeps the classes imperfectly separable, like real
+// blacklists.
+constexpr const char* kBenignWords[] = {
+    "news",    "weather", "sports", "recipes", "travel",  "garden",
+    "library", "school",  "music",  "health",  "science", "history",
+    "photos",  "movies",  "books",  "academy", "journal", "kitchen",
+    "nature",  "gallery", "museum", "studio",  "market",  "forum",
+};
+constexpr const char* kSuspiciousWords[] = {
+    "casino",  "poker",   "betting", "adult",  "pills",   "crack",
+    "warez",   "torrent", "spam",    "phish",  "malware", "exploit",
+    "darkweb", "escort",  "lotto",   "jackpot", "viagra", "replica",
+    "hack",    "keygen",  "serial",  "proxy",  "bypass",  "stream",
+};
+constexpr const char* kBenignTlds[] = {"com", "org", "net", "edu", "gov"};
+constexpr const char* kSuspiciousTlds[] = {"xxx", "top", "click", "loan",
+                                           "win"};
+
+template <size_t N>
+const char* Pick(const char* const (&pool)[N], Xoshiro256* rng) {
+  return pool[rng->NextBounded(N)];
+}
+
+std::string MakeUrl(bool positive, Xoshiro256* rng) {
+  // 10% of keys draw from the other class's pools (label noise in surface
+  // features, not in labels).
+  const bool use_suspicious = positive ? rng->NextDouble() > 0.10
+                                       : rng->NextDouble() < 0.10;
+  std::string url = "http://";
+  if (use_suspicious) {
+    url += Pick(kSuspiciousWords, rng);
+    url += '-';
+    url += Pick(kSuspiciousWords, rng);
+    url += std::to_string(rng->NextBounded(100000));
+    url += '.';
+    url += Pick(kSuspiciousTlds, rng);
+    url += '/';
+    url += Pick(kSuspiciousWords, rng);
+  } else {
+    url += Pick(kBenignWords, rng);
+    url += std::to_string(rng->NextBounded(100000));
+    url += '.';
+    url += Pick(kBenignTlds, rng);
+    url += '/';
+    url += Pick(kBenignWords, rng);
+  }
+  url += '/';
+  url += std::to_string(rng->NextBounded(1u << 30));
+  return url;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string MakeYcsbKey(Xoshiro256* rng) {
+  // §V-C.2: "a 4-byte prefix and a 64-bit integer without evident
+  // characteristics" — rendered as 16 hex digits so keys stay printable.
+  std::string key = "user";
+  uint64_t v = rng->Next();
+  for (int i = 0; i < 16; ++i) {
+    key += kHexDigits[v & 0xF];
+    v >>= 4;
+  }
+  return key;
+}
+
+template <typename MakePos, typename MakeNeg>
+Dataset Generate(const DatasetOptions& options, MakePos&& make_positive,
+                 MakeNeg&& make_negative) {
+  Dataset dataset;
+  dataset.positives.reserve(options.num_positives);
+  dataset.negatives.reserve(options.num_negatives);
+  std::unordered_set<std::string> seen;
+  seen.reserve(options.num_positives + options.num_negatives);
+  Xoshiro256 rng(options.seed);
+
+  while (dataset.positives.size() < options.num_positives) {
+    std::string key = make_positive(&rng);
+    if (seen.insert(key).second) dataset.positives.push_back(std::move(key));
+  }
+  while (dataset.negatives.size() < options.num_negatives) {
+    std::string key = make_negative(&rng);
+    if (seen.insert(key).second) {
+      dataset.negatives.push_back(WeightedKey{std::move(key), 1.0});
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+double Dataset::TotalNegativeCost() const {
+  double total = 0.0;
+  for (const auto& wk : negatives) total += wk.cost;
+  return total;
+}
+
+Dataset GenerateShallaLike(const DatasetOptions& options) {
+  auto pos = [](Xoshiro256* rng) { return MakeUrl(true, rng); };
+  auto neg = [](Xoshiro256* rng) { return MakeUrl(false, rng); };
+  return Generate(options, std::move(pos), std::move(neg));
+}
+
+Dataset GenerateYcsbLike(const DatasetOptions& options) {
+  auto make = [](Xoshiro256* rng) { return MakeYcsbKey(rng); };
+  return Generate(options, std::move(make), std::move(make));
+}
+
+void AssignZipfCosts(Dataset* dataset, double theta, uint64_t seed) {
+  assert(dataset != nullptr);
+  const std::vector<double> costs =
+      GenerateZipfCosts(dataset->negatives.size(), theta, seed);
+  for (size_t i = 0; i < dataset->negatives.size(); ++i) {
+    dataset->negatives[i].cost = costs[i];
+  }
+}
+
+}  // namespace habf

@@ -1,0 +1,52 @@
+// Datasets for the paper's evaluation (§V-C).
+//
+// The originals (Shalla's Blacklists; the authors' modified-YCSB dump) are
+// not redistributable/available offline, so this module generates synthetic
+// equivalents that preserve the property each experiment depends on:
+//  * ShallaLike — URL keys whose positive/negative classes differ in surface
+//    features ("evident characteristics"), so learned filters can separate
+//    them cheaply;
+//  * YcsbLike — a 4-byte prefix plus a 64-bit integer, identically
+//    distributed across classes ("no evident characteristics"), so learned
+//    models gain nothing.
+// See DESIGN.md §3 for the substitution rationale.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bloom/weighted_bloom.h"  // WeightedKey
+
+namespace habf {
+
+/// A membership-testing workload: disjoint positive and negative key sets,
+/// with per-negative misidentification costs (default 1.0 = uniform).
+struct Dataset {
+  std::vector<std::string> positives;
+  std::vector<WeightedKey> negatives;
+
+  /// Sum of negative costs (the weighted-FPR denominator).
+  double TotalNegativeCost() const;
+};
+
+/// Generation parameters.
+struct DatasetOptions {
+  size_t num_positives = 100000;
+  size_t num_negatives = 100000;
+  uint64_t seed = 42;
+};
+
+/// URL-shaped keys with learnable class structure (Shalla stand-in).
+Dataset GenerateShallaLike(const DatasetOptions& options);
+
+/// Prefix + 64-bit-integer keys with no class structure (YCSB stand-in).
+Dataset GenerateYcsbLike(const DatasetOptions& options);
+
+/// Assigns Zipf(theta) costs to the negatives, shuffled over keys (§V-C);
+/// theta == 0 leaves costs uniform at 1.0.
+void AssignZipfCosts(Dataset* dataset, double theta, uint64_t seed);
+
+}  // namespace habf

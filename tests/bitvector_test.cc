@@ -1,0 +1,116 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace habf {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bv(1000);
+  EXPECT_EQ(bv.size(), 1000u);
+  for (size_t i = 0; i < bv.size(); ++i) EXPECT_FALSE(bv.Get(i));
+  EXPECT_EQ(bv.CountOnes(), 0u);
+}
+
+TEST(BitVectorTest, SetGetClearRoundTrip) {
+  BitVector bv(257);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(256);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(256));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.CountOnes(), 4u);
+  bv.Clear(64);
+  EXPECT_FALSE(bv.Get(64));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+}
+
+TEST(BitVectorTest, AssignMatchesSetClear) {
+  BitVector bv(100);
+  bv.Assign(10, true);
+  EXPECT_TRUE(bv.Get(10));
+  bv.Assign(10, false);
+  EXPECT_FALSE(bv.Get(10));
+}
+
+TEST(BitVectorTest, ResetClearsEverything) {
+  BitVector bv(500);
+  for (size_t i = 0; i < 500; i += 7) bv.Set(i);
+  ASSERT_GT(bv.CountOnes(), 0u);
+  bv.Reset();
+  EXPECT_EQ(bv.CountOnes(), 0u);
+  EXPECT_EQ(bv.size(), 500u);
+}
+
+TEST(BitVectorTest, FieldRoundTripWithinWord) {
+  BitVector bv(128);
+  bv.SetField(4, 5, 0b10110);
+  EXPECT_EQ(bv.GetField(4, 5), 0b10110u);
+  // Neighbours untouched.
+  EXPECT_FALSE(bv.Get(3));
+  EXPECT_FALSE(bv.Get(9));
+}
+
+TEST(BitVectorTest, FieldStraddlesWordBoundary) {
+  BitVector bv(192);
+  bv.SetField(60, 8, 0xA5);
+  EXPECT_EQ(bv.GetField(60, 8), 0xA5u);
+  bv.SetField(124, 7, 0x5B);
+  EXPECT_EQ(bv.GetField(124, 7), 0x5Bu);
+}
+
+TEST(BitVectorTest, FieldOverwritePreservesNeighbours) {
+  BitVector bv(64);
+  bv.SetField(0, 4, 0xF);
+  bv.SetField(8, 4, 0xF);
+  bv.SetField(4, 4, 0x0);
+  EXPECT_EQ(bv.GetField(0, 4), 0xFu);
+  EXPECT_EQ(bv.GetField(4, 4), 0x0u);
+  EXPECT_EQ(bv.GetField(8, 4), 0xFu);
+}
+
+TEST(BitVectorTest, Full64BitField) {
+  BitVector bv(256);
+  const uint64_t value = 0xDEADBEEFCAFEBABEULL;
+  bv.SetField(32, 64, value);
+  EXPECT_EQ(bv.GetField(32, 64), value);
+}
+
+TEST(BitVectorTest, MemoryUsageMatchesWordCount) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.MemoryUsageBytes(), 3 * sizeof(uint64_t));
+}
+
+class BitVectorFieldSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorFieldSweep, RandomFieldsRoundTripAtEveryOffset) {
+  const unsigned width = GetParam();
+  BitVector bv(4096);
+  Xoshiro256 rng(width * 977);
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  // Write non-overlapping fields at stride `width`, then verify all.
+  std::vector<uint64_t> expected;
+  for (size_t pos = 0; pos + width <= 4096; pos += width) {
+    const uint64_t v = rng.Next() & mask;
+    bv.SetField(pos, width, v);
+    expected.push_back(v);
+  }
+  size_t i = 0;
+  for (size_t pos = 0; pos + width <= 4096; pos += width) {
+    EXPECT_EQ(bv.GetField(pos, width), expected[i++]) << "pos=" << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVectorFieldSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u,
+                                           17u, 31u, 33u, 63u, 64u));
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,162 @@
+#include "bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/theory.h"
+#include "hashing/classic_hashes.h"
+#include "hashing/cityhash.h"
+#include "hashing/xxhash.h"
+#include "util/rng.h"
+
+namespace habf {
+namespace {
+
+std::vector<uint8_t> Iota(size_t k) {
+  std::vector<uint8_t> fns(k);
+  for (size_t i = 0; i < k; ++i) fns[i] = static_cast<uint8_t>(i);
+  return fns;
+}
+
+std::vector<std::string> Keys(const char* prefix, size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(std::string(prefix) + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  GlobalHashProvider provider(22);
+  BloomFilter bf(1 << 16, &provider, Iota(4));
+  const auto keys = Keys("member-", 5000);
+  for (const auto& key : keys) bf.Add(key);
+  for (const auto& key : keys) EXPECT_TRUE(bf.MightContain(key)) << key;
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  GlobalHashProvider provider(22);
+  BloomFilter bf(1 << 12, &provider, Iota(3));
+  for (const auto& key : Keys("nope-", 1000)) {
+    EXPECT_FALSE(bf.MightContain(key));
+  }
+}
+
+TEST(BloomFilterTest, FprNearTheoryAt10BitsPerKey) {
+  GlobalHashProvider provider(22);
+  const size_t n = 20000;
+  const double bpk = 10.0;
+  const size_t k = OptimalNumHashes(bpk);
+  BloomFilter bf(static_cast<size_t>(n * bpk), &provider, Iota(k));
+  for (const auto& key : Keys("in-", n)) bf.Add(key);
+
+  size_t fp = 0;
+  const size_t probes = 100000;
+  for (const auto& key : Keys("out-", probes)) {
+    if (bf.MightContain(key)) ++fp;
+  }
+  const double fpr = static_cast<double>(fp) / probes;
+  const double theory = StandardBloomFpr(k, bpk);
+  EXPECT_NEAR(fpr, theory, theory);  // within 2x of ~0.8%
+  EXPECT_GT(fpr, 0.0);
+}
+
+TEST(BloomFilterTest, PerKeySubsetsAreIndependent) {
+  GlobalHashProvider provider(22);
+  BloomFilter bf(1 << 14, &provider, Iota(3));
+  const uint8_t set_a[] = {0, 1, 2};
+  const uint8_t set_b[] = {10, 11, 12};
+  bf.AddWith("customized", set_b, 3);
+  EXPECT_TRUE(bf.TestWith("customized", set_b, 3));
+  // With 16K bits and 3 set bits, the H0 probe all-hit is vanishingly rare.
+  EXPECT_FALSE(bf.TestWith("customized", set_a, 3));
+}
+
+TEST(BloomFilterTest, PositionOfMatchesProviderValue) {
+  GlobalHashProvider provider(22, /*seed=*/3);
+  BloomFilter bf(12345, &provider, Iota(2));
+  const std::string key = "position";
+  for (uint8_t fn = 0; fn < 22; ++fn) {
+    EXPECT_EQ(bf.PositionOf(key, fn), provider.Value(key, fn) % 12345);
+  }
+}
+
+TEST(BloomFilterTest, DirectBitManipulationIsVisibleToTest) {
+  GlobalHashProvider provider(22);
+  BloomFilter bf(1 << 10, &provider, Iota(1));
+  const std::string key = "bit-level";
+  bf.Add(key);
+  ASSERT_TRUE(bf.MightContain(key));
+  bf.ClearBit(bf.PositionOf(key, 0));
+  EXPECT_FALSE(bf.MightContain(key));
+  bf.SetBit(bf.PositionOf(key, 0));
+  EXPECT_TRUE(bf.MightContain(key));
+}
+
+TEST(BloomFilterTest, FillRatioGrowsWithInsertions) {
+  GlobalHashProvider provider(22);
+  BloomFilter bf(1 << 14, &provider, Iota(4));
+  EXPECT_DOUBLE_EQ(bf.FillRatio(), 0.0);
+  for (const auto& key : Keys("fill-", 1000)) bf.Add(key);
+  const double after_1k = bf.FillRatio();
+  EXPECT_GT(after_1k, 0.0);
+  for (const auto& key : Keys("more-", 1000)) bf.Add(key);
+  EXPECT_GT(bf.FillRatio(), after_1k);
+}
+
+TEST(SeededBloomFilterTest, NoFalseNegatives) {
+  SeededBloomFilter bf(1 << 16, 5, &CityHash64);
+  const auto keys = Keys("seeded-", 5000);
+  for (const auto& key : keys) bf.Add(key);
+  for (const auto& key : keys) EXPECT_TRUE(bf.MightContain(key));
+}
+
+TEST(SeededBloomFilterTest, WorksWithAnyFamilyMember) {
+  for (HashFn fn : {&XxHash64, &CityHash64, &DjbHash}) {
+    SeededBloomFilter bf(1 << 14, 4, fn);
+    bf.Add("present");
+    EXPECT_TRUE(bf.MightContain("present"));
+    size_t fp = 0;
+    for (int i = 0; i < 1000; ++i) {
+      if (bf.MightContain("absent-" + std::to_string(i))) ++fp;
+    }
+    EXPECT_LT(fp, 5u);
+  }
+}
+
+TEST(OptimalNumHashesTest, MatchesLn2Rule) {
+  EXPECT_EQ(OptimalNumHashes(10.0), 7u);   // 6.93
+  EXPECT_EQ(OptimalNumHashes(14.4), 10u);  // 9.98
+  EXPECT_EQ(OptimalNumHashes(1.0), 1u);    // clamped up
+  EXPECT_EQ(OptimalNumHashes(100.0, 22), 22u);  // clamped to family
+}
+
+class BloomFprSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFprSweep, MeasuredFprTracksTheoryAcrossBudgets) {
+  const double bpk = GetParam();
+  GlobalHashProvider provider(22);
+  const size_t n = 10000;
+  const size_t k = OptimalNumHashes(bpk);
+  BloomFilter bf(static_cast<size_t>(n * bpk), &provider, Iota(k));
+  for (const auto& key : Keys("s-in-", n)) bf.Add(key);
+  size_t fp = 0;
+  const size_t probes = 200000;
+  for (const auto& key : Keys("s-out-", probes)) {
+    if (bf.MightContain(key)) ++fp;
+  }
+  const double fpr = static_cast<double>(fp) / probes;
+  const double theory = StandardBloomFpr(k, bpk);
+  // Within a factor of two of theory (generous; small-m effects).
+  EXPECT_LT(fpr, theory * 2.0 + 1e-4);
+  EXPECT_GT(fpr, theory * 0.3 - 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomFprSweep,
+                         ::testing::Values(6.0, 8.0, 10.0, 12.0, 14.0));
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,124 @@
+#include "learned/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "learned/feature_hasher.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+Dataset Structured(size_t n, uint64_t seed = 21) {
+  DatasetOptions options;
+  options.num_positives = n;
+  options.num_negatives = n;
+  options.seed = seed;
+  return GenerateShallaLike(options);
+}
+
+TEST(FeatureHasherTest, IndicesWithinDim) {
+  std::vector<uint32_t> features;
+  ExtractFeatures("http://example.com/path", 1024, &features);
+  ASSERT_FALSE(features.empty());
+  for (uint32_t f : features) EXPECT_LT(f, 1024u);
+}
+
+TEST(FeatureHasherTest, Deterministic) {
+  std::vector<uint32_t> a, b;
+  ExtractFeatures("same-key", 2048, &a);
+  ExtractFeatures("same-key", 2048, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FeatureHasherTest, EmptyKeyYieldsNoFeatures) {
+  std::vector<uint32_t> features;
+  ExtractFeatures("", 1024, &features);
+  EXPECT_TRUE(features.empty());
+}
+
+TEST(LogisticModelTest, SeparatesStructuredClasses) {
+  const Dataset data = Structured(5000);
+  LogisticModel model;
+  model.Train(data.positives, data.negatives, TrainOptions{});
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    correct += model.Score(data.positives[i]) > 0.5f ? 1 : 0;
+    correct += model.Score(data.negatives[i].key) < 0.5f ? 1 : 0;
+    total += 2;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.80)
+      << "URL classes are separable by character n-grams";
+}
+
+TEST(LogisticModelTest, CannotSeparateRandomKeys) {
+  DatasetOptions options;
+  options.num_positives = 5000;
+  options.num_negatives = 5000;
+  const Dataset data = GenerateYcsbLike(options);
+  LogisticModel model;
+  model.Train(data.positives, data.negatives, TrainOptions{});
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    correct += model.Score(data.positives[i]) > 0.5f ? 1 : 0;
+    correct += model.Score(data.negatives[i].key) < 0.5f ? 1 : 0;
+    total += 2;
+  }
+  EXPECT_LT(static_cast<double>(correct) / total, 0.62)
+      << "YCSB-like keys carry no class signal";
+}
+
+TEST(LogisticModelTest, ScoresInUnitInterval) {
+  const Dataset data = Structured(2000);
+  LogisticModel model;
+  model.Train(data.positives, data.negatives, TrainOptions{});
+  for (size_t i = 0; i < 200; ++i) {
+    const float s = model.Score(data.positives[i]);
+    EXPECT_GT(s, 0.0f);
+    EXPECT_LT(s, 1.0f);
+  }
+}
+
+TEST(LogisticModelTest, MemoryMatchesDim) {
+  LogisticModel model;
+  TrainOptions options;
+  options.feature_dim = 1024;
+  options.epochs = 1;
+  const Dataset data = Structured(200);
+  model.Train(data.positives, data.negatives, options);
+  EXPECT_EQ(model.MemoryBits(), (1024u + 1u) * 32u);
+}
+
+TEST(MlpModelTest, SeparatesStructuredClasses) {
+  const Dataset data = Structured(4000);
+  MlpModel model;
+  MlpModel::MlpOptions options;
+  options.feature_dim = 1024;
+  options.hidden = 8;
+  options.epochs = 3;
+  model.Train(data.positives, data.negatives, options);
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < 500; ++i) {
+    correct += model.Score(data.positives[i]) > 0.5f ? 1 : 0;
+    correct += model.Score(data.negatives[i].key) < 0.5f ? 1 : 0;
+    total += 2;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.75);
+}
+
+TEST(MlpModelTest, MemoryAccountsAllLayers) {
+  MlpModel model;
+  MlpModel::MlpOptions options;
+  options.feature_dim = 512;
+  options.hidden = 4;
+  options.epochs = 1;
+  const Dataset data = Structured(100);
+  model.Train(data.positives, data.negatives, options);
+  // w1 (4x512) + b1 (4) + w2 (4) + b2 (1), 32 bits each.
+  EXPECT_EQ(model.MemoryBits(), (4 * 512 + 4 + 4 + 1) * 32u);
+}
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,196 @@
+// End-to-end tests of the habf_tool command surface, driven through the CLI
+// library (no subprocesses).
+
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/serde.h"
+
+namespace habf {
+namespace cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    positives_path_ = dir_ + "/cli_positives.txt";
+    negatives_path_ = dir_ + "/cli_negatives.txt";
+    filter_path_ = dir_ + "/cli_filter.habf";
+
+    std::string positives;
+    for (int i = 0; i < 3000; ++i) {
+      positives += "member-" + std::to_string(i) + "\n";
+    }
+    ASSERT_TRUE(WriteFileBytes(positives_path_, positives));
+
+    std::string negatives;
+    for (int i = 0; i < 3000; ++i) {
+      const double cost = i < 30 ? 500.0 : 1.0;
+      negatives += "outsider-" + std::to_string(i) + "\t" +
+                   std::to_string(cost) + "\n";
+    }
+    ASSERT_TRUE(WriteFileBytes(negatives_path_, negatives));
+  }
+
+  void TearDown() override {
+    std::remove(positives_path_.c_str());
+    std::remove(negatives_path_.c_str());
+    std::remove(filter_path_.c_str());
+  }
+
+  int Run(std::vector<std::string> args) {
+    out_.clear();
+    err_.clear();
+    return RunCli(args, &out_, &err_);
+  }
+
+  std::string dir_, positives_path_, negatives_path_, filter_path_;
+  std::string out_, err_;
+};
+
+TEST_F(CliTest, BuildQueryStatsEvalPipeline) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--out", filter_path_, "--bits-per-key",
+                 "12"}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("built"), std::string::npos);
+
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--key", "member-17",
+                 "--key", "definitely-not-present"}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("member-17\tmaybe-in-set"), std::string::npos);
+  EXPECT_NE(out_.find("definitely-not-present\tnot-in-set"),
+            std::string::npos);
+
+  ASSERT_EQ(Run({"stats", "--filter", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("total_bits=36000"), std::string::npos);
+  EXPECT_NE(out_.find("k=3"), std::string::npos);
+
+  ASSERT_EQ(Run({"eval", "--filter", filter_path_, "--negatives",
+                 negatives_path_}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("weighted_fpr="), std::string::npos);
+}
+
+TEST_F(CliTest, QueryFromKeysFile) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_}),
+            0)
+      << err_;
+  const std::string keys_path = dir_ + "/cli_query_keys.txt";
+  ASSERT_TRUE(WriteFileBytes(keys_path, "member-1\nmember-2\nstranger\n"));
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--keys", keys_path}), 0)
+      << err_;
+  EXPECT_NE(out_.find("member-1\tmaybe-in-set"), std::string::npos);
+  EXPECT_NE(out_.find("member-2\tmaybe-in-set"), std::string::npos);
+  std::remove(keys_path.c_str());
+}
+
+TEST_F(CliTest, BuildHonorsTuningFlags) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--k", "4", "--cell-bits", "5", "--delta",
+                 "0.3", "--fast"}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"stats", "--filter", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("k=4"), std::string::npos);
+  EXPECT_NE(out_.find("cell_bits=5"), std::string::npos);
+  EXPECT_NE(out_.find("fast=1"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageErrors) {
+  EXPECT_EQ(Run({}), 1);
+  EXPECT_NE(err_.find("usage:"), std::string::npos);
+  EXPECT_EQ(Run({"frobnicate"}), 1);
+  EXPECT_EQ(Run({"build", "--out", filter_path_}), 1);  // missing positives
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--bits-per-key", "banana"}),
+            1);
+  EXPECT_EQ(Run({"query", "--filter", filter_path_}), 2)
+      << "filter file does not exist yet";
+}
+
+TEST_F(CliTest, IoErrors) {
+  EXPECT_EQ(Run({"build", "--positives", dir_ + "/nope.txt", "--out",
+                 filter_path_}),
+            2);
+  EXPECT_EQ(Run({"stats", "--filter", dir_ + "/nope.habf"}), 2);
+}
+
+TEST_F(CliTest, ZeroFalseNegativesThroughTheTool) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--out", filter_path_}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--keys",
+                 positives_path_}),
+            0)
+      << err_;
+  EXPECT_EQ(out_.find("not-in-set"), std::string::npos)
+      << "a positive key was rejected";
+}
+
+TEST_F(CliTest, GenerateThenBuildPipeline) {
+  const std::string gen_pos = dir_ + "/gen_pos.txt";
+  const std::string gen_neg = dir_ + "/gen_neg.txt";
+  ASSERT_EQ(Run({"generate", "--dataset", "shalla", "--positives", gen_pos,
+                 "--negatives", gen_neg, "--count", "2000", "--zipf", "1.0",
+                 "--seed", "5"}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("generated shalla dataset: 2000 positives"),
+            std::string::npos);
+
+  // The generated files must drive the whole pipeline.
+  ASSERT_EQ(Run({"build", "--positives", gen_pos, "--negatives", gen_neg,
+                 "--out", filter_path_}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"eval", "--filter", filter_path_, "--negatives", gen_neg}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("weighted_fpr="), std::string::npos);
+  std::remove(gen_pos.c_str());
+  std::remove(gen_neg.c_str());
+}
+
+TEST_F(CliTest, GenerateRejectsBadArguments) {
+  EXPECT_EQ(Run({"generate", "--dataset", "unknown", "--positives", "a",
+                 "--negatives", "b"}),
+            1);
+  EXPECT_EQ(Run({"generate", "--dataset", "ycsb"}), 1);
+  EXPECT_EQ(Run({"generate", "--dataset", "ycsb", "--positives", "a",
+                 "--negatives", "b", "--count", "0"}),
+            1);
+}
+
+TEST_F(CliTest, HighCostNegativesOptimizedAway) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--out", filter_path_, "--bits-per-key",
+                 "10"}),
+            0)
+      << err_;
+  // The 30 expensive outsiders should all be rejected.
+  std::vector<std::string> args{"query", "--filter", filter_path_};
+  for (int i = 0; i < 30; ++i) {
+    args.push_back("--key");
+    args.push_back("outsider-" + std::to_string(i));
+  }
+  ASSERT_EQ(Run(args), 0) << err_;
+  EXPECT_EQ(out_.find("maybe-in-set"), std::string::npos)
+      << "an expensive negative slipped through:\n"
+      << out_;
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace habf

@@ -1,0 +1,86 @@
+#include "bloom/counting_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace habf {
+namespace {
+
+std::vector<std::string> Keys(const char* prefix, size_t n) {
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(std::string(prefix) + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(CountingBloomTest, NoFalseNegatives) {
+  CountingBloomFilter filter(1 << 16, 5);
+  const auto keys = Keys("cb-", 5000);
+  for (const auto& key : keys) filter.Add(key);
+  for (const auto& key : keys) EXPECT_TRUE(filter.MightContain(key));
+}
+
+TEST(CountingBloomTest, RemoveErasesKey) {
+  CountingBloomFilter filter(1 << 14, 4);
+  filter.Add("transient");
+  ASSERT_TRUE(filter.MightContain("transient"));
+  filter.Remove("transient");
+  EXPECT_FALSE(filter.MightContain("transient"));
+}
+
+TEST(CountingBloomTest, RemoveKeepsOtherKeys) {
+  CountingBloomFilter filter(1 << 16, 4);
+  const auto keep = Keys("keep-", 2000);
+  const auto drop = Keys("drop-", 2000);
+  for (const auto& key : keep) filter.Add(key);
+  for (const auto& key : drop) filter.Add(key);
+  for (const auto& key : drop) filter.Remove(key);
+  // The one-sided guarantee must survive deletions of other keys.
+  for (const auto& key : keep) {
+    EXPECT_TRUE(filter.MightContain(key)) << key;
+  }
+}
+
+TEST(CountingBloomTest, DoubleAddNeedsDoubleRemove) {
+  CountingBloomFilter filter(1 << 12, 4);
+  filter.Add("dup");
+  filter.Add("dup");
+  filter.Remove("dup");
+  EXPECT_TRUE(filter.MightContain("dup")) << "one copy should remain";
+  filter.Remove("dup");
+  EXPECT_FALSE(filter.MightContain("dup"));
+}
+
+TEST(CountingBloomTest, SaturatedCountersNeverUnderflowToFalseNegative) {
+  CountingBloomFilter filter(64, 2);  // tiny: heavy aliasing, saturation
+  const auto keys = Keys("sat-", 300);
+  for (const auto& key : keys) filter.Add(key);
+  // Remove half; the other half must still be present.
+  for (size_t i = 0; i < 150; ++i) filter.Remove(keys[i]);
+  for (size_t i = 150; i < 300; ++i) {
+    EXPECT_TRUE(filter.MightContain(keys[i])) << keys[i];
+  }
+}
+
+TEST(CountingBloomTest, FillRatioTracksChurn) {
+  CountingBloomFilter filter(1 << 14, 4);
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0);
+  const auto keys = Keys("churn-", 1000);
+  for (const auto& key : keys) filter.Add(key);
+  const double loaded = filter.FillRatio();
+  EXPECT_GT(loaded, 0.0);
+  for (const auto& key : keys) filter.Remove(key);
+  EXPECT_LT(filter.FillRatio(), loaded * 0.05)
+      << "removing everything should drain nearly all counters";
+}
+
+TEST(CountingBloomTest, MemoryIsFourBitsPerCounter) {
+  CountingBloomFilter filter(1024, 4);
+  EXPECT_EQ(filter.MemoryUsageBytes(), 1024 * 4 / 8u);
+}
+
+}  // namespace
+}  // namespace habf

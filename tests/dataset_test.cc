@@ -1,0 +1,100 @@
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace habf {
+namespace {
+
+TEST(DatasetTest, ShallaLikeSizesAndDisjointness) {
+  DatasetOptions options;
+  options.num_positives = 5000;
+  options.num_negatives = 4000;
+  const Dataset data = GenerateShallaLike(options);
+  EXPECT_EQ(data.positives.size(), 5000u);
+  EXPECT_EQ(data.negatives.size(), 4000u);
+  std::unordered_set<std::string> pos(data.positives.begin(),
+                                      data.positives.end());
+  EXPECT_EQ(pos.size(), 5000u) << "positives must be unique";
+  for (const auto& wk : data.negatives) {
+    EXPECT_EQ(pos.count(wk.key), 0u) << "sets must be disjoint: " << wk.key;
+  }
+}
+
+TEST(DatasetTest, ShallaLikeKeysLookLikeUrls) {
+  DatasetOptions options;
+  options.num_positives = 100;
+  options.num_negatives = 100;
+  const Dataset data = GenerateShallaLike(options);
+  for (const auto& key : data.positives) {
+    EXPECT_EQ(key.rfind("http://", 0), 0u) << key;
+    EXPECT_NE(key.find('.'), std::string::npos) << key;
+    EXPECT_NE(key.find('/'), std::string::npos) << key;
+  }
+}
+
+TEST(DatasetTest, YcsbLikeSchemaMatchesPaper) {
+  DatasetOptions options;
+  options.num_positives = 1000;
+  options.num_negatives = 1000;
+  const Dataset data = GenerateYcsbLike(options);
+  for (const auto& key : data.positives) {
+    ASSERT_EQ(key.size(), 20u) << key;  // 4-byte prefix + 16 hex digits
+    EXPECT_EQ(key.substr(0, 4), "user");
+    for (char c : key.substr(4)) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << key;
+    }
+  }
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  DatasetOptions options;
+  options.num_positives = 500;
+  options.num_negatives = 500;
+  options.seed = 123;
+  const Dataset a = GenerateShallaLike(options);
+  const Dataset b = GenerateShallaLike(options);
+  EXPECT_EQ(a.positives, b.positives);
+  for (size_t i = 0; i < a.negatives.size(); ++i) {
+    EXPECT_EQ(a.negatives[i].key, b.negatives[i].key);
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  DatasetOptions a_opt, b_opt;
+  a_opt.num_positives = b_opt.num_positives = 100;
+  a_opt.num_negatives = b_opt.num_negatives = 100;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  EXPECT_NE(GenerateShallaLike(a_opt).positives,
+            GenerateShallaLike(b_opt).positives);
+}
+
+TEST(DatasetTest, CostsDefaultUniform) {
+  DatasetOptions options;
+  options.num_positives = 10;
+  options.num_negatives = 100;
+  const Dataset data = GenerateYcsbLike(options);
+  for (const auto& wk : data.negatives) EXPECT_EQ(wk.cost, 1.0);
+  EXPECT_DOUBLE_EQ(data.TotalNegativeCost(), 100.0);
+}
+
+TEST(DatasetTest, ZipfCostsAreAssignedAndSkewed) {
+  DatasetOptions options;
+  options.num_positives = 10;
+  options.num_negatives = 10000;
+  Dataset data = GenerateYcsbLike(options);
+  AssignZipfCosts(&data, 1.0, 9);
+  double min_cost = 1e300;
+  double max_cost = 0;
+  for (const auto& wk : data.negatives) {
+    min_cost = std::min(min_cost, wk.cost);
+    max_cost = std::max(max_cost, wk.cost);
+  }
+  EXPECT_DOUBLE_EQ(min_cost, 1.0);
+  EXPECT_GT(max_cost, 1000.0);
+}
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,168 @@
+// Degenerate and adversarial inputs across the public API: empty sets,
+// single keys, binary (NUL-bearing) keys, duplicate keys, overlapping
+// positive/negative sets, and the convenience wrappers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/standard_bloom.h"
+#include "core/habf.h"
+#include "eval/metrics.h"
+
+namespace habf {
+namespace {
+
+TEST(HabfEdgeTest, EmptyPositiveSet) {
+  const std::vector<std::string> no_positives;
+  std::vector<WeightedKey> negatives{{"a", 1.0}, {"b", 2.0}};
+  const Habf filter = Habf::Build(no_positives, negatives, {.total_bits = 4096});
+  EXPECT_FALSE(filter.Contains("a"));
+  EXPECT_FALSE(filter.Contains("anything"));
+  EXPECT_EQ(filter.stats().initial_collisions, 0u);
+}
+
+TEST(HabfEdgeTest, EmptyNegativeSet) {
+  std::vector<std::string> positives{"only-key"};
+  const std::vector<WeightedKey> no_negatives;
+  const Habf filter =
+      Habf::Build(positives, no_negatives, {.total_bits = 4096});
+  EXPECT_TRUE(filter.Contains("only-key"));
+  EXPECT_EQ(filter.stats().optimized, 0u);
+}
+
+TEST(HabfEdgeTest, SinglePositiveSingleNegative) {
+  std::vector<std::string> positives{"in"};
+  std::vector<WeightedKey> negatives{{"out", 5.0}};
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 1024});
+  EXPECT_TRUE(filter.Contains("in"));
+  EXPECT_FALSE(filter.Contains("out"));
+}
+
+TEST(HabfEdgeTest, BinaryKeysWithEmbeddedNulBytes) {
+  std::vector<std::string> positives;
+  for (int i = 0; i < 500; ++i) {
+    std::string key("bin\0key\x01", 8);
+    key += std::to_string(i);
+    key += '\0';
+    positives.push_back(key);
+  }
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 500; ++i) {
+    std::string key("bin\0neg\x02", 8);
+    key += std::to_string(i);
+    negatives.push_back({key, 1.0});
+  }
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 8192});
+  EXPECT_EQ(CountFalseNegatives(filter, positives), 0u);
+}
+
+TEST(HabfEdgeTest, VeryLongKeys) {
+  std::vector<std::string> positives;
+  for (int i = 0; i < 100; ++i) {
+    positives.push_back(std::string(4096, 'a' + i % 26) + std::to_string(i));
+  }
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 100; ++i) {
+    negatives.push_back(
+        {std::string(4096, 'A' + i % 26) + std::to_string(i), 1.0});
+  }
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 4096});
+  EXPECT_EQ(CountFalseNegatives(filter, positives), 0u);
+}
+
+TEST(HabfEdgeTest, DuplicatePositivesAreHarmless) {
+  std::vector<std::string> positives;
+  for (int i = 0; i < 200; ++i) {
+    positives.push_back("dup-" + std::to_string(i % 20));  // 10x each
+  }
+  std::vector<WeightedKey> negatives{{"neg", 3.0}};
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 4096});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(filter.Contains("dup-" + std::to_string(i)));
+  }
+}
+
+TEST(HabfEdgeTest, NegativeEqualToPositiveCannotBeOptimizedAway) {
+  // The paper requires S and O disjoint; if a caller violates that, the
+  // zero-FN guarantee must win: the key stays positive (the optimizer
+  // reports it as failed rather than breaking membership).
+  std::vector<std::string> positives;
+  for (int i = 0; i < 1000; ++i) positives.push_back("k-" + std::to_string(i));
+  std::vector<WeightedKey> negatives{{"k-500", 1000.0}};
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 16384});
+  EXPECT_TRUE(filter.Contains("k-500")) << "zero FNR beats optimization";
+}
+
+TEST(HabfEdgeTest, EmptyStringKey) {
+  std::vector<std::string> positives{""};
+  std::vector<WeightedKey> negatives{{"x", 1.0}};
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 1024});
+  EXPECT_TRUE(filter.Contains(""));
+}
+
+TEST(HabfEdgeTest, TinyBudgetStillZeroFnr) {
+  std::vector<std::string> positives;
+  for (int i = 0; i < 1000; ++i) positives.push_back("t-" + std::to_string(i));
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 1000; ++i) {
+    negatives.push_back({"n-" + std::to_string(i), 1.0});
+  }
+  // 2 bits/key: the filter is nearly useless but must stay correct.
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 2000});
+  EXPECT_EQ(CountFalseNegatives(filter, positives), 0u);
+}
+
+TEST(HabfEdgeTest, ZeroAndNegativeCostsAreTolerated) {
+  std::vector<std::string> positives;
+  for (int i = 0; i < 500; ++i) positives.push_back("p-" + std::to_string(i));
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 500; ++i) {
+    negatives.push_back({"n-" + std::to_string(i), i % 3 == 0 ? 0.0 : 1.0});
+  }
+  const Habf filter = Habf::Build(positives, negatives, {.total_bits = 8192});
+  EXPECT_EQ(CountFalseNegatives(filter, positives), 0u);
+}
+
+TEST(StandardBloomTest, WrapperIsMovable) {
+  std::vector<std::string> keys{"m1", "m2", "m3"};
+  StandardBloom original(keys, 1024);
+  StandardBloom moved = std::move(original);
+  EXPECT_TRUE(moved.MightContain("m1"));
+  EXPECT_TRUE(moved.MightContain("m3"));
+}
+
+TEST(StandardBloomTest, SizingRuleApplied) {
+  std::vector<std::string> keys(1000, "");
+  for (int i = 0; i < 1000; ++i) keys[i] = "s-" + std::to_string(i);
+  const StandardBloom at10(keys, 10000);
+  EXPECT_EQ(at10.num_hashes(), 7u);  // ln2 * 10
+  const StandardBloom at14(keys, 14400);
+  EXPECT_EQ(at14.num_hashes(), 10u);  // ln2 * 14.4
+}
+
+TEST(DoubleHashBloomTest, NoFalseNegativesAndMovable) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back("dh-" + std::to_string(i));
+  DoubleHashBloom original(keys, 5000 * 10);
+  DoubleHashBloom moved = std::move(original);
+  for (const auto& key : keys) ASSERT_TRUE(moved.MightContain(key));
+  size_t fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (moved.MightContain("dh-miss-" + std::to_string(i))) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / 10000, 0.03);
+}
+
+TEST(HabfEdgeTest, MovedFromFilterStillAnswers) {
+  std::vector<std::string> positives{"move-me"};
+  std::vector<WeightedKey> negatives{{"not-me", 1.0}};
+  Habf original = Habf::Build(positives, negatives, {.total_bits = 1024});
+  const Habf moved = std::move(original);
+  EXPECT_TRUE(moved.Contains("move-me"));
+  EXPECT_FALSE(moved.Contains("not-me"));
+}
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,107 @@
+// Randomized differential testing: HABF (both variants, several
+// configurations) against an exact reference set over randomly generated
+// workloads. The one inviolable contract is one-sided error — any key ever
+// inserted must test positive; everything else is only allowed to raise
+// FPR, never create a false negative. Runs many small random trials with
+// per-trial seeds so failures are reproducible from the logged seed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/habf.h"
+#include "util/rng.h"
+
+namespace habf {
+namespace {
+
+std::string RandomKey(Xoshiro256* rng) {
+  const size_t len = 1 + rng->NextBounded(40);
+  std::string key;
+  key.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Full byte range, including NUL and high bytes.
+    key.push_back(static_cast<char>(rng->NextBounded(256)));
+  }
+  return key;
+}
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDifferentialTest, OneSidedErrorUnderRandomWorkloads) {
+  const uint64_t trial_seed = GetParam();
+  Xoshiro256 rng(trial_seed);
+
+  // Random workload shape.
+  const size_t num_pos = 50 + rng.NextBounded(3000);
+  const size_t num_neg = rng.NextBounded(3000);
+  const double bits_per_key = 4.0 + 16.0 * rng.NextDouble();
+
+  std::unordered_set<std::string> positive_set;
+  std::vector<std::string> positives;
+  while (positives.size() < num_pos) {
+    std::string key = RandomKey(&rng);
+    if (positive_set.insert(key).second) positives.push_back(std::move(key));
+  }
+  std::vector<WeightedKey> negatives;
+  for (size_t i = 0; i < num_neg; ++i) {
+    std::string key = RandomKey(&rng);
+    if (positive_set.count(key)) continue;  // keep sets disjoint
+    negatives.push_back({std::move(key), rng.NextDouble() * 100.0});
+  }
+
+  HabfOptions options;
+  options.total_bits =
+      std::max<size_t>(256, static_cast<size_t>(bits_per_key * num_pos));
+  options.k = 2 + rng.NextBounded(4);
+  options.cell_bits = 3 + static_cast<unsigned>(rng.NextBounded(3));
+  options.delta = 0.05 + 0.6 * rng.NextDouble();
+  options.fast = rng.NextBounded(2) == 1;
+  options.seed = trial_seed;
+
+  Habf filter = Habf::Build(positives, negatives, options);
+
+  // Contract 1: zero false negatives for the build set.
+  for (const auto& key : positives) {
+    ASSERT_TRUE(filter.Contains(key))
+        << "FN for built key, trial seed " << trial_seed;
+  }
+
+  // Contract 2: still zero after dynamic insertions.
+  std::vector<std::string> late;
+  const size_t num_late = rng.NextBounded(500);
+  for (size_t i = 0; i < num_late; ++i) {
+    late.push_back(RandomKey(&rng));
+    filter.AddPositive(late.back());
+  }
+  for (const auto& key : late) {
+    ASSERT_TRUE(filter.Contains(key))
+        << "FN for dynamically added key, trial seed " << trial_seed;
+  }
+  for (const auto& key : positives) {
+    ASSERT_TRUE(filter.Contains(key))
+        << "dynamic insertion broke a built key, trial seed " << trial_seed;
+  }
+
+  // Contract 3: serialization preserves every answer (spot check).
+  std::string bytes;
+  filter.Serialize(&bytes);
+  const auto restored = Habf::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value()) << "trial seed " << trial_seed;
+  for (size_t i = 0; i < positives.size(); i += 7) {
+    ASSERT_TRUE(restored->Contains(positives[i])) << trial_seed;
+  }
+  for (size_t i = 0; i < negatives.size(); i += 7) {
+    ASSERT_EQ(filter.Contains(negatives[i].key),
+              restored->Contains(negatives[i].key))
+        << trial_seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, FuzzDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,128 @@
+// Tests for the dynamic-insertion extension (AddPositive) and its
+// interaction with the optimized state and serialization.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/habf.h"
+#include "eval/metrics.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+Dataset MakeData(size_t n, uint64_t seed = 401) {
+  DatasetOptions options;
+  options.num_positives = n;
+  options.num_negatives = n;
+  options.seed = seed;
+  return GenerateShallaLike(options);
+}
+
+TEST(HabfDynamicTest, AddedKeysAreAlwaysFound) {
+  const Dataset data = MakeData(10000);
+  HabfOptions options;
+  options.total_bits = 12000 * 10;  // headroom for the additions
+  Habf filter = Habf::Build(data.positives, data.negatives, options);
+
+  std::vector<std::string> added;
+  for (int i = 0; i < 2000; ++i) {
+    added.push_back("late-arrival-" + std::to_string(i));
+    filter.AddPositive(added.back());
+  }
+  EXPECT_EQ(filter.dynamic_insertions(), 2000u);
+  for (const auto& key : added) {
+    EXPECT_TRUE(filter.Contains(key)) << key;
+  }
+  // Original keys unaffected.
+  EXPECT_EQ(CountFalseNegatives(filter, data.positives), 0u);
+}
+
+TEST(HabfDynamicTest, FprDegradesGracefullyNotCatastrophically) {
+  const Dataset data = MakeData(10000);
+  HabfOptions options;
+  options.total_bits = 15000 * 10;
+  Habf filter = Habf::Build(data.positives, data.negatives, options);
+
+  const double before = MeasureWeightedFpr(filter, data.negatives);
+  for (int i = 0; i < 5000; ++i) {
+    filter.AddPositive("growth-" + std::to_string(i));
+  }
+  const double after = MeasureWeightedFpr(filter, data.negatives);
+  EXPECT_GE(after, before);
+  // 50% more keys at 2/3 of the design load: FPR must stay well under the
+  // all-ones catastrophe and in a plain Bloom filter's ballpark.
+  EXPECT_LT(after, 0.05) << "degradation should be gradual";
+}
+
+TEST(HabfDynamicTest, AdditionsCanRebreakOptimizedNegatives) {
+  // Documented semantics: dynamic insertions may set bits that had been
+  // freed for an optimized negative; such a negative can become a false
+  // positive again (but never the other way around for positives).
+  const Dataset data = MakeData(10000);
+  HabfOptions options;
+  options.total_bits = 10000 * 8;
+  Habf filter = Habf::Build(data.positives, data.negatives, options);
+  const double before = MeasureWeightedFpr(filter, data.negatives);
+  for (int i = 0; i < 10000; ++i) {
+    filter.AddPositive("flood-" + std::to_string(i));
+  }
+  const double after = MeasureWeightedFpr(filter, data.negatives);
+  EXPECT_GE(after, before);
+}
+
+TEST(HabfDynamicTest, DynamicStateSurvivesSerialization) {
+  const Dataset data = MakeData(5000);
+  HabfOptions options;
+  options.total_bits = 6000 * 10;
+  Habf filter = Habf::Build(data.positives, data.negatives, options);
+  filter.AddPositive("persisted-late-key");
+
+  std::string bytes;
+  filter.Serialize(&bytes);
+  const auto restored = Habf::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->dynamic_insertions(), 1u);
+  EXPECT_TRUE(restored->Contains("persisted-late-key"));
+}
+
+TEST(HabfConcurrencyTest, ConcurrentReadersSeeConsistentAnswers) {
+  const Dataset data = MakeData(20000);
+  HabfOptions options;
+  options.total_bits = 20000 * 10;
+  const Habf filter = Habf::Build(data.positives, data.negatives, options);
+
+  // Reference answers single-threaded.
+  std::vector<bool> expected;
+  for (int i = 0; i < 5000; ++i) {
+    expected.push_back(filter.Contains("mt-probe-" + std::to_string(i)));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  std::vector<int> fns(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5000; ++i) {
+        if (filter.Contains("mt-probe-" + std::to_string(i)) !=
+            expected[i]) {
+          ++mismatches[t];
+        }
+      }
+      for (size_t i = t; i < data.positives.size(); i += 8) {
+        if (!filter.Contains(data.positives[i])) ++fns[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+    EXPECT_EQ(fns[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace habf

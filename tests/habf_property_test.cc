@@ -1,0 +1,151 @@
+// Property-based sweeps of the HABF invariants across the whole parameter
+// grid the paper explores (Δ, k, cell size, budget, dataset, cost skew):
+//  P1  zero false negatives, always;
+//  P2  weighted FPR never worse than the pre-optimization filter by more
+//      than the HashExpressor term;
+//  P3  determinism for a fixed seed;
+//  P4  the space budget is respected.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/habf.h"
+#include "eval/metrics.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+struct GridPoint {
+  double delta;
+  size_t k;
+  unsigned cell_bits;
+  double bits_per_key;
+  double zipf_theta;
+  bool fast;
+  bool ycsb;
+};
+
+std::string GridName(const ::testing::TestParamInfo<GridPoint>& info) {
+  const GridPoint& p = info.param;
+  std::string name = "d" + std::to_string(static_cast<int>(p.delta * 100)) +
+                     "k" + std::to_string(p.k) + "c" +
+                     std::to_string(p.cell_bits) + "b" +
+                     std::to_string(static_cast<int>(p.bits_per_key)) + "z" +
+                     std::to_string(static_cast<int>(p.zipf_theta * 10));
+  if (p.fast) name += "fast";
+  if (p.ycsb) name += "ycsb";
+  return name;
+}
+
+class HabfGridSweep : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  static constexpr size_t kKeys = 8000;
+
+  Dataset MakeData() const {
+    DatasetOptions options;
+    options.num_positives = kKeys;
+    options.num_negatives = kKeys;
+    options.seed = 1234;
+    Dataset data = GetParam().ycsb ? GenerateYcsbLike(options)
+                                   : GenerateShallaLike(options);
+    if (GetParam().zipf_theta > 0) {
+      AssignZipfCosts(&data, GetParam().zipf_theta, 55);
+    }
+    return data;
+  }
+
+  HabfOptions MakeOptions() const {
+    const GridPoint& p = GetParam();
+    HabfOptions options;
+    options.total_bits = static_cast<size_t>(p.bits_per_key * kKeys);
+    options.delta = p.delta;
+    options.k = p.k;
+    options.cell_bits = p.cell_bits;
+    options.fast = p.fast;
+    options.seed = 9;
+    return options;
+  }
+};
+
+TEST_P(HabfGridSweep, ZeroFalseNegatives) {
+  const Dataset data = MakeData();
+  const Habf filter = Habf::Build(data.positives, data.negatives,
+                                  MakeOptions());
+  EXPECT_EQ(CountFalseNegatives(filter, data.positives), 0u);
+}
+
+TEST_P(HabfGridSweep, OptimizationNeverHurtsBeyondExpressorTerm) {
+  const Dataset data = MakeData();
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, MakeOptions());
+
+  // Baseline: identical Bloom-filter half, no optimization. Build by using
+  // the same options against an empty negative set.
+  const std::vector<WeightedKey> no_negatives;
+  const Habf baseline =
+      Habf::Build(data.positives, no_negatives, MakeOptions());
+
+  const double optimized = MeasureWeightedFpr(filter, data.negatives);
+  const double unoptimized = MeasureWeightedFpr(baseline, data.negatives);
+  EXPECT_LE(optimized, unoptimized + 0.01)
+      << "TPJO made the filter strictly worse";
+}
+
+TEST_P(HabfGridSweep, BudgetRespected) {
+  const Dataset data = MakeData();
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, MakeOptions());
+  EXPECT_LE(filter.MemoryUsageBytes(),
+            MakeOptions().total_bits / 8 + 2 * sizeof(uint64_t));
+}
+
+TEST_P(HabfGridSweep, DeterministicAcrossRebuilds) {
+  const Dataset data = MakeData();
+  const Habf a = Habf::Build(data.positives, data.negatives, MakeOptions());
+  const Habf b = Habf::Build(data.positives, data.negatives, MakeOptions());
+  EXPECT_EQ(a.stats().optimized, b.stats().optimized);
+  for (int i = 0; i < 300; ++i) {
+    const std::string probe = "grid-probe-" + std::to_string(i);
+    EXPECT_EQ(a.Contains(probe), b.Contains(probe));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, HabfGridSweep,
+    ::testing::Values(
+        // Δ sweep (Fig. 9a)
+        GridPoint{0.10, 3, 4, 10.0, 0.0, false, false},
+        GridPoint{0.25, 3, 4, 10.0, 0.0, false, false},
+        GridPoint{0.50, 3, 4, 10.0, 0.0, false, false},
+        GridPoint{0.90, 3, 4, 10.0, 0.0, false, false},
+        // k sweep (Fig. 9a)
+        GridPoint{0.25, 2, 5, 10.0, 0.0, false, false},
+        GridPoint{0.25, 4, 5, 10.0, 0.0, false, false},
+        GridPoint{0.25, 6, 5, 10.0, 0.0, false, false},
+        GridPoint{0.25, 8, 5, 10.0, 0.0, false, false},
+        // cell-size sweep (Fig. 9b)
+        GridPoint{0.25, 3, 3, 10.0, 0.0, false, false},
+        GridPoint{0.25, 3, 5, 10.0, 0.0, false, false},
+        // budget sweep (Fig. 10)
+        GridPoint{0.25, 3, 4, 7.0, 0.0, false, false},
+        GridPoint{0.25, 3, 4, 13.0, 0.0, false, false},
+        GridPoint{0.25, 3, 4, 18.0, 0.0, false, false},
+        // skew sweep (Fig. 11/13)
+        GridPoint{0.25, 3, 4, 10.0, 0.6, false, false},
+        GridPoint{0.25, 3, 4, 10.0, 1.0, false, false},
+        GridPoint{0.25, 3, 4, 10.0, 3.0, false, false},
+        // f-HABF (Fig. 10-12)
+        GridPoint{0.25, 3, 4, 10.0, 0.0, true, false},
+        GridPoint{0.25, 3, 4, 10.0, 1.0, true, false},
+        GridPoint{0.25, 3, 5, 13.0, 1.0, true, false},
+        // YCSB-like schema (Fig. 10c/d, 11c/d)
+        GridPoint{0.25, 3, 4, 10.0, 0.0, false, true},
+        GridPoint{0.25, 3, 4, 10.0, 1.0, false, true},
+        GridPoint{0.25, 3, 4, 10.0, 1.0, true, true}),
+    GridName);
+
+}  // namespace
+}  // namespace habf

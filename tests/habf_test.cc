@@ -1,0 +1,280 @@
+// Unit and integration tests for the HABF core: zero FNR, collision-key
+// optimization, weighted-FPR improvement over a standard filter, f-HABF,
+// and TPJO bookkeeping.
+
+#include "core/habf.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/theory.h"
+#include "eval/metrics.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+Dataset SmallDataset(size_t pos, size_t neg, uint64_t seed = 11) {
+  DatasetOptions options;
+  options.num_positives = pos;
+  options.num_negatives = neg;
+  options.seed = seed;
+  return GenerateShallaLike(options);
+}
+
+HabfOptions DefaultOptions(size_t total_bits) {
+  HabfOptions options;
+  options.total_bits = total_bits;
+  return options;
+}
+
+TEST(HabfTest, ZeroFalseNegatives) {
+  const Dataset data = SmallDataset(20000, 20000);
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(20000 * 10));
+  EXPECT_EQ(CountFalseNegatives(filter, data.positives), 0u);
+}
+
+TEST(HabfTest, OptimizesMostCollisionKeys) {
+  const Dataset data = SmallDataset(20000, 20000);
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(20000 * 10));
+  const auto& stats = filter.stats();
+  EXPECT_GT(stats.initial_collisions, 0u);
+  EXPECT_GT(stats.optimized, stats.initial_collisions / 2)
+      << "TPJO should resolve most collision keys at 10 bits/key";
+  // The verification sweeps may pull in negatives that became round-2
+  // false positives after queue-build time, so the resolved total can
+  // slightly exceed the initial collision count — but never undershoot it.
+  EXPECT_GE(stats.optimized + stats.failed, stats.initial_collisions);
+  EXPECT_LE(stats.optimized + stats.failed,
+            stats.initial_collisions + stats.num_negatives / 10);
+}
+
+TEST(HabfTest, BeatsStandardBloomOnKnownNegatives) {
+  const Dataset data = SmallDataset(20000, 20000);
+  const size_t total_bits = 20000 * 10;
+  const Habf habf =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(total_bits));
+
+  GlobalHashProvider provider(22);
+  std::vector<uint8_t> fns;
+  for (size_t i = 0; i < OptimalNumHashes(10.0); ++i) {
+    fns.push_back(static_cast<uint8_t>(i));
+  }
+  BloomFilter bf(total_bits, &provider, fns);
+  for (const auto& key : data.positives) bf.Add(key);
+
+  const double habf_fpr = MeasureWeightedFpr(habf, data.negatives);
+  const double bf_fpr = MeasureWeightedFpr(bf, data.negatives);
+  EXPECT_LT(habf_fpr, bf_fpr)
+      << "HABF must beat BF on negatives it optimized against";
+}
+
+TEST(HabfTest, SecondRoundRescuesAdjustedPositives) {
+  const Dataset data = SmallDataset(20000, 20000);
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(20000 * 10));
+  ASSERT_GT(filter.stats().adjusted_positives, 0u);
+  // Some positive keys must fail round 1 (their hash moved) yet pass the
+  // two-round query — that is the HashExpressor doing its job.
+  size_t rescued = 0;
+  for (const auto& key : data.positives) {
+    if (!filter.ContainsFirstRound(key)) {
+      EXPECT_TRUE(filter.Contains(key));
+      ++rescued;
+    }
+  }
+  EXPECT_GT(rescued, 0u);
+  EXPECT_EQ(rescued, filter.stats().adjusted_positives);
+}
+
+TEST(HabfTest, FastVariantAlsoZeroFnr) {
+  const Dataset data = SmallDataset(15000, 15000);
+  HabfOptions options = DefaultOptions(15000 * 10);
+  options.fast = true;
+  const Habf filter = Habf::Build(data.positives, data.negatives, options);
+  EXPECT_EQ(CountFalseNegatives(filter, data.positives), 0u);
+}
+
+TEST(HabfTest, FastVariantBetweenHabfAndBloom) {
+  const Dataset data = SmallDataset(20000, 20000);
+  const size_t total_bits = 20000 * 10;
+  const Habf habf =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(total_bits));
+  HabfOptions fast_options = DefaultOptions(total_bits);
+  fast_options.fast = true;
+  const Habf fhabf = Habf::Build(data.positives, data.negatives, fast_options);
+
+  GlobalHashProvider provider(22);
+  std::vector<uint8_t> fns;
+  for (size_t i = 0; i < OptimalNumHashes(10.0); ++i) {
+    fns.push_back(static_cast<uint8_t>(i));
+  }
+  BloomFilter bf(total_bits, &provider, fns);
+  for (const auto& key : data.positives) bf.Add(key);
+
+  const double fpr_habf = MeasureWeightedFpr(habf, data.negatives);
+  const double fpr_fhabf = MeasureWeightedFpr(fhabf, data.negatives);
+  const double fpr_bf = MeasureWeightedFpr(bf, data.negatives);
+  EXPECT_LT(fpr_fhabf, fpr_bf);
+  // f-HABF trades accuracy for speed; allow generous slack vs HABF.
+  EXPECT_LT(fpr_habf, fpr_fhabf * 3.0 + 1e-4);
+}
+
+TEST(HabfTest, SkewedCostsPrioritizeExpensiveKeys) {
+  Dataset data = SmallDataset(20000, 20000);
+  AssignZipfCosts(&data, 1.0, 5);
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(20000 * 8));
+  // The most expensive negatives must essentially all be resolved: find the
+  // top-100 costs and check them.
+  std::vector<const WeightedKey*> sorted;
+  for (const auto& wk : data.negatives) sorted.push_back(&wk);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WeightedKey* a, const WeightedKey* b) {
+              return a->cost > b->cost;
+            });
+  size_t misidentified = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (filter.Contains(sorted[i]->key)) ++misidentified;
+  }
+  EXPECT_LE(misidentified, 3u)
+      << "high-cost negatives should be optimized first";
+}
+
+TEST(HabfTest, DeltaZeroDegeneratesToPlainBloom) {
+  const Dataset data = SmallDataset(5000, 5000);
+  HabfOptions options = DefaultOptions(5000 * 10);
+  options.delta = 0.0;
+  const Habf filter = Habf::Build(data.positives, data.negatives, options);
+  EXPECT_EQ(CountFalseNegatives(filter, data.positives), 0u);
+  // With (essentially) no HashExpressor, almost nothing can be adjusted.
+  EXPECT_LE(filter.stats().adjusted_positives,
+            filter.stats().initial_collisions);
+}
+
+TEST(HabfTest, StatsAreInternallyConsistent) {
+  const Dataset data = SmallDataset(10000, 10000);
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(10000 * 10));
+  const auto& stats = filter.stats();
+  EXPECT_EQ(stats.num_positives, 10000u);
+  EXPECT_EQ(stats.num_negatives, 10000u);
+  // Verification sweeps can add round-2 victims beyond the initial set.
+  EXPECT_LE(stats.optimized, stats.num_negatives);
+  EXPECT_GE(stats.optimized + stats.failed, stats.initial_collisions);
+  EXPECT_GE(stats.final_fill, 0.0);
+  EXPECT_LE(stats.final_fill, 1.0);
+  EXPECT_NEAR(stats.final_fill, stats.initial_fill, 0.05)
+      << "adjustments move bits one at a time; fill barely changes";
+  EXPECT_GT(stats.construction_memory.TotalBytes(),
+            filter.MemoryUsageBytes())
+      << "construction needs V, Γ and key copies on top of the filter";
+}
+
+TEST(HabfTest, MemoryBudgetRespected) {
+  const Dataset data = SmallDataset(5000, 5000);
+  const size_t total_bits = 5000 * 12;
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(total_bits));
+  // bit array + cell array together must not exceed the budget (padding to
+  // whole words aside).
+  EXPECT_LE(filter.MemoryUsageBytes(), total_bits / 8 + 64);
+  // Δ = 0.25 → HashExpressor gets ~1/5 of the budget.
+  const double he_fraction =
+      static_cast<double>(filter.expressor().MemoryUsageBytes()) /
+      static_cast<double>(filter.MemoryUsageBytes());
+  EXPECT_NEAR(he_fraction, 0.2, 0.03);
+}
+
+TEST(HabfTest, UnknownKeysStillFprBounded) {
+  // Keys from neither S nor O (not optimized against) see roughly the
+  // standard BF FPR plus the HashExpressor term.
+  const Dataset data = SmallDataset(20000, 20000);
+  const Habf filter =
+      Habf::Build(data.positives, data.negatives, DefaultOptions(20000 * 10));
+  const Dataset strangers = SmallDataset(1, 50000, /*seed=*/999);
+  size_t fp = 0;
+  size_t probed = 0;
+  for (const auto& wk : strangers.negatives) {
+    ++probed;
+    if (filter.Contains(wk.key)) ++fp;
+  }
+  const double fpr = static_cast<double>(fp) / static_cast<double>(probed);
+  const double fbf = StandardBloomFpr(filter.options().k, 8.0);
+  EXPECT_LT(fpr, fbf * 3 + 0.02);
+}
+
+TEST(HabfTest, DeterministicForFixedSeed) {
+  const Dataset data = SmallDataset(5000, 5000);
+  HabfOptions options = DefaultOptions(5000 * 10);
+  options.seed = 77;
+  const Habf a = Habf::Build(data.positives, data.negatives, options);
+  const Habf b = Habf::Build(data.positives, data.negatives, options);
+  EXPECT_EQ(a.stats().initial_collisions, b.stats().initial_collisions);
+  EXPECT_EQ(a.stats().optimized, b.stats().optimized);
+  EXPECT_EQ(a.stats().adjusted_positives, b.stats().adjusted_positives);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string probe = "determinism-" + std::to_string(i);
+    EXPECT_EQ(a.Contains(probe), b.Contains(probe));
+  }
+}
+
+TEST(HabfTest, DoubleAdjustmentExercisedUnderContention) {
+  // Contended setting (low bits/key, many collisions): the ξck-empty
+  // failure mode occurs, so demotions must fire; the contract (zero FNR,
+  // no meaningful accuracy regression) must hold. Note the global failed
+  // count is NOT guaranteed to drop: a demotion helps its own (high-cost,
+  // processed-first) key but consumes HashExpressor capacity that cheaper
+  // keys later compete for.
+  const Dataset data = SmallDataset(20000, 20000, /*seed=*/91);
+  HabfOptions base = DefaultOptions(20000 * 6);
+  const Habf plain = Habf::Build(data.positives, data.negatives, base);
+  ASSERT_EQ(plain.stats().double_adjustments, 0u);
+
+  HabfOptions extended = base;
+  extended.allow_double_adjustment = true;
+  const Habf doubled = Habf::Build(data.positives, data.negatives, extended);
+
+  EXPECT_EQ(CountFalseNegatives(doubled, data.positives), 0u);
+  EXPECT_GT(doubled.stats().double_adjustments, 0u)
+      << "the contended workload must hit the ξck-empty path";
+  const double plain_fpr = MeasureWeightedFpr(plain, data.negatives);
+  const double doubled_fpr = MeasureWeightedFpr(doubled, data.negatives);
+  EXPECT_LE(doubled_fpr, plain_fpr * 1.25 + 1e-4)
+      << "extension must not meaningfully regress accuracy";
+}
+
+TEST(HabfTest, DoubleAdjustmentDeterministicAndSerializable) {
+  const Dataset data = SmallDataset(5000, 5000);
+  HabfOptions options = DefaultOptions(5000 * 8);
+  options.allow_double_adjustment = true;
+  const Habf a = Habf::Build(data.positives, data.negatives, options);
+  const Habf b = Habf::Build(data.positives, data.negatives, options);
+  EXPECT_EQ(a.stats().optimized, b.stats().optimized);
+  std::string bytes;
+  a.Serialize(&bytes);
+  const auto restored = Habf::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  for (int i = 0; i < 500; ++i) {
+    const std::string probe = "da-probe-" + std::to_string(i);
+    EXPECT_EQ(a.Contains(probe), restored->Contains(probe));
+  }
+}
+
+TEST(HabfTest, KClampedToUsableFamily) {
+  const Dataset data = SmallDataset(2000, 2000);
+  HabfOptions options = DefaultOptions(2000 * 10);
+  options.cell_bits = 3;  // 3 usable functions
+  options.k = 8;
+  const Habf filter = Habf::Build(data.positives, data.negatives, options);
+  EXPECT_EQ(filter.options().k, 3u);
+  EXPECT_EQ(filter.usable_functions(), 3u);
+  EXPECT_EQ(CountFalseNegatives(filter, data.positives), 0u);
+}
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,88 @@
+#include "hashing/hash_provider.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace habf {
+namespace {
+
+TEST(GlobalHashProviderTest, ExposesRequestedPrefix) {
+  GlobalHashProvider provider(7);
+  EXPECT_EQ(provider.NumFunctions(), 7u);
+  EXPECT_STREQ(provider.Name(0), "xxHash");
+  EXPECT_STREQ(provider.Name(6), "BOB");
+}
+
+TEST(GlobalHashProviderTest, ValueMatchesFamilyWithSeed) {
+  GlobalHashProvider provider(22, /*seed=*/99);
+  const std::string key = "hello-world";
+  for (size_t i = 0; i < 22; ++i) {
+    EXPECT_EQ(provider.Value(key, i), HashFamily::Global().Hash(i, key, 99));
+  }
+}
+
+TEST(GlobalHashProviderTest, BatchedValuesMatchScalar) {
+  GlobalHashProvider provider(22);
+  const std::string key = "batch";
+  const uint8_t idxs[] = {3, 0, 11, 21};
+  uint64_t out[4];
+  provider.Values(key, idxs, 4, out);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], provider.Value(key, idxs[i]));
+  }
+}
+
+TEST(DoubleHashProviderTest, BatchedValuesMatchScalar) {
+  DoubleHashProvider provider(15, /*seed=*/5);
+  const std::string key = "double-hash";
+  const uint8_t idxs[] = {0, 7, 14};
+  uint64_t out[3];
+  provider.Values(key, idxs, 3, out);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i], provider.Value(key, idxs[i]));
+  }
+}
+
+TEST(DoubleHashProviderTest, IndicesFormArithmeticChain) {
+  // g_i = h1 + (i+1)h2 implies g_{i+1} - g_i = h2 (mod 2^64) for all i.
+  DoubleHashProvider provider(10);
+  const std::string key = "chain";
+  const uint64_t d0 = provider.Value(key, 1) - provider.Value(key, 0);
+  for (size_t i = 1; i + 1 < 10; ++i) {
+    EXPECT_EQ(provider.Value(key, i + 1) - provider.Value(key, i), d0);
+  }
+}
+
+TEST(DoubleHashProviderTest, StrideIsOddSoAllResiduesReachable) {
+  DoubleHashProvider provider(4);
+  const std::string key = "odd-stride";
+  const uint64_t stride = provider.Value(key, 1) - provider.Value(key, 0);
+  EXPECT_EQ(stride & 1, 1u);
+}
+
+TEST(DoubleHashProviderTest, DifferentSeedsDiffer) {
+  DoubleHashProvider a(4, 1), b(4, 2);
+  const std::string key = "seeded";
+  EXPECT_NE(a.Value(key, 0), b.Value(key, 0));
+}
+
+TEST(DoubleHashProviderTest, DistinctIndicesUsuallyMapToDistinctBits) {
+  DoubleHashProvider provider(8);
+  constexpr size_t kBits = 1 << 16;
+  size_t all_distinct = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    std::set<uint64_t> positions;
+    for (size_t fn = 0; fn < 8; ++fn) {
+      positions.insert(provider.Value(key, fn) % kBits);
+    }
+    if (positions.size() == 8) ++all_distinct;
+  }
+  EXPECT_GT(all_distinct, 450);
+}
+
+}  // namespace
+}  // namespace habf

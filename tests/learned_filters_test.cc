@@ -1,0 +1,147 @@
+#include "learned/learned_filters.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+Dataset Structured(size_t n, uint64_t seed = 31) {
+  DatasetOptions options;
+  options.num_positives = n;
+  options.num_negatives = n;
+  options.seed = seed;
+  return GenerateShallaLike(options);
+}
+
+LearnedOptions Budget(size_t total_bits) {
+  LearnedOptions options;
+  options.total_bits = total_bits;
+  options.train.epochs = 3;
+  return options;
+}
+
+TEST(LbfTest, ZeroFalseNegatives) {
+  const Dataset data = Structured(10000);
+  const auto lbf =
+      LearnedBloomFilter::Build(data.positives, data.negatives,
+                                Budget(10000 * 10));
+  EXPECT_EQ(CountFalseNegatives(lbf, data.positives), 0u);
+}
+
+TEST(LbfTest, FprWellBelowOneOnStructuredData) {
+  const Dataset data = Structured(10000);
+  const auto lbf = LearnedBloomFilter::Build(data.positives, data.negatives,
+                                             Budget(10000 * 10));
+  const double fpr = MeasureWeightedFpr(lbf, data.negatives);
+  EXPECT_LT(fpr, 0.10);
+}
+
+TEST(LbfTest, MemoryWithinBudget) {
+  const Dataset data = Structured(5000);
+  const size_t budget = 5000 * 12;
+  const auto lbf =
+      LearnedBloomFilter::Build(data.positives, data.negatives, Budget(budget));
+  EXPECT_LE(lbf.MemoryUsageBits(), budget + 512);
+}
+
+TEST(SlbfTest, ZeroFalseNegatives) {
+  const Dataset data = Structured(10000);
+  const auto slbf = SandwichedLearnedBloomFilter::Build(
+      data.positives, data.negatives, Budget(10000 * 10));
+  EXPECT_EQ(CountFalseNegatives(slbf, data.positives), 0u);
+}
+
+TEST(SlbfTest, PreFilterShieldsModelErrors) {
+  // On random keys (model useless) the SLBF should still behave like a
+  // Bloom filter thanks to the sandwich, not accept everything.
+  DatasetOptions dopt;
+  dopt.num_positives = 10000;
+  dopt.num_negatives = 10000;
+  const Dataset data = GenerateYcsbLike(dopt);
+  const auto slbf = SandwichedLearnedBloomFilter::Build(
+      data.positives, data.negatives, Budget(10000 * 10));
+  EXPECT_EQ(CountFalseNegatives(slbf, data.positives), 0u);
+  const double fpr = MeasureWeightedFpr(slbf, data.negatives);
+  EXPECT_LT(fpr, 0.15);
+}
+
+TEST(AdaBfTest, ZeroFalseNegatives) {
+  const Dataset data = Structured(10000);
+  AdaptiveLearnedBloomFilter::AdaOptions options;
+  options.total_bits = 10000 * 10;
+  options.train.epochs = 3;
+  const auto ada = AdaptiveLearnedBloomFilter::Build(data.positives,
+                                                     data.negatives, options);
+  EXPECT_EQ(CountFalseNegatives(ada, data.positives), 0u);
+}
+
+TEST(AdaBfTest, GroupsOrderedByScoreAndK) {
+  const Dataset data = Structured(5000);
+  AdaptiveLearnedBloomFilter::AdaOptions options;
+  options.total_bits = 5000 * 10;
+  options.num_groups = 4;
+  options.k_max = 6;
+  options.train.epochs = 2;
+  const auto ada = AdaptiveLearnedBloomFilter::Build(data.positives,
+                                                     data.negatives, options);
+  // k must be non-increasing with the band index; the top band auto-accepts.
+  size_t prev = 1000;
+  for (size_t g = 0; g < 4; ++g) {
+    EXPECT_LE(ada.NumHashesForGroup(g), prev);
+    prev = ada.NumHashesForGroup(g);
+  }
+  EXPECT_EQ(ada.NumHashesForGroup(3), 0u);
+  EXPECT_EQ(ada.NumHashesForGroup(0), 6u);
+}
+
+TEST(AdaBfTest, GroupAssignmentDeterministic) {
+  const Dataset data = Structured(3000);
+  AdaptiveLearnedBloomFilter::AdaOptions options;
+  options.total_bits = 3000 * 10;
+  options.train.epochs = 2;
+  const auto ada = AdaptiveLearnedBloomFilter::Build(data.positives,
+                                                     data.negatives, options);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "group-probe-" + std::to_string(i);
+    EXPECT_EQ(ada.GroupOf(key), ada.GroupOf(key));
+  }
+}
+
+TEST(LearnedFiltersTest, AllReportConstructionMemory) {
+  const Dataset data = Structured(3000);
+  const auto lbf = LearnedBloomFilter::Build(data.positives, data.negatives,
+                                             Budget(3000 * 10));
+  MemoryCounter mem;
+  lbf.ReportConstructionMemory(&mem);
+  EXPECT_GT(mem.TotalBytes(), 0u);
+  EXPECT_GT(mem.CategoryBytes("model_weights"), 0u);
+  EXPECT_GT(mem.CategoryBytes("training_scores"), 0u);
+}
+
+TEST(LearnedFiltersTest, LearnedBeatsBloomOnStructuredLoseOnRandom) {
+  // The qualitative claim behind Fig. 10: learned filters shine when the key
+  // schema has evident characteristics and stop shining when it does not.
+  const Dataset urls = Structured(10000, 77);
+  DatasetOptions dopt;
+  dopt.num_positives = 10000;
+  dopt.num_negatives = 10000;
+  dopt.seed = 78;
+  const Dataset random = GenerateYcsbLike(dopt);
+
+  const size_t budget = 10000 * 8;
+  const auto lbf_urls =
+      LearnedBloomFilter::Build(urls.positives, urls.negatives, Budget(budget));
+  const auto lbf_random = LearnedBloomFilter::Build(
+      random.positives, random.negatives, Budget(budget));
+
+  const double fpr_urls = MeasureWeightedFpr(lbf_urls, urls.negatives);
+  const double fpr_random = MeasureWeightedFpr(lbf_random, random.negatives);
+  EXPECT_LT(fpr_urls, fpr_random)
+      << "the model should only help on structured keys";
+}
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace habf {
+namespace {
+
+TEST(MetricsTest, WeightedFprCountsCosts) {
+  std::vector<WeightedKey> negatives{
+      {"always-fp", 3.0}, {"never-fp", 1.0}, {"also-never", 1.0}};
+  const auto filter = MakeFilterAdapter(
+      [](std::string_view key) { return key == "always-fp"; });
+  EXPECT_DOUBLE_EQ(MeasureWeightedFpr(filter, negatives), 3.0 / 5.0);
+}
+
+TEST(MetricsTest, WeightedFprZeroWhenFilterPerfect) {
+  std::vector<WeightedKey> negatives{{"a", 2.0}, {"b", 5.0}};
+  const auto filter = MakeFilterAdapter([](std::string_view) { return false; });
+  EXPECT_DOUBLE_EQ(MeasureWeightedFpr(filter, negatives), 0.0);
+}
+
+TEST(MetricsTest, WeightedFprOneWhenFilterAcceptsAll) {
+  std::vector<WeightedKey> negatives{{"a", 2.0}, {"b", 5.0}};
+  const auto filter = MakeFilterAdapter([](std::string_view) { return true; });
+  EXPECT_DOUBLE_EQ(MeasureWeightedFpr(filter, negatives), 1.0);
+}
+
+TEST(MetricsTest, UniformCostsEqualPlainFpr) {
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 100; ++i) {
+    negatives.push_back({"key-" + std::to_string(i), 1.0});
+  }
+  const auto filter = MakeFilterAdapter(
+      [](std::string_view key) { return key.back() == '7'; });  // 10 of 100
+  EXPECT_NEAR(MeasureWeightedFpr(filter, negatives), 0.10, 1e-12);
+}
+
+TEST(MetricsTest, CountFalseNegatives) {
+  std::vector<std::string> positives{"a", "b", "c"};
+  const auto filter =
+      MakeFilterAdapter([](std::string_view key) { return key != "b"; });
+  EXPECT_EQ(CountFalseNegatives(filter, positives), 1u);
+}
+
+TEST(MetricsTest, EmptyNegativesGiveZero) {
+  std::vector<WeightedKey> none;
+  const auto filter = MakeFilterAdapter([](std::string_view) { return true; });
+  EXPECT_DOUBLE_EQ(MeasureWeightedFpr(filter, none), 0.0);
+}
+
+TEST(MetricsTest, QueryTimingReturnsPositive) {
+  std::vector<std::string> positives{"x", "y"};
+  std::vector<WeightedKey> negatives{{"z", 1.0}};
+  const auto filter =
+      MakeFilterAdapter([](std::string_view key) { return !key.empty(); });
+  EXPECT_GT(MeasureQueryNsPerKey(filter, positives, negatives, 2), 0.0);
+}
+
+TEST(MetricsTest, ConstructionTimingMeasuresBuild) {
+  const double ns = MeasureConstructionNsPerKey(
+      [] {
+        std::vector<int> v(1000, 1);
+        return v;
+      },
+      1000);
+  EXPECT_GT(ns, 0.0);
+}
+
+}  // namespace
+}  // namespace habf

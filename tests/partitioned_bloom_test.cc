@@ -1,0 +1,70 @@
+#include "bloom/partitioned_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace habf {
+namespace {
+
+std::vector<std::string> Keys(const char* prefix, size_t n) {
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(std::string(prefix) + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(PartitionedBloomTest, NoFalseNegatives) {
+  const auto keys = Keys("pb-", 20000);
+  PartitionedBloomFilter::Options options;
+  options.num_bits = 20000 * 10;
+  options.k = 5;
+  options.num_groups = 4;
+  const PartitionedBloomFilter filter(keys, options);
+  for (const auto& key : keys) EXPECT_TRUE(filter.MightContain(key));
+}
+
+TEST(PartitionedBloomTest, GroupAssignmentIsStable) {
+  PartitionedBloomFilter::Options options;
+  options.num_groups = 8;
+  const PartitionedBloomFilter filter(Keys("g-", 10), options);
+  for (const auto& key : Keys("probe-", 100)) {
+    EXPECT_EQ(filter.GroupOf(key), filter.GroupOf(key));
+    EXPECT_LT(filter.GroupOf(key), 8u);
+  }
+}
+
+TEST(PartitionedBloomTest, GroupsAreBalanced) {
+  PartitionedBloomFilter::Options options;
+  options.num_groups = 4;
+  const PartitionedBloomFilter filter(Keys("b-", 10), options);
+  size_t counts[4] = {};
+  const auto probes = Keys("balance-", 20000);
+  for (const auto& key : probes) ++counts[filter.GroupOf(key)];
+  for (size_t g = 0; g < 4; ++g) {
+    EXPECT_NEAR(static_cast<double>(counts[g]), 5000.0, 500.0);
+  }
+}
+
+TEST(PartitionedBloomTest, FprComparableToStandardBloom) {
+  const auto keys = Keys("cmp-", 20000);
+  PartitionedBloomFilter::Options options;
+  options.num_bits = 20000 * 10;
+  options.k = 7;
+  options.num_groups = 4;
+  const PartitionedBloomFilter filter(keys, options);
+  size_t fp = 0;
+  const size_t probes = 100000;
+  for (size_t i = 0; i < probes; ++i) {
+    if (filter.MightContain("neg-" + std::to_string(i))) ++fp;
+  }
+  const double fpr = static_cast<double>(fp) / probes;
+  EXPECT_LT(fpr, 0.03);  // ~1% expected at 10 bits/key
+}
+
+}  // namespace
+}  // namespace habf

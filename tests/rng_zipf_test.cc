@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace habf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(7);
+  constexpr size_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (size_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(SplitMixTest, KnownSequenceAdvancesState) {
+  uint64_t state = 0;
+  const uint64_t a = SplitMix64(&state);
+  const uint64_t b = SplitMix64(&state);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(state, 2 * 0x9e3779b97f4a7c15ULL);
+}
+
+TEST(ZipfTest, Theta0IsUniform) {
+  ZipfSampler sampler(100, 0.0, 3);
+  for (size_t r = 1; r <= 100; ++r) {
+    EXPECT_NEAR(sampler.Probability(r), 0.01, 1e-9);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  for (double theta : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    ZipfSampler sampler(1000, theta);
+    double sum = 0.0;
+    for (size_t r = 1; r <= 1000; ++r) sum += sampler.Probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, HigherRankLessProbable) {
+  ZipfSampler sampler(1000, 1.2);
+  EXPECT_GT(sampler.Probability(1), sampler.Probability(2));
+  EXPECT_GT(sampler.Probability(10), sampler.Probability(100));
+}
+
+TEST(ZipfTest, SamplesFollowHeadMass) {
+  ZipfSampler sampler(1000, 1.0);
+  int head = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (sampler.Sample() <= 10) ++head;
+  }
+  // P(rank <= 10) for Zipf(1.0, n=1000) is about H(10)/H(1000) ~ 0.39.
+  EXPECT_NEAR(static_cast<double>(head) / kSamples, 0.39, 0.05);
+}
+
+TEST(ZipfCostsTest, UniformWhenThetaZero) {
+  const auto costs = GenerateZipfCosts(1000, 0.0, 1);
+  for (double c : costs) EXPECT_EQ(c, 1.0);
+}
+
+TEST(ZipfCostsTest, MinimumCostIsOne) {
+  const auto costs = GenerateZipfCosts(5000, 1.5, 2);
+  EXPECT_DOUBLE_EQ(*std::min_element(costs.begin(), costs.end()), 1.0);
+  EXPECT_GT(*std::max_element(costs.begin(), costs.end()), 100.0);
+}
+
+TEST(ZipfCostsTest, ShufflesDifferWithSeed) {
+  const auto a = GenerateZipfCosts(1000, 1.0, 1);
+  const auto b = GenerateZipfCosts(1000, 1.0, 2);
+  EXPECT_NE(a, b);
+  // Same multiset of costs though.
+  auto sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, SkewIncreasesConcentration) {
+  const double theta = GetParam();
+  const auto costs = GenerateZipfCosts(10000, theta, 3);
+  const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  auto sorted = costs;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double top1 = 0.0;
+  for (size_t i = 0; i < 100; ++i) top1 += sorted[i];
+  const double concentration = top1 / total;
+  // The share of cost in the top 1% of keys grows with skewness.
+  if (theta == 0.0) {
+    EXPECT_NEAR(concentration, 0.01, 1e-9);
+  } else if (theta >= 2.0) {
+    EXPECT_GT(concentration, 0.9);
+  } else {
+    EXPECT_GT(concentration, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSkewSweep,
+                         ::testing::Values(0.0, 0.6, 1.2, 2.0, 3.0));
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,187 @@
+// Round-trip and corruption tests for the binary serialization layer and
+// the filters' Save/Load support.
+
+#include "util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bloom/xor_filter.h"
+#include "core/habf.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+TEST(BinaryRoundTrip, PrimitivesAndBytes) {
+  std::string buffer;
+  BinaryWriter writer(&buffer);
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFULL);
+  writer.WriteDouble(3.141592653589793);
+  writer.WriteBytes("hello");
+  writer.WriteWords({1, 2, 3});
+
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.ReadU8(), 0xAB);
+  EXPECT_EQ(reader.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble(), 3.141592653589793);
+  EXPECT_EQ(reader.ReadBytes(), "hello");
+  EXPECT_EQ(reader.ReadWords(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(BinaryRoundTrip, TruncationDetected) {
+  std::string buffer;
+  BinaryWriter writer(&buffer);
+  writer.WriteU64(42);
+  BinaryReader reader(std::string_view(buffer).substr(0, 4));
+  reader.ReadU64();
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinaryRoundTrip, OversizedWordCountRejected) {
+  std::string buffer;
+  BinaryWriter writer(&buffer);
+  writer.WriteU64(uint64_t{1} << 60);  // claims 2^60 words
+  BinaryReader reader(buffer);
+  reader.ReadWords();
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(FileBytes, RoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/serde_file_test.bin";
+  const std::string payload("binary\0payload", 14);
+  ASSERT_TRUE(WriteFileBytes(path, payload));
+  std::string read_back;
+  ASSERT_TRUE(ReadFileBytes(path, &read_back));
+  EXPECT_EQ(read_back, payload);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadFileBytes(path + ".does-not-exist", &read_back));
+}
+
+class HabfSerdeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetOptions options;
+    options.num_positives = 8000;
+    options.num_negatives = 8000;
+    options.seed = 301;
+    data_ = GenerateShallaLike(options);
+  }
+  Dataset data_;
+};
+
+TEST_F(HabfSerdeTest, RoundTripPreservesEveryAnswer) {
+  HabfOptions options;
+  options.total_bits = 8000 * 10;
+  const Habf original = Habf::Build(data_.positives, data_.negatives, options);
+
+  std::string bytes;
+  original.Serialize(&bytes);
+  const auto restored = Habf::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+
+  for (const auto& key : data_.positives) {
+    ASSERT_TRUE(restored->Contains(key)) << key;
+  }
+  for (const auto& wk : data_.negatives) {
+    EXPECT_EQ(original.Contains(wk.key), restored->Contains(wk.key))
+        << wk.key;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::string probe = "serde-probe-" + std::to_string(i);
+    EXPECT_EQ(original.Contains(probe), restored->Contains(probe));
+  }
+  EXPECT_EQ(restored->expressor().num_inserted(),
+            original.expressor().num_inserted());
+}
+
+TEST_F(HabfSerdeTest, FastVariantRoundTrips) {
+  HabfOptions options;
+  options.total_bits = 8000 * 10;
+  options.fast = true;
+  const Habf original = Habf::Build(data_.positives, data_.negatives, options);
+  std::string bytes;
+  original.Serialize(&bytes);
+  const auto restored = Habf::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->options().fast);
+  for (int i = 0; i < 500; ++i) {
+    const std::string probe = "fast-probe-" + std::to_string(i);
+    EXPECT_EQ(original.Contains(probe), restored->Contains(probe));
+  }
+}
+
+TEST_F(HabfSerdeTest, FileRoundTrip) {
+  HabfOptions options;
+  options.total_bits = 8000 * 10;
+  const Habf original = Habf::Build(data_.positives, data_.negatives, options);
+  const std::string path = ::testing::TempDir() + "/habf_filter_test.habf";
+  ASSERT_TRUE(original.SaveToFile(path));
+  const auto restored = Habf::LoadFromFile(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->options().total_bits, original.options().total_bits);
+  std::remove(path.c_str());
+}
+
+TEST_F(HabfSerdeTest, CorruptionRejected) {
+  HabfOptions options;
+  options.total_bits = 8000 * 10;
+  const Habf original = Habf::Build(data_.positives, data_.negatives, options);
+  std::string bytes;
+  original.Serialize(&bytes);
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(Habf::Deserialize(bad).has_value());
+
+  // Truncated payloads at several cut points.
+  for (size_t cut : {size_t{3}, size_t{16}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_FALSE(
+        Habf::Deserialize(std::string_view(bytes).substr(0, cut)).has_value())
+        << "cut=" << cut;
+  }
+
+  // Empty input.
+  EXPECT_FALSE(Habf::Deserialize("").has_value());
+}
+
+TEST(XorSerdeTest, RoundTripPreservesAnswers) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back("xk-" + std::to_string(i));
+  const auto original = XorFilter::Build(keys, 9);
+  ASSERT_TRUE(original.has_value());
+
+  std::string bytes;
+  original->Serialize(&bytes);
+  const auto restored = XorFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  for (const auto& key : keys) ASSERT_TRUE(restored->MightContain(key));
+  for (int i = 0; i < 5000; ++i) {
+    const std::string probe = "xp-" + std::to_string(i);
+    EXPECT_EQ(original->MightContain(probe), restored->MightContain(probe));
+  }
+}
+
+TEST(XorSerdeTest, CorruptionRejected) {
+  std::vector<std::string> keys{"one", "two", "three"};
+  const auto original = XorFilter::Build(keys, 8);
+  ASSERT_TRUE(original.has_value());
+  std::string bytes;
+  original->Serialize(&bytes);
+  std::string bad = bytes;
+  bad[1] ^= 0x55;
+  EXPECT_FALSE(XorFilter::Deserialize(bad).has_value());
+  EXPECT_FALSE(XorFilter::Deserialize("short").has_value());
+}
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,46 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace habf {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table("demo");
+  table.AddRow({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvRoundTrip) {
+  TablePrinter table("csv");
+  table.AddRow({"a", "b", "c"});
+  table.AddRow({"1", "2", "3"});
+  EXPECT_EQ(table.ToCsv(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TablePrinterTest, HandlesRaggedRows) {
+  TablePrinter table("ragged");
+  table.AddRow({"one"});
+  table.AddRow({"1", "2", "3"});
+  EXPECT_NE(table.ToString().find("3"), std::string::npos);
+}
+
+TEST(FormatValueTest, PlainForMidRange) {
+  EXPECT_EQ(FormatValue(0.5), "0.5");
+  EXPECT_EQ(FormatValue(123.0), "123");
+}
+
+TEST(FormatValueTest, ScientificForSmall) {
+  const std::string s = FormatValue(3.63e-6);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(FormatValueTest, ZeroStaysPlain) { EXPECT_EQ(FormatValue(0.0), "0"); }
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,138 @@
+// Tests for the closed-form analysis (§III-F, §IV): sanity of the formulas
+// and — the paper's Fig. 8 claim — that the theoretical bound sits above the
+// measured FPR for every (k, b) configuration.
+
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/habf.h"
+#include "eval/metrics.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+TEST(TheoryTest, StandardBloomFprKnownValues) {
+  // b = 10, k = 7 (the ln2 optimum) gives about 0.82%.
+  EXPECT_NEAR(StandardBloomFpr(7, 10.0), 0.0082, 0.0005);
+  // The optimum is ~0.6185^b.
+  EXPECT_NEAR(StandardBloomFpr(7, 10.0), std::pow(0.6185, 10.0), 0.002);
+}
+
+TEST(TheoryTest, FprDecreasesWithMoreBits) {
+  EXPECT_GT(StandardBloomFpr(4, 6.0), StandardBloomFpr(4, 10.0));
+  EXPECT_GT(StandardBloomFpr(4, 10.0), StandardBloomFpr(4, 14.0));
+}
+
+TEST(TheoryTest, PxiBoundInUnitIntervalAndDecreasingInLoad) {
+  for (size_t k : {2u, 4u, 8u}) {
+    for (double b : {4.0, 8.0, 16.0}) {
+      const double p = PxiLowerBound(k, b);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+  // Lighter load (larger b) → more singly-mapped units.
+  EXPECT_GT(PxiLowerBound(4, 16.0), PxiLowerBound(4, 4.0));
+}
+
+TEST(TheoryTest, PxiBoundMatchesTheorem41Example) {
+  // k/b → 0 gives Pξ → 1 (nearly-empty filter: every set bit is single).
+  EXPECT_NEAR(PxiLowerBound(1, 1000.0), 1.0, 0.01);
+}
+
+TEST(TheoryTest, InsertSuccessDecreasesWithLoad) {
+  const size_t omega = 1000;
+  double prev = 1.0;
+  for (size_t t : {0u, 10u, 50u, 100u, 200u}) {
+    const double p = InsertSuccessLowerBound(3, omega, t);
+    EXPECT_LE(p, prev);
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+  EXPECT_EQ(InsertSuccessLowerBound(3, 100, 1000), 0.0);  // clamped
+}
+
+TEST(TheoryTest, ExpectedOptimizedBoundBasics) {
+  // No collisions → nothing to optimize.
+  EXPECT_EQ(ExpectedOptimizedLowerBound(0, 0.9, 1000, 3), 0.0);
+  // Bound is below T and grows with T.
+  const double e1 = ExpectedOptimizedLowerBound(100, 0.9, 10000, 3);
+  const double e2 = ExpectedOptimizedLowerBound(1000, 0.9, 10000, 3);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_LT(e1, 100.0);
+  EXPECT_GT(e2, e1);
+  // Degenerate table (ω <= k²) can hold nothing.
+  EXPECT_EQ(ExpectedOptimizedLowerBound(100, 0.9, 9, 3), 0.0);
+}
+
+TEST(TheoryTest, HabfUpperBoundScalesWithExpressorLoad) {
+  EXPECT_DOUBLE_EQ(HabfFprUpperBound(0.01, 1000, 0), 0.01);
+  EXPECT_NEAR(HabfFprUpperBound(0.01, 1000, 100), 0.011, 1e-12);
+}
+
+TEST(TheoryTest, PcPrimeModelBehaviour) {
+  EXPECT_EQ(PcPrimeModel(7, 10.0, 7), 0.0);  // no spare candidates
+  const double loose = PcPrimeModel(3, 10.0, 7);
+  const double tight = PcPrimeModel(3, 30.0, 7);
+  EXPECT_GT(loose, tight) << "denser filters have more free bits";
+  EXPECT_GT(loose, 0.0);
+  EXPECT_LT(loose, 1.0);
+}
+
+// --- Fig. 8 property: bound >= measured, across k and b -------------------
+
+struct BoundCase {
+  size_t k;
+  double bits_per_key;
+};
+
+class Fig8BoundSweep : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(Fig8BoundSweep, TheoreticalBoundHoldsOverMeasurement) {
+  const auto [k, bpk] = GetParam();
+  DatasetOptions dopt;
+  dopt.num_positives = 20000;
+  dopt.num_negatives = 20000;
+  dopt.seed = 17 + k;
+  const Dataset data = GenerateShallaLike(dopt);
+
+  HabfOptions options;
+  options.total_bits = static_cast<size_t>(bpk * 20000);
+  options.k = k;
+  options.cell_bits = 5;  // 15 usable functions: room for k up to 10
+  const Habf filter = Habf::Build(data.positives, data.negatives, options);
+
+  const double measured = MeasureWeightedFpr(filter, data.negatives);
+
+  const size_t omega = filter.expressor().num_cells();
+  const double bloom_bpk =
+      static_cast<double>(filter.bloom().num_bits()) / 20000.0;
+  const double pc = PcPrimeModel(filter.options().k, bloom_bpk,
+                                 filter.usable_functions());
+  const double fbf_star =
+      FbfStarUpperBound(filter.options().k, bloom_bpk, 20000, pc, omega);
+  const double bound =
+      HabfFprUpperBound(fbf_star, omega, filter.expressor().num_inserted());
+
+  EXPECT_LE(measured, bound + 1e-6)
+      << "k=" << k << " b=" << bpk << " measured=" << measured
+      << " bound=" << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VaryKAndB, Fig8BoundSweep,
+    ::testing::Values(BoundCase{2, 10.0}, BoundCase{3, 10.0},
+                      BoundCase{4, 10.0}, BoundCase{6, 10.0},
+                      BoundCase{8, 10.0}, BoundCase{4, 6.0},
+                      BoundCase{4, 8.0}, BoundCase{4, 12.0}),
+    [](const ::testing::TestParamInfo<BoundCase>& info) {
+      return "k" + std::to_string(info.param.k) + "b" +
+             std::to_string(static_cast<int>(info.param.bits_per_key));
+    });
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,96 @@
+#include "bloom/weighted_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+TEST(WeightedBloomTest, NoFalseNegatives) {
+  DatasetOptions dopt;
+  dopt.num_positives = 10000;
+  dopt.num_negatives = 10000;
+  Dataset data = GenerateShallaLike(dopt);
+  AssignZipfCosts(&data, 1.0, 3);
+
+  WeightedBloomFilter::Options options;
+  options.num_bits = 10000 * 10;
+  const WeightedBloomFilter wbf(data.positives, data.negatives, options);
+  EXPECT_EQ(CountFalseNegatives(wbf, data.positives), 0u);
+}
+
+TEST(WeightedBloomTest, CachedHighCostKeysGetMoreHashes) {
+  std::vector<std::string> positives{"pos-a", "pos-b"};
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 1000; ++i) {
+    negatives.push_back({"neg-" + std::to_string(i), i < 10 ? 1000.0 : 1.0});
+  }
+  WeightedBloomFilter::Options options;
+  options.num_bits = 1 << 16;
+  options.k_base = 4;
+  options.k_max = 12;
+  options.cache_fraction = 0.01;  // exactly the 10 expensive keys
+  const WeightedBloomFilter wbf(positives, negatives, options);
+  EXPECT_EQ(wbf.cache_size(), 10u);
+  EXPECT_GT(wbf.NumHashesFor("neg-0"), options.k_base);
+  EXPECT_EQ(wbf.NumHashesFor("neg-999"), options.k_base);  // uncached
+  EXPECT_EQ(wbf.NumHashesFor("unknown"), options.k_base);
+}
+
+TEST(WeightedBloomTest, HashCountClampedToRange) {
+  std::vector<std::string> positives{"p"};
+  std::vector<WeightedKey> negatives{{"huge", 1e12}, {"tiny", 1e-12}};
+  WeightedBloomFilter::Options options;
+  options.num_bits = 1 << 12;
+  options.k_base = 4;
+  options.k_max = 8;
+  options.cache_fraction = 1.0;
+  const WeightedBloomFilter wbf(positives, negatives, options);
+  EXPECT_LE(wbf.NumHashesFor("huge"), options.k_max);
+  EXPECT_GE(wbf.NumHashesFor("tiny"), 1u);
+}
+
+TEST(WeightedBloomTest, ReducesWeightedFprVsUniformTreatment) {
+  DatasetOptions dopt;
+  dopt.num_positives = 20000;
+  dopt.num_negatives = 20000;
+  Dataset data = GenerateShallaLike(dopt);
+  AssignZipfCosts(&data, 1.5, 7);
+
+  WeightedBloomFilter::Options weighted;
+  weighted.num_bits = 20000 * 8;
+  weighted.cache_fraction = 0.02;
+  const WeightedBloomFilter wbf(data.positives, data.negatives, weighted);
+
+  // Compare against the same structure with the cache disabled (uniform k).
+  WeightedBloomFilter::Options uniform = weighted;
+  uniform.cache_fraction = 0.0;
+  const WeightedBloomFilter plain(data.positives, data.negatives, uniform);
+
+  const double wfpr = MeasureWeightedFpr(wbf, data.negatives);
+  const double pfpr = MeasureWeightedFpr(plain, data.negatives);
+  EXPECT_LE(wfpr, pfpr * 1.05)
+      << "cost-aware probing must not lose on weighted FPR";
+}
+
+TEST(WeightedBloomTest, MemoryIncludesCache) {
+  std::vector<std::string> positives{"p"};
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 1000; ++i) {
+    negatives.push_back({"key-" + std::to_string(i), 1.0 + i});
+  }
+  WeightedBloomFilter::Options options;
+  options.num_bits = 1 << 12;
+  options.cache_fraction = 0.5;
+  const WeightedBloomFilter wbf(positives, negatives, options);
+  EXPECT_GT(wbf.MemoryUsageBytes(), (size_t{1} << 12) / 8)
+      << "cache bytes must be charged on top of the bit array";
+}
+
+}  // namespace
+}  // namespace habf

@@ -1,0 +1,106 @@
+#include "bloom/xor_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace habf {
+namespace {
+
+std::vector<std::string> Keys(const char* prefix, size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(std::string(prefix) + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(XorFilterTest, BuildSucceedsAtStandardExpansion) {
+  const auto keys = Keys("x-", 10000);
+  const auto filter = XorFilter::Build(keys, 8);
+  ASSERT_TRUE(filter.has_value());
+}
+
+TEST(XorFilterTest, NoFalseNegatives) {
+  const auto keys = Keys("member-", 20000);
+  const auto filter = XorFilter::Build(keys, 8);
+  ASSERT_TRUE(filter.has_value());
+  for (const auto& key : keys) {
+    EXPECT_TRUE(filter->MightContain(key)) << key;
+  }
+}
+
+TEST(XorFilterTest, FprNear2PowMinusW) {
+  const auto keys = Keys("in-", 20000);
+  for (unsigned w : {6u, 8u, 10u}) {
+    const auto filter = XorFilter::Build(keys, w);
+    ASSERT_TRUE(filter.has_value());
+    size_t fp = 0;
+    const size_t probes = 200000;
+    for (size_t i = 0; i < probes; ++i) {
+      if (filter->MightContain("out-" + std::to_string(i))) ++fp;
+    }
+    const double fpr = static_cast<double>(fp) / probes;
+    const double expected = std::pow(2.0, -static_cast<double>(w));
+    EXPECT_LT(fpr, expected * 2.5) << "w=" << w;
+    // fp can be 0 for w=10 at these probe counts; only bound above.
+  }
+}
+
+TEST(XorFilterTest, MemoryMatchesSlotsTimesWidth) {
+  const auto keys = Keys("m-", 5000);
+  const auto filter = XorFilter::Build(keys, 9);
+  ASSERT_TRUE(filter.has_value());
+  const size_t expected_bits = filter->num_slots() * 9;
+  EXPECT_NEAR(static_cast<double>(filter->MemoryUsageBytes() * 8),
+              static_cast<double>(expected_bits), 64.0);
+  // ~1.23 bits-per-key expansion.
+  EXPECT_NEAR(static_cast<double>(filter->num_slots()) / keys.size(), 1.23,
+              0.02);
+}
+
+TEST(XorFilterTest, EmptyKeySetBuilds) {
+  const std::vector<std::string> none;
+  const auto filter = XorFilter::Build(none, 8);
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_FALSE(filter->MightContain("anything"));
+}
+
+TEST(XorFilterTest, SingleKey) {
+  const std::vector<std::string> one{"lonely"};
+  const auto filter = XorFilter::Build(one, 12);
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_TRUE(filter->MightContain("lonely"));
+  size_t fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (filter->MightContain("other-" + std::to_string(i))) ++fp;
+  }
+  EXPECT_LT(fp, 30u);
+}
+
+TEST(XorFilterTest, FingerprintBudgetRule) {
+  // 10 bits/key → w = floor(10/1.23 + eps) = 8.
+  EXPECT_EQ(XorFilter::FingerprintBitsForBudget(100000 * 10, 100000), 8u);
+  EXPECT_EQ(XorFilter::FingerprintBitsForBudget(100000 * 16, 100000), 13u);
+  EXPECT_GE(XorFilter::FingerprintBitsForBudget(10, 100000), 1u);
+  EXPECT_LE(XorFilter::FingerprintBitsForBudget(1 << 30, 100), 32u);
+}
+
+class XorFilterSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(XorFilterSizeSweep, ZeroFnrAcrossSizes) {
+  const size_t n = GetParam();
+  const auto keys = Keys("sz-", n);
+  const auto filter = XorFilter::Build(keys, 8);
+  ASSERT_TRUE(filter.has_value());
+  for (const auto& key : keys) ASSERT_TRUE(filter->MightContain(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XorFilterSizeSweep,
+                         ::testing::Values(1, 2, 10, 100, 1000, 50000));
+
+}  // namespace
+}  // namespace habf
