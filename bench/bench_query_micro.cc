@@ -1,15 +1,19 @@
 // Micro-benchmarks (google-benchmark) of the hot paths: query latency per
 // filter split by answer (hit vs miss — misses short-circuit differently),
-// the two HABF rounds in isolation, and HashExpressor chain walks. This is
-// the fine-grained complement of Fig. 12's end-to-end numbers.
+// the two HABF rounds in isolation, HashExpressor chain walks, and the
+// scalar-vs-batch comparison of the ContainsBatch query path (recorded in
+// BENCH_query.json). This is the fine-grained complement of Fig. 12's
+// end-to-end numbers.
 
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bloom/standard_bloom.h"
 #include "bloom/xor_filter.h"
+#include "core/filter_interface.h"
 #include "core/habf.h"
 #include "workload/dataset.h"
 
@@ -127,6 +131,141 @@ void BM_XorQueryMiss(benchmark::State& state) {
   QueryLoop(state, filter, negatives);
 }
 BENCHMARK(BM_XorQueryMiss);
+
+// --- scalar vs. batch (the ContainsBatch path) ------------------------------
+//
+// The batch numbers matter once the bit array outgrows L2: the prefetching
+// hash-then-probe loop overlaps the probe-word loads of a whole block of
+// keys. `kLargeKeys` is sized so 10 bits/key lands well past a 2 MiB L2 for every
+// filter (including HABF, whose Bloom part gets 1/(1+Δ) of the budget).
+
+constexpr size_t kLargeKeys = 4000000;
+constexpr size_t kBatchSize = 256;
+
+const Dataset& LargeData() {
+  static const Dataset data = [] {
+    DatasetOptions options;
+    options.num_positives = kLargeKeys;
+    options.num_negatives = kLargeKeys;
+    options.seed = 99;
+    return GenerateShallaLike(options);
+  }();
+  return data;
+}
+
+/// Positives and negatives interleaved, as string_views into `data`.
+std::vector<std::string_view> MixedKeys(const Dataset& data) {
+  std::vector<std::string_view> keys;
+  keys.reserve(data.positives.size() + data.negatives.size());
+  for (size_t i = 0; i < data.positives.size(); ++i) {
+    keys.push_back(data.positives[i]);
+    if (i < data.negatives.size()) keys.push_back(data.negatives[i].key);
+  }
+  return keys;
+}
+
+template <typename Filter>
+void ScalarLoop(benchmark::State& state, const Filter& filter,
+                const std::vector<std::string_view>& keys) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MightContain(keys[i]));
+    if (++i == keys.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Filter>
+void BatchLoop(benchmark::State& state, const Filter& filter,
+               const std::vector<std::string_view>& keys) {
+  uint8_t out[kBatchSize];
+  size_t base = 0;
+  size_t processed = 0;
+  for (auto _ : state) {
+    const size_t count =
+        keys.size() - base < kBatchSize ? keys.size() - base : kBatchSize;
+    benchmark::DoNotOptimize(
+        filter.ContainsBatch(KeySpan(keys.data() + base, count), out));
+    processed += count;
+    base += count;
+    if (base >= keys.size()) base = 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+}
+
+const StandardBloom& LargeStandardBloom() {
+  static const StandardBloom filter(
+      LargeData().positives, static_cast<size_t>(kBitsPerKey * kLargeKeys));
+  return filter;
+}
+
+const DoubleHashBloom& LargeDoubleHashBloom() {
+  static const DoubleHashBloom filter(
+      LargeData().positives, static_cast<size_t>(kBitsPerKey * kLargeKeys));
+  return filter;
+}
+
+const std::vector<std::string_view>& LargeMixedKeys() {
+  static const auto keys = MixedKeys(LargeData());
+  return keys;
+}
+
+void BM_StandardBloomScalar(benchmark::State& state) {
+  ScalarLoop(state, LargeStandardBloom(), LargeMixedKeys());
+}
+BENCHMARK(BM_StandardBloomScalar);
+
+void BM_StandardBloomBatch(benchmark::State& state) {
+  BatchLoop(state, LargeStandardBloom(), LargeMixedKeys());
+}
+BENCHMARK(BM_StandardBloomBatch);
+
+void BM_DoubleHashBloomScalar(benchmark::State& state) {
+  ScalarLoop(state, LargeDoubleHashBloom(), LargeMixedKeys());
+}
+BENCHMARK(BM_DoubleHashBloomScalar);
+
+void BM_DoubleHashBloomBatch(benchmark::State& state) {
+  BatchLoop(state, LargeDoubleHashBloom(), LargeMixedKeys());
+}
+BENCHMARK(BM_DoubleHashBloomBatch);
+
+const XorFilter& LargeXorFilter() {
+  static const XorFilter filter = *XorFilter::Build(
+      LargeData().positives,
+      XorFilter::FingerprintBitsForBudget(
+          static_cast<size_t>(kBitsPerKey * kLargeKeys), kLargeKeys));
+  return filter;
+}
+
+void BM_XorScalar(benchmark::State& state) {
+  ScalarLoop(state, LargeXorFilter(), LargeMixedKeys());
+}
+BENCHMARK(BM_XorScalar);
+
+void BM_XorBatch(benchmark::State& state) {
+  BatchLoop(state, LargeXorFilter(), LargeMixedKeys());
+}
+BENCHMARK(BM_XorBatch);
+
+const Habf& LargeHabf() {
+  static const Habf habf = [] {
+    HabfOptions options;
+    options.total_bits = static_cast<size_t>(kBitsPerKey * kLargeKeys);
+    return Habf::Build(LargeData().positives, LargeData().negatives, options);
+  }();
+  return habf;
+}
+
+void BM_HabfScalar(benchmark::State& state) {
+  ScalarLoop(state, LargeHabf(), LargeMixedKeys());
+}
+BENCHMARK(BM_HabfScalar);
+
+void BM_HabfBatch(benchmark::State& state) {
+  BatchLoop(state, LargeHabf(), LargeMixedKeys());
+}
+BENCHMARK(BM_HabfBatch);
 
 void BM_HabfBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Local mirror of the tier-1 verify (and of .github/workflows/ci.yml):
+# configure + build + ctest. Usage: scripts/check.sh [Release|Debug]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_type="${1:-Release}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE="${build_type}"
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

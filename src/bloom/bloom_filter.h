@@ -4,11 +4,13 @@
 
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
+#include "core/filter_interface.h"
 #include "hashing/hash_provider.h"
 #include "util/bitvector.h"
 
@@ -33,6 +35,67 @@ class BloomFilter {
   /// Tests `key` with the default function subset.
   bool MightContain(std::string_view key) const;
 
+  /// Batched test of every key with the default function subset (Filter
+  /// concept): out[i] = 1/0 per key; returns the number of positives.
+  /// Hashes a block of keys, prefetches every probed bit-array word, then
+  /// probes — hiding memory latency that MightContain pays per key.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const {
+    return TestBatchWith(keys, default_fns_.data(), default_fns_.size(), out);
+  }
+
+  /// Batched TestWith: every key tested against the same explicit subset
+  /// `fns[0..n)` (HABF round 1 uses this with H0).
+  size_t TestBatchWith(KeySpan keys, const uint8_t* fns, size_t n,
+                       uint8_t* out) const {
+    return TestBatchWithResolver(
+        keys, n, [fns](size_t, uint8_t*) { return fns; }, out);
+  }
+
+  /// The generic prefetching hash-then-probe loop behind every batch test:
+  /// `fns_for(i, scratch)` returns key i's n function indices (writing into
+  /// `scratch[0..31]` if it needs storage), so per-key-subset filters like
+  /// PartitionedBloomFilter reuse the same loop.
+  template <typename FnsFor>
+  size_t TestBatchWithResolver(KeySpan keys, size_t n, FnsFor&& fns_for,
+                               uint8_t* out) const {
+    assert(n <= 32);
+    constexpr size_t kBlock = 32;
+    const uint64_t* words = bits_.words().data();
+    size_t positions[kBlock][32];
+    size_t positives = 0;
+    for (size_t base = 0; base < keys.size(); base += kBlock) {
+      const size_t count =
+          keys.size() - base < kBlock ? keys.size() - base : kBlock;
+      // Stage 1: hash the whole block and prefetch every probed word, so
+      // the loads of one key overlap the hashing of the next.
+      for (size_t i = 0; i < count; ++i) {
+        uint8_t scratch[32];
+        const uint8_t* fns = fns_for(base + i, scratch);
+        uint64_t values[32];
+        provider_->Values(keys[base + i], fns, n, values);
+        for (size_t j = 0; j < n; ++j) {
+          const size_t pos = static_cast<size_t>(values[j] % num_bits_);
+          positions[i][j] = pos;
+          __builtin_prefetch(&words[pos >> 6], 0, 3);
+        }
+      }
+      // Stage 2: probe; by now the words are (likely) in cache.
+      for (size_t i = 0; i < count; ++i) {
+        bool hit = true;
+        for (size_t j = 0; j < n; ++j) {
+          const size_t pos = positions[i][j];
+          if (!((words[pos >> 6] >> (pos & 63)) & 1u)) {
+            hit = false;
+            break;
+          }
+        }
+        out[base + i] = hit ? 1 : 0;
+        positives += hit ? 1 : 0;
+      }
+    }
+    return positives;
+  }
+
   /// Inserts `key` using explicit function indices `fns[0..n)`.
   void AddWith(std::string_view key, const uint8_t* fns, size_t n);
 
@@ -53,6 +116,7 @@ class BloomFilter {
   size_t num_hashes() const { return default_fns_.size(); }
   const std::vector<uint8_t>& default_fns() const { return default_fns_; }
   const HashProvider* provider() const { return provider_; }
+  const char* Name() const { return "bloom"; }
 
   /// Fraction of set bits (diagnostic; the load factor drives FPR).
   double FillRatio() const {
@@ -95,6 +159,7 @@ class SeededBloomFilter {
   size_t num_bits() const { return num_bits_; }
   size_t num_hashes() const { return k_; }
   size_t MemoryUsageBytes() const { return bits_.MemoryUsageBytes(); }
+  const char* Name() const { return "seeded-bloom"; }
 
  private:
   size_t num_bits_;

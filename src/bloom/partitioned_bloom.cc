@@ -48,4 +48,15 @@ bool PartitionedBloomFilter::MightContain(std::string_view key) const {
   return filter_.TestWith(key, fns, options_.k);
 }
 
+size_t PartitionedBloomFilter::ContainsBatch(KeySpan keys,
+                                             uint8_t* out) const {
+  return filter_.TestBatchWithResolver(
+      keys, options_.k,
+      [this, keys](size_t i, uint8_t* scratch) {
+        GroupFns(GroupOf(keys[i]), scratch);
+        return scratch;
+      },
+      out);
+}
+
 }  // namespace habf

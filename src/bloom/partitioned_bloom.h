@@ -35,10 +35,15 @@ class PartitionedBloomFilter {
 
   bool MightContain(std::string_view key) const;
 
+  /// Batched query (Filter concept): per-key group resolution, then the
+  /// prefetching hash-then-probe loop.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const;
+
   /// Group index assigned to `key`.
   size_t GroupOf(std::string_view key) const;
 
   size_t MemoryUsageBytes() const { return filter_.MemoryUsageBytes(); }
+  const char* Name() const { return "partitioned-bloom"; }
 
  private:
   void GroupFns(size_t group, uint8_t* fns) const;

@@ -34,10 +34,16 @@ class StandardBloom {
     return filter_.MightContain(key);
   }
 
+  /// Batched query (Filter concept): prefetching hash-then-probe loop.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const {
+    return filter_.ContainsBatch(keys, out);
+  }
+
   void Add(std::string_view key) { filter_.Add(key); }
 
   size_t num_hashes() const { return filter_.num_hashes(); }
   size_t MemoryUsageBytes() const { return filter_.MemoryUsageBytes(); }
+  const char* Name() const { return "standard-bloom"; }
   const BloomFilter& inner() const { return filter_; }
 
  private:
@@ -75,10 +81,16 @@ class DoubleHashBloom {
     return filter_.MightContain(key);
   }
 
+  /// Batched query (Filter concept): prefetching hash-then-probe loop.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const {
+    return filter_.ContainsBatch(keys, out);
+  }
+
   void Add(std::string_view key) { filter_.Add(key); }
 
   size_t num_hashes() const { return filter_.num_hashes(); }
   size_t MemoryUsageBytes() const { return filter_.MemoryUsageBytes(); }
+  const char* Name() const { return "double-hash-bloom"; }
   const BloomFilter& inner() const { return filter_; }
 
  private:

@@ -127,6 +127,37 @@ bool XorFilter::MightContain(std::string_view key) const {
   return stored == Fingerprint(key);
 }
 
+size_t XorFilter::ContainsBatch(KeySpan keys, uint8_t* out) const {
+  constexpr size_t kBlock = 32;
+  const unsigned w = fingerprint_bits_;
+  const uint64_t* words = slots_.words().data();
+  Slots3 slots[kBlock];
+  uint64_t fps[kBlock];
+  size_t positives = 0;
+  for (size_t base = 0; base < keys.size(); base += kBlock) {
+    const size_t count =
+        keys.size() - base < kBlock ? keys.size() - base : kBlock;
+    // Stage 1: hash the block; prefetch each key's three slot words.
+    for (size_t i = 0; i < count; ++i) {
+      slots[i] = SlotsOf(keys[base + i]);
+      fps[i] = Fingerprint(keys[base + i]);
+      __builtin_prefetch(&words[slots[i].h0 * w >> 6], 0, 3);
+      __builtin_prefetch(&words[slots[i].h1 * w >> 6], 0, 3);
+      __builtin_prefetch(&words[slots[i].h2 * w >> 6], 0, 3);
+    }
+    // Stage 2: xor-probe against the now-cached words.
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t stored = slots_.GetField(slots[i].h0 * w, w) ^
+                              slots_.GetField(slots[i].h1 * w, w) ^
+                              slots_.GetField(slots[i].h2 * w, w);
+      const bool hit = stored == fps[i];
+      out[base + i] = hit ? 1 : 0;
+      positives += hit ? 1 : 0;
+    }
+  }
+  return positives;
+}
+
 namespace {
 constexpr uint32_t kXorMagic = 0x46524F58;  // "XORF"
 constexpr uint32_t kXorVersion = 1;

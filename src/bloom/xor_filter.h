@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/filter_interface.h"
 #include "util/bitvector.h"
 
 namespace habf {
@@ -34,9 +35,14 @@ class XorFilter {
   /// Membership test (no false negatives for the build set).
   bool MightContain(std::string_view key) const;
 
+  /// Batched query (Filter concept): hashes and prefetches the three slot
+  /// words of a block of keys before any fingerprint comparison.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const;
+
   size_t num_slots() const { return 3 * segment_length_; }
   unsigned fingerprint_bits() const { return fingerprint_bits_; }
   size_t MemoryUsageBytes() const { return slots_.MemoryUsageBytes(); }
+  const char* Name() const { return "xor"; }
 
   /// Chooses the fingerprint width for a total space budget of
   /// `total_bits` over `num_keys` keys (paper §V-A: floor of

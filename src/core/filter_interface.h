@@ -1,0 +1,139 @@
+// The uniform Filter interface shared by every membership filter in this
+// repository, plus the batched query entry point (DESIGN.md §2).
+//
+// A type F models the Filter concept when, for `const F f`:
+//   * f.MightContain(std::string_view) -> bool     — one-sided membership
+//     test: never false for a build-set key;
+//   * f.MemoryUsageBytes() -> size_t               — resident filter bytes,
+//     the space the paper equalizes across competitors;
+//   * f.Name() -> const char*                      — short display label.
+//
+// Filters with a fast native batch path additionally implement
+//   * f.ContainsBatch(Span<const std::string_view> keys, uint8_t* out)
+//       -> size_t
+//     writing out[i] = 1/0 per key and returning the number of positives.
+//     Native implementations hash a block of keys first, prefetch every
+//     probed bit-array word, then probe — overlapping memory latency across
+//     keys instead of stalling on one lookup at a time.
+//
+// QueryBatch() below dispatches to the native path when present and to a
+// per-key fallback otherwise, so measurement code can treat every filter
+// uniformly. All query-side entry points are const and safe to call from
+// multiple threads concurrently after construction.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace habf {
+
+/// Minimal read-mostly span (C++17 has no std::span). Holds a pointer and a
+/// length; does not own the elements.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  /// Views a vector's contents (enabled for const element spans).
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::vector<std::remove_const_t<T>>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  /// The subrange [offset, offset + count); count is clamped to the tail.
+  constexpr Span subspan(size_t offset, size_t count) const {
+    const size_t avail = offset < size_ ? size_ - offset : 0;
+    return Span(data_ + offset, count < avail ? count : avail);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// The key batch type every ContainsBatch takes.
+using KeySpan = Span<const std::string_view>;
+
+/// Detects a native `size_t ContainsBatch(KeySpan, uint8_t*) const`.
+template <typename F, typename = void>
+struct HasNativeBatch : std::false_type {};
+template <typename F>
+struct HasNativeBatch<
+    F, std::void_t<decltype(static_cast<size_t>(
+           std::declval<const F&>().ContainsBatch(
+               std::declval<KeySpan>(), std::declval<uint8_t*>())))>>
+    : std::true_type {};
+
+/// Per-key fallback with ContainsBatch semantics: out[i] = 1 iff keys[i]
+/// tests positive; returns the positive count.
+template <typename F>
+size_t GenericContainsBatch(const F& filter, KeySpan keys, uint8_t* out) {
+  size_t positives = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const bool hit = filter.MightContain(keys[i]);
+    out[i] = hit ? 1 : 0;
+    positives += hit ? 1 : 0;
+  }
+  return positives;
+}
+
+/// Batched query over any Filter: the native ContainsBatch when the filter
+/// has one, the per-key fallback otherwise.
+template <typename F>
+size_t QueryBatch(const F& filter, KeySpan keys, uint8_t* out) {
+  if constexpr (HasNativeBatch<F>::value) {
+    return filter.ContainsBatch(keys, out);
+  } else {
+    return GenericContainsBatch(filter, keys, out);
+  }
+}
+
+/// Non-owning type-erased view of any Filter, for code that iterates over
+/// heterogeneous filters (benches, the CLI) without templates. The viewed
+/// filter must outlive the ref.
+class FilterRef {
+ public:
+  template <typename F>
+  explicit FilterRef(const F& filter)
+      : obj_(&filter),
+        name_(filter.Name()),
+        might_contain_([](const void* obj, std::string_view key) {
+          return static_cast<const F*>(obj)->MightContain(key);
+        }),
+        contains_batch_([](const void* obj, KeySpan keys, uint8_t* out) {
+          return QueryBatch(*static_cast<const F*>(obj), keys, out);
+        }),
+        memory_usage_([](const void* obj) {
+          return static_cast<const F*>(obj)->MemoryUsageBytes();
+        }) {}
+
+  bool MightContain(std::string_view key) const {
+    return might_contain_(obj_, key);
+  }
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const {
+    return contains_batch_(obj_, keys, out);
+  }
+  size_t MemoryUsageBytes() const { return memory_usage_(obj_); }
+  const char* Name() const { return name_; }
+
+ private:
+  const void* obj_;
+  const char* name_;
+  bool (*might_contain_)(const void*, std::string_view);
+  size_t (*contains_batch_)(const void*, KeySpan, uint8_t*);
+  size_t (*memory_usage_)(const void*);
+};
+
+}  // namespace habf

@@ -88,6 +88,24 @@ bool Habf::Contains(std::string_view key) const {
   return false;
 }
 
+size_t Habf::ContainsBatch(KeySpan keys, uint8_t* out) const {
+  // Round 1: batched H0 probe over the whole batch (prefetching loop).
+  size_t positives = bloom_.TestBatchWith(keys, h0_.data(), h0_.size(), out);
+  // Round 2: HashExpressor retrieval only for the first-round misses — on a
+  // mostly-positive batch this round touches almost nothing.
+  uint8_t fns[16];
+  const size_t k = h0_.size();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (out[i]) continue;
+    if (expressor_.Query(keys[i], fns, k) &&
+        bloom_.TestWith(keys[i], fns, k)) {
+      out[i] = 1;
+      ++positives;
+    }
+  }
+  return positives;
+}
+
 // ---------------------------------------------------------------------------
 // TPJO (Two-Phase Joint Optimization, §III-D)
 // ---------------------------------------------------------------------------

@@ -115,6 +115,15 @@ class Habf {
   /// this repository (so the shared measurement templates apply).
   bool MightContain(std::string_view key) const { return Contains(key); }
 
+  /// Batched two-round query (Filter concept): round 1 runs the prefetching
+  /// H0 probe loop over the whole batch; round 2 walks the HashExpressor
+  /// only for the keys round 1 missed. out[i] = 1/0 per key; returns the
+  /// positive count.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const;
+
+  /// Display label (Filter concept).
+  const char* Name() const { return options_.fast ? "f-habf" : "habf"; }
+
   /// First-round-only test (diagnostic; equals a standard BF probe with H0).
   bool ContainsFirstRound(std::string_view key) const {
     return bloom_.TestWith(key, h0_.data(), h0_.size());

@@ -7,8 +7,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/filter_interface.h"
 #include "util/timer.h"
 #include "workload/dataset.h"
 
@@ -63,6 +65,65 @@ double MeasureQueryNsPerKey(const Filter& filter,
   }
   const uint64_t nanos = watch.ElapsedNanos();
   DoNotOptimizeAway(hits);
+  return queries == 0 ? 0.0
+                      : static_cast<double>(nanos) /
+                            static_cast<double>(queries);
+}
+
+/// Weighted FPR measured through the batched query path (QueryBatch: native
+/// ContainsBatch when the filter has one, per-key fallback otherwise). Must
+/// agree exactly with MeasureWeightedFpr — the differential tests rely on it.
+template <typename Filter>
+double MeasureWeightedFprBatch(const Filter& filter,
+                               const std::vector<WeightedKey>& negatives,
+                               size_t batch_size = 256) {
+  if (batch_size == 0) batch_size = 1;
+  std::vector<std::string_view> keys;
+  keys.reserve(negatives.size());
+  for (const auto& wk : negatives) keys.push_back(wk.key);
+  std::vector<uint8_t> hits(batch_size);
+  double hit_cost = 0.0;
+  double total_cost = 0.0;
+  for (size_t base = 0; base < negatives.size(); base += batch_size) {
+    const size_t count = negatives.size() - base < batch_size
+                             ? negatives.size() - base
+                             : batch_size;
+    QueryBatch(filter, KeySpan(keys.data() + base, count), hits.data());
+    for (size_t i = 0; i < count; ++i) {
+      total_cost += negatives[base + i].cost;
+      if (hits[i]) hit_cost += negatives[base + i].cost;
+    }
+  }
+  return total_cost == 0.0 ? 0.0 : hit_cost / total_cost;
+}
+
+/// Average query latency in ns/key through the batched path, the batched
+/// counterpart of MeasureQueryNsPerKey (same key mix, same rounds).
+template <typename Filter>
+double MeasureBatchQueryNsPerKey(const Filter& filter,
+                                 const std::vector<std::string>& positives,
+                                 const std::vector<WeightedKey>& negatives,
+                                 size_t batch_size = 256, int rounds = 3) {
+  if (batch_size == 0) batch_size = 1;
+  std::vector<std::string_view> keys;
+  keys.reserve(positives.size() + negatives.size());
+  for (const auto& key : positives) keys.push_back(key);
+  for (const auto& wk : negatives) keys.push_back(wk.key);
+  std::vector<uint8_t> hits(batch_size);
+  size_t queries = 0;
+  size_t total_hits = 0;
+  Stopwatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t base = 0; base < keys.size(); base += batch_size) {
+      const size_t count =
+          keys.size() - base < batch_size ? keys.size() - base : batch_size;
+      total_hits +=
+          QueryBatch(filter, KeySpan(keys.data() + base, count), hits.data());
+      queries += count;
+    }
+  }
+  const uint64_t nanos = watch.ElapsedNanos();
+  DoNotOptimizeAway(total_hits);
   return queries == 0 ? 0.0
                       : static_cast<double>(nanos) /
                             static_cast<double>(queries);

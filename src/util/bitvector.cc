@@ -1,6 +1,6 @@
 #include "util/bitvector.h"
 
-#include <bit>
+#include <algorithm>
 #include <cassert>
 
 namespace habf {
@@ -40,7 +40,9 @@ void BitVector::Reset() {
 
 size_t BitVector::CountOnes() const {
   size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  for (uint64_t w : words_) {
+    total += static_cast<size_t>(__builtin_popcountll(w));
+  }
   return total;
 }
 

@@ -1,0 +1,123 @@
+// Concurrent-reader stress test: after construction every query entry point
+// (MightContain, ContainsBatch) is const and must be safe to call from many
+// threads sharing one filter. Each thread checks its answers against a
+// single-threaded baseline, so a data race that corrupts results is caught
+// directly, and a TSan build of this binary has real concurrency to observe.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bloom/standard_bloom.h"
+#include "bloom/xor_filter.h"
+#include "core/filter_interface.h"
+#include "core/habf.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+constexpr size_t kKeys = 3000;
+constexpr size_t kThreads = 8;
+constexpr int kRoundsPerThread = 5;
+
+const Dataset& SharedData() {
+  static const Dataset data = [] {
+    DatasetOptions options;
+    options.num_positives = kKeys;
+    options.num_negatives = kKeys;
+    options.seed = 1234;
+    return GenerateShallaLike(options);
+  }();
+  return data;
+}
+
+/// Mixed query stream: all positives and all negatives.
+std::vector<std::string_view> QueryKeys() {
+  std::vector<std::string_view> keys;
+  for (const auto& key : SharedData().positives) keys.push_back(key);
+  for (const auto& wk : SharedData().negatives) keys.push_back(wk.key);
+  return keys;
+}
+
+/// Runs kThreads readers over `filter`; each thread interleaves scalar and
+/// batched queries (different batch sizes per thread, so block boundaries
+/// differ) and compares every answer to `expected`.
+template <typename Filter>
+void StressConcurrentReaders(const Filter& filter,
+                             const std::vector<uint8_t>& expected,
+                             const std::vector<std::string_view>& keys) {
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t batch_size = 16 * (t + 1) + t;  // 17, 33, 50, ...
+      std::vector<uint8_t> out(batch_size);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        if ((static_cast<size_t>(round) + t) % 2 == 0) {
+          for (size_t base = 0; base < keys.size(); base += batch_size) {
+            const size_t count = keys.size() - base < batch_size
+                                     ? keys.size() - base
+                                     : batch_size;
+            QueryBatch(filter, KeySpan(keys.data() + base, count),
+                       out.data());
+            for (size_t i = 0; i < count; ++i) {
+              if (out[i] != expected[base + i]) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+        } else {
+          for (size_t i = 0; i < keys.size(); ++i) {
+            const uint8_t hit = filter.MightContain(keys[i]) ? 1 : 0;
+            if (hit != expected[i]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+template <typename Filter>
+std::vector<uint8_t> Baseline(const Filter& filter,
+                              const std::vector<std::string_view>& keys) {
+  std::vector<uint8_t> expected(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    expected[i] = filter.MightContain(keys[i]) ? 1 : 0;
+  }
+  return expected;
+}
+
+TEST(ConcurrentQueryTest, StandardBloomSharedAcrossThreads) {
+  const StandardBloom filter(SharedData().positives, 10 * kKeys);
+  const auto keys = QueryKeys();
+  StressConcurrentReaders(filter, Baseline(filter, keys), keys);
+}
+
+TEST(ConcurrentQueryTest, XorFilterSharedAcrossThreads) {
+  const auto filter = XorFilter::Build(SharedData().positives, 8);
+  ASSERT_TRUE(filter.has_value());
+  const auto keys = QueryKeys();
+  StressConcurrentReaders(*filter, Baseline(*filter, keys), keys);
+}
+
+TEST(ConcurrentQueryTest, HabfSharedAcrossThreads) {
+  HabfOptions options;
+  options.total_bits = 10 * kKeys;
+  const Habf filter =
+      Habf::Build(SharedData().positives, SharedData().negatives, options);
+  const auto keys = QueryKeys();
+  StressConcurrentReaders(filter, Baseline(filter, keys), keys);
+}
+
+}  // namespace
+}  // namespace habf

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
+#include <cstdint>
 #include <string>
 
 #include "hashing/hash_function.h"
@@ -34,7 +34,7 @@ TEST_P(AvalancheSweep, SingleBitFlipChangesAboutHalfTheOutput) {
     key[byte] = static_cast<char>(
         static_cast<unsigned char>(key[byte]) ^ (1u << rng.NextBounded(8)));
     const uint64_t after = family.Hash(idx, key, 0);
-    total_flips += static_cast<uint64_t>(std::popcount(before ^ after));
+    total_flips += static_cast<uint64_t>(__builtin_popcountll(before ^ after));
   }
   const double mean_flips =
       static_cast<double>(total_flips) / static_cast<double>(kTrials);

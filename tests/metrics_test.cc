@@ -56,6 +56,32 @@ TEST(MetricsTest, QueryTimingReturnsPositive) {
   EXPECT_GT(MeasureQueryNsPerKey(filter, positives, negatives, 2), 0.0);
 }
 
+TEST(MetricsTest, BatchFprAgreesWithScalarFpr) {
+  std::vector<WeightedKey> negatives;
+  for (int i = 0; i < 1000; ++i) {
+    negatives.push_back({"key-" + std::to_string(i),
+                         1.0 + static_cast<double>(i % 7)});
+  }
+  const auto filter = MakeFilterAdapter(
+      [](std::string_view key) { return key.size() % 3 == 0; });
+  // Odd batch sizes exercise partial tail batches; 0 falls back to 1.
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{256}, size_t{5000},
+                            size_t{0}}) {
+    EXPECT_DOUBLE_EQ(MeasureWeightedFprBatch(filter, negatives, batch_size),
+                     MeasureWeightedFpr(filter, negatives))
+        << "batch_size=" << batch_size;
+  }
+}
+
+TEST(MetricsTest, BatchQueryTimingReturnsPositive) {
+  std::vector<std::string> positives{"x", "y", "zz"};
+  std::vector<WeightedKey> negatives{{"w", 1.0}};
+  const auto filter =
+      MakeFilterAdapter([](std::string_view key) { return !key.empty(); });
+  EXPECT_GT(MeasureBatchQueryNsPerKey(filter, positives, negatives, 2, 2),
+            0.0);
+}
+
 TEST(MetricsTest, ConstructionTimingMeasuresBuild) {
   const double ns = MeasureConstructionNsPerKey(
       [] {
