@@ -1,0 +1,228 @@
+// Sharded HABF bench: parallel-vs-serial TPJO construction and sharded
+// batch-query throughput (results recorded into BENCH_query.json).
+//
+// Construction is HABF's dominant cost (paper §IV); the sharded build runs
+// S independent TPJO builds on a util/thread_pool.h pool, so on a T-core
+// host the expected construction speedup approaches min(S, T). The query
+// side measures the shard-grouping ContainsBatch against the unsharded
+// native batch loop.
+//
+// Usage: bench_sharded_build [--keys N] [--shards S] [--threads T]
+//                            [--repeats R] [--json]
+// Defaults: 200k keys, S = 8, T = hardware threads, 3 repeats, table output.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/filter_interface.h"
+#include "core/habf.h"
+#include "core/sharded_filter.h"
+#include "eval/metrics.h"
+#include "util/timer.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+struct Args {
+  size_t keys = 200000;
+  size_t shards = 8;
+  size_t threads = 0;  // 0 = hardware concurrency
+  int repeats = 3;
+  bool json = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--keys") {
+      if (const char* v = next()) args.keys = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shards") {
+      if (const char* v = next()) args.shards = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      if (const char* v = next()) args.threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--repeats") {
+      if (const char* v = next()) {
+        args.repeats = static_cast<int>(std::strtol(v, nullptr, 10));
+      }
+    } else if (arg == "--json") {
+      args.json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sharded_build [--keys N] [--shards S] "
+                   "[--threads T] [--repeats R] [--json]\n");
+      std::exit(1);
+    }
+  }
+  if (args.keys == 0 || args.shards == 0 || args.repeats < 1) {
+    std::fprintf(stderr, "bad arguments\n");
+    std::exit(1);
+  }
+  return args;
+}
+
+/// Best-of-R wall time of `fn` in nanoseconds (construction benches report
+/// the minimum: it is the least noise-contaminated estimate).
+template <typename Fn>
+uint64_t BestOf(int repeats, Fn&& fn) {
+  uint64_t best = ~uint64_t{0};
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedNanos());
+  }
+  return best;
+}
+
+struct Result {
+  std::string name;
+  uint64_t total_ns;
+  double ns_per_key;
+  double items_per_second;
+};
+
+void PrintResults(const std::vector<Result>& results, const Args& args,
+                  size_t effective_threads, double speedup) {
+  if (args.json) {
+    std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
+                "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
+                args.keys, args.shards, effective_threads, args.repeats);
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("    {\"name\": \"%s\", \"real_time\": %.1f, "
+                  "\"time_unit\": \"ns\", \"ns_per_key\": %.3f, "
+                  "\"items_per_second\": %.1f}%s\n",
+                  results[i].name.c_str(),
+                  static_cast<double>(results[i].total_ns),
+                  results[i].ns_per_key, results[i].items_per_second,
+                  i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"construction_speedup\": %.3f\n}\n", speedup);
+    return;
+  }
+  std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
+              args.shards, effective_threads, args.repeats);
+  for (const Result& r : results) {
+    std::printf("%-34s %12.1f ms  %8.1f ns/key  %12.0f keys/s\n",
+                r.name.c_str(), static_cast<double>(r.total_ns) / 1e6,
+                r.ns_per_key, r.items_per_second);
+  }
+  std::printf("parallel construction speedup: %.2fx\n", speedup);
+}
+
+}  // namespace
+}  // namespace habf
+
+int main(int argc, char** argv) {
+  using namespace habf;
+  const Args args = ParseArgs(argc, argv);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t effective_threads =
+      args.threads != 0 ? args.threads : (hw == 0 ? 1 : hw);
+
+  DatasetOptions data_options;
+  data_options.num_positives = args.keys;
+  data_options.num_negatives = args.keys;
+  data_options.seed = 99;
+  const Dataset data = GenerateShallaLike(data_options);
+
+  HabfOptions options;
+  options.total_bits = args.keys * 10;
+
+  ShardedBuildOptions serial_sharding;
+  serial_sharding.num_shards = args.shards;
+  serial_sharding.num_threads = 1;
+  ShardedBuildOptions parallel_sharding = serial_sharding;
+  parallel_sharding.num_threads = effective_threads;
+
+  std::vector<Result> results;
+  const double keys_d = static_cast<double>(args.keys);
+  auto record = [&](std::string name, uint64_t ns, double items) {
+    results.push_back({std::move(name), ns, static_cast<double>(ns) / items,
+                       items / (static_cast<double>(ns) * 1e-9)});
+    (void)keys_d;
+  };
+
+  // --- construction: unsharded vs sharded-serial vs sharded-parallel ------
+  const uint64_t unsharded_ns = BestOf(args.repeats, [&] {
+    DoNotOptimizeAway(Habf::Build(data.positives, data.negatives, options));
+  });
+  record("BM_HabfBuildUnsharded", unsharded_ns, keys_d);
+
+  const uint64_t serial_ns = BestOf(args.repeats, [&] {
+    DoNotOptimizeAway(
+        BuildShardedHabf(data.positives, data.negatives, options,
+                         serial_sharding));
+  });
+  record("BM_HabfBuildSharded_serial", serial_ns, keys_d);
+
+  const uint64_t parallel_ns = BestOf(args.repeats, [&] {
+    DoNotOptimizeAway(
+        BuildShardedHabf(data.positives, data.negatives, options,
+                         parallel_sharding));
+  });
+  record("BM_HabfBuildSharded_parallel", parallel_ns, keys_d);
+
+  const double speedup = static_cast<double>(serial_ns) /
+                         static_cast<double>(std::max<uint64_t>(parallel_ns, 1));
+
+  // --- query: unsharded native batch vs sharded grouped batch -------------
+  const Habf unsharded =
+      Habf::Build(data.positives, data.negatives, options);
+  const auto sharded = BuildShardedHabf(data.positives, data.negatives,
+                                        options, parallel_sharding);
+
+  std::vector<std::string_view> mixed;
+  mixed.reserve(2 * args.keys);
+  for (size_t i = 0; i < data.positives.size(); ++i) {
+    mixed.push_back(data.positives[i]);
+    mixed.push_back(data.negatives[i].key);
+  }
+
+  constexpr size_t kBatch = 256;
+  auto batch_sweep = [&](const auto& filter) {
+    std::vector<uint8_t> out(kBatch);
+    size_t positives = 0;
+    for (size_t base = 0; base < mixed.size(); base += kBatch) {
+      const size_t count = std::min(kBatch, mixed.size() - base);
+      positives +=
+          filter.ContainsBatch(KeySpan(mixed.data() + base, count),
+                               out.data());
+    }
+    DoNotOptimizeAway(positives);
+  };
+
+  const double mixed_d = static_cast<double>(mixed.size());
+  record("BM_HabfBatchUnsharded",
+         BestOf(args.repeats, [&] { batch_sweep(unsharded); }), mixed_d);
+  record("BM_HabfBatchSharded",
+         BestOf(args.repeats, [&] { batch_sweep(sharded); }), mixed_d);
+
+  // Scalar routing path for reference.
+  record("BM_HabfScalarSharded", BestOf(args.repeats, [&] {
+           size_t positives = 0;
+           for (const auto& key : mixed) {
+             positives += sharded.MightContain(key) ? 1 : 0;
+           }
+           DoNotOptimizeAway(positives);
+         }),
+         mixed_d);
+
+  PrintResults(results, args, effective_threads, speedup);
+
+  // Sanity: the sharded filter must keep the one-sided guarantee.
+  if (CountFalseNegatives(sharded, data.positives) != 0) {
+    std::fprintf(stderr, "FATAL: sharded filter dropped a positive key\n");
+    return 1;
+  }
+  return 0;
+}

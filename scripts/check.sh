@@ -9,4 +9,9 @@ build_type="${1:-Release}"
 cmake -B build -S . -DCMAKE_BUILD_TYPE="${build_type}"
 cmake --build build -j "$(nproc)"
 cd build
+# Explicit parallelism: temp-path races between test cases only show up when
+# ctest actually runs them concurrently.
 ctest --output-on-failure -j "$(nproc)"
+# The CLI suite writes real files; rerun it highly parallel and repeated so
+# a reintroduced shared-temp-path race fails here instead of flaking in CI.
+ctest --output-on-failure -j 8 --repeat until-fail:2 -R CliTest

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <numeric>
@@ -673,6 +674,14 @@ void Habf::Builder::ProcessQueue() {
 namespace {
 constexpr uint32_t kSnapshotMagic = 0x46424148;  // "HABF"
 constexpr uint32_t kSnapshotVersion = 1;
+/// Upper bound on total_bits accepted from a snapshot header (8 GiB of
+/// filter). A corrupt or hostile header past this is rejected before
+/// ComputeSizing can turn it into a huge allocation.
+constexpr uint64_t kMaxSnapshotBits = uint64_t{1} << 36;
+/// Upper bound on the space ratio Δ. The paper explores Δ ≤ 4; values far
+/// beyond that starve the Bloom side entirely and only appear in corrupt
+/// headers.
+constexpr double kMaxSnapshotDelta = 1e6;
 }  // namespace
 
 void Habf::Serialize(std::string* out) const {
@@ -710,15 +719,24 @@ std::optional<Habf> Habf::Deserialize(std::string_view data) {
   const uint64_t expressor_inserted = reader.ReadU64();
   std::vector<uint64_t> bloom_words = reader.ReadWords();
   std::vector<uint64_t> cell_words = reader.ReadWords();
-  if (!reader.ok()) return std::nullopt;
-  if (options.total_bits < 64 || options.cell_bits < 2 ||
-      options.cell_bits > 8 || options.k == 0 || options.k > 16 ||
-      options.delta < 0.0) {
+  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  if (options.total_bits < 64 || options.total_bits > kMaxSnapshotBits ||
+      options.cell_bits < 2 || options.cell_bits > 8 || options.k == 0 ||
+      options.k > 16 || !std::isfinite(options.delta) ||
+      options.delta < 0.0 || options.delta > kMaxSnapshotDelta) {
     return std::nullopt;
   }
 
   const Sizing sizing = ComputeSizing(options);
   if (options.k > sizing.usable_fns) return std::nullopt;
+  // Cross-check the payload sizes against the header-derived sizing before
+  // constructing (and therefore allocating) anything: a corrupt header
+  // cannot force an allocation larger than the actual payload.
+  if (bloom_words.size() != (sizing.bloom_bits + 63) / 64 ||
+      cell_words.size() !=
+          (sizing.num_cells * options.cell_bits + 63) / 64) {
+    return std::nullopt;
+  }
   Habf habf(options, sizing);
   // H0 is derived from the seed; the stored copy must agree or the snapshot
   // was produced by an incompatible build.

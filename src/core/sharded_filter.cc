@@ -1,0 +1,106 @@
+#include "core/sharded_filter.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "hashing/hash_function.h"  // Fmix64
+#include "util/thread_pool.h"
+
+namespace habf {
+namespace {
+
+/// Per-shard build seed: decorrelated from the global seed and from the
+/// routing salt so no shard shares probe positions with another.
+uint64_t ShardSeed(uint64_t base_seed, size_t shard) {
+  return Fmix64(base_seed ^ (0x9E3779B97F4A7C15ULL * (shard + 1)));
+}
+
+}  // namespace
+
+ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
+                                     const std::vector<WeightedKey>& negatives,
+                                     const HabfOptions& options,
+                                     const ShardedBuildOptions& sharding) {
+  // Clamp to the bound the snapshot reader enforces, so every built filter
+  // can be persisted and loaded back.
+  const size_t num_shards =
+      std::min(std::max<size_t>(1, sharding.num_shards), kMaxSnapshotShards);
+  if (num_shards == 1) {
+    std::vector<Habf> shards;
+    shards.push_back(Habf::Build(positives, negatives, options));
+    return ShardedFilter<Habf>(std::move(shards), sharding.salt);
+  }
+
+  // Hash-partition both build sets by the routing salt. The partitions are
+  // key *copies* — Habf::Build takes concrete string vectors — so peak key
+  // memory during a sharded build is ~2x the input (a span-based Build is a
+  // ROADMAP follow-up). Count first so each partition allocates exactly
+  // once instead of growth-reallocating.
+  std::vector<size_t> pos_counts(num_shards, 0);
+  std::vector<size_t> neg_counts(num_shards, 0);
+  for (const std::string& key : positives) {
+    ++pos_counts[ShardOfKey(key, sharding.salt, num_shards)];
+  }
+  for (const WeightedKey& wk : negatives) {
+    ++neg_counts[ShardOfKey(wk.key, sharding.salt, num_shards)];
+  }
+  std::vector<std::vector<std::string>> shard_positives(num_shards);
+  std::vector<std::vector<WeightedKey>> shard_negatives(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_positives[s].reserve(pos_counts[s]);
+    shard_negatives[s].reserve(neg_counts[s]);
+  }
+  for (const std::string& key : positives) {
+    shard_positives[ShardOfKey(key, sharding.salt, num_shards)].push_back(key);
+  }
+  for (const WeightedKey& wk : negatives) {
+    shard_negatives[ShardOfKey(wk.key, sharding.salt, num_shards)].push_back(
+        wk);
+  }
+
+  // Split the global bit budget proportionally to each shard's positive-key
+  // count (bits-per-key invariant); empty shards get the 64-bit floor the
+  // sizing rule requires.
+  const size_t total_keys = positives.size();
+  std::vector<HabfOptions> shard_options(num_shards, options);
+  for (size_t s = 0; s < num_shards; ++s) {
+    size_t bits =
+        total_keys == 0
+            ? options.total_bits / num_shards
+            : static_cast<size_t>(static_cast<double>(options.total_bits) *
+                                  static_cast<double>(
+                                      shard_positives[s].size()) /
+                                  static_cast<double>(total_keys));
+    shard_options[s].total_bits = std::max<size_t>(bits, 64);
+    shard_options[s].seed = ShardSeed(options.seed, s);
+  }
+
+  size_t num_threads = sharding.num_threads;
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  num_threads = std::min(num_threads, num_shards);
+
+  // One build task per shard. Habf has no default constructor, so workers
+  // fill a vector of optionals that is unwrapped after the barrier. The
+  // pool runs inline when only one worker is useful.
+  std::vector<std::optional<Habf>> built(num_shards);
+  {
+    ThreadPool pool(num_threads <= 1 ? 0 : num_threads);
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool.Submit([&, s] {
+        built[s] = Habf::Build(shard_positives[s], shard_negatives[s],
+                               shard_options[s]);
+      });
+    }
+    pool.WaitAll();
+  }
+
+  std::vector<Habf> shards;
+  shards.reserve(num_shards);
+  for (std::optional<Habf>& shard : built) shards.push_back(std::move(*shard));
+  return ShardedFilter<Habf>(std::move(shards), sharding.salt);
+}
+
+}  // namespace habf

@@ -1,0 +1,250 @@
+// Sharded filter (DESIGN.md §4): hash-partitions the key space into S
+// shards, each an independent filter over its slice of the keys. This is
+// the multi-core answer to the paper's dominant cost, TPJO construction
+// (paper §IV): S shard builds are embarrassingly parallel and run on a
+// util/thread_pool.h worker pool, while queries route by the shard hash.
+//
+// ShardedFilter<F> models the Filter concept itself:
+//   * MightContain routes the key to its shard;
+//   * ContainsBatch groups a batch by shard, runs each shard's native
+//     prefetching batch loop over its group, and scatters the answers back;
+//   * MemoryUsageBytes sums the shards.
+// so every measurement template, FilterRef, and the CLI work on it
+// unchanged. The sharded snapshot is versioned and wraps one sub-snapshot
+// per shard through the shard filter's own Serialize/Deserialize.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bloom/weighted_bloom.h"  // for WeightedKey
+#include "core/filter_interface.h"
+#include "core/habf.h"
+#include "hashing/xxhash.h"
+#include "util/serde.h"
+
+namespace habf {
+
+/// Salt of the shard-routing hash. Distinct from every seed used inside the
+/// shard filters so routing stays independent of their probe positions.
+constexpr uint64_t kDefaultShardSalt = 0x5348415244ULL;  // "SHARD"
+
+/// Sharded snapshot framing (magic + version + shard directory).
+constexpr uint32_t kShardedSnapshotMagic = 0x44524853;  // "SHRD"
+constexpr uint32_t kShardedSnapshotVersion = 1;
+/// Upper bound on the shard count accepted from a snapshot header; anything
+/// larger is a corrupt or hostile file, not a real deployment.
+constexpr size_t kMaxSnapshotShards = 4096;
+
+/// Shard of `key` under `salt`: a routing hash independent of the filters'
+/// probe hashing.
+inline size_t ShardOfKey(std::string_view key, uint64_t salt,
+                         size_t num_shards) {
+  return static_cast<size_t>(XxHash64(key.data(), key.size(), salt) %
+                             num_shards);
+}
+
+/// Build/runtime parameters of the sharded build entry points.
+struct ShardedBuildOptions {
+  /// Number of hash partitions (>= 1).
+  size_t num_shards = 1;
+  /// Worker threads for the parallel build; 0 = one per hardware thread
+  /// (capped at num_shards). 1 shard always builds inline.
+  size_t num_threads = 0;
+  /// Shard-routing salt; persisted in the snapshot so queries on a restored
+  /// filter route identically.
+  uint64_t salt = kDefaultShardSalt;
+};
+
+/// A filter hash-partitioned into independent per-shard filters. F must
+/// model the Filter concept; Serialize/Deserialize additionally require
+/// `void F::Serialize(std::string*) const` and
+/// `static std::optional<F> F::Deserialize(std::string_view)`.
+template <typename F>
+class ShardedFilter {
+ public:
+  /// Assembles a sharded filter from already-built shards. The shard
+  /// assignment of every key queried later must match the partitioning the
+  /// shards were built with (same salt, same shard count).
+  ShardedFilter(std::vector<F> shards, uint64_t salt)
+      : shards_(std::move(shards)), salt_(salt) {
+    assert(!shards_.empty());
+    assert(shards_.size() <= kMaxSnapshotShards);  // else Deserialize rejects
+    name_ = std::string("sharded-") + shards_.front().Name();
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t salt() const { return salt_; }
+  const F& shard(size_t i) const { return shards_[i]; }
+
+  size_t ShardOf(std::string_view key) const {
+    return ShardOfKey(key, salt_, shards_.size());
+  }
+
+  // --- Filter concept -----------------------------------------------------
+
+  bool MightContain(std::string_view key) const {
+    return shards_[ShardOf(key)].MightContain(key);
+  }
+
+  /// Groups the batch by shard, runs each shard's native batch loop over
+  /// its contiguous group, and scatters the per-key answers back into
+  /// `out[]` in input order. Returns the positive count. The grouping
+  /// scratch is thread-local (grown, never shrunk) so steady-state batch
+  /// queries allocate nothing; concurrent readers each use their own.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const {
+    const size_t n = keys.size();
+    if (n == 0) return 0;
+    if (shards_.size() == 1) return QueryBatch(shards_[0], keys, out);
+
+    static thread_local BatchScratch scratch;
+    scratch.Resize(n, shards_.size());
+
+    // Pass 1: route every key and count the group sizes.
+    std::fill(scratch.offsets.begin(), scratch.offsets.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t s = ShardOf(keys[i]);
+      scratch.shard_of[i] = static_cast<uint32_t>(s);
+      ++scratch.offsets[s + 1];
+    }
+    for (size_t s = 1; s <= shards_.size(); ++s) {
+      scratch.offsets[s] += scratch.offsets[s - 1];
+    }
+
+    // Pass 2: gather each shard's keys contiguously, remembering the
+    // original slot of every gathered key.
+    std::copy(scratch.offsets.begin(), scratch.offsets.end() - 1,
+              scratch.cursor.begin());
+    for (size_t i = 0; i < n; ++i) {
+      const size_t slot = scratch.cursor[scratch.shard_of[i]]++;
+      scratch.grouped[slot] = keys[i];
+      scratch.origin[slot] = static_cast<uint32_t>(i);
+    }
+
+    // Pass 3: one native batch query per non-empty group, then scatter.
+    size_t positives = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const size_t begin = scratch.offsets[s];
+      const size_t count = scratch.offsets[s + 1] - begin;
+      if (count == 0) continue;
+      positives += QueryBatch(shards_[s],
+                              KeySpan(scratch.grouped.data() + begin, count),
+                              scratch.grouped_out.data() + begin);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[scratch.origin[i]] = scratch.grouped_out[i];
+    }
+    return positives;
+  }
+
+  size_t MemoryUsageBytes() const {
+    size_t total = 0;
+    for (const F& shard : shards_) total += shard.MemoryUsageBytes();
+    return total;
+  }
+
+  const char* Name() const { return name_.c_str(); }
+
+  // --- persistence (versioned sharded snapshot) ---------------------------
+
+  /// Appends the sharded snapshot: framing header plus one length-prefixed
+  /// sub-snapshot per shard (each produced by F::Serialize).
+  void Serialize(std::string* out) const {
+    BinaryWriter writer(out);
+    writer.WriteU32(kShardedSnapshotMagic);
+    writer.WriteU32(kShardedSnapshotVersion);
+    writer.WriteU64(salt_);
+    writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+    for (const F& shard : shards_) {
+      std::string sub;
+      shard.Serialize(&sub);
+      writer.WriteBytes(sub);
+    }
+  }
+
+  /// Restores a sharded filter. Returns nullopt on any framing error, an
+  /// out-of-range shard count, trailing garbage, or a sub-snapshot F
+  /// rejects.
+  static std::optional<ShardedFilter> Deserialize(std::string_view data) {
+    BinaryReader reader(data);
+    if (reader.ReadU32() != kShardedSnapshotMagic) return std::nullopt;
+    if (reader.ReadU32() != kShardedSnapshotVersion) return std::nullopt;
+    const uint64_t salt = reader.ReadU64();
+    const uint32_t num_shards = reader.ReadU32();
+    if (!reader.ok() || num_shards == 0 || num_shards > kMaxSnapshotShards) {
+      return std::nullopt;
+    }
+    std::vector<F> shards;
+    shards.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const std::string sub = reader.ReadBytes();
+      if (!reader.ok()) return std::nullopt;
+      std::optional<F> shard = F::Deserialize(sub);
+      if (!shard.has_value()) return std::nullopt;
+      shards.push_back(std::move(*shard));
+    }
+    if (reader.remaining() != 0) return std::nullopt;
+    return ShardedFilter(std::move(shards), salt);
+  }
+
+  bool SaveToFile(const std::string& path) const {
+    std::string bytes;
+    Serialize(&bytes);
+    return WriteFileBytes(path, bytes);
+  }
+
+  static std::optional<ShardedFilter> LoadFromFile(const std::string& path) {
+    std::string bytes;
+    if (!ReadFileBytes(path, &bytes)) return std::nullopt;
+    return Deserialize(bytes);
+  }
+
+ private:
+  /// Per-thread grouping workspace of ContainsBatch.
+  struct BatchScratch {
+    std::vector<uint32_t> shard_of;
+    std::vector<uint32_t> origin;
+    std::vector<size_t> offsets;
+    std::vector<size_t> cursor;
+    std::vector<std::string_view> grouped;
+    std::vector<uint8_t> grouped_out;
+
+    void Resize(size_t num_keys, size_t num_shards) {
+      if (shard_of.size() < num_keys) {
+        shard_of.resize(num_keys);
+        origin.resize(num_keys);
+        grouped.resize(num_keys);
+        grouped_out.resize(num_keys);
+      }
+      if (offsets.size() < num_shards + 1) {
+        offsets.resize(num_shards + 1);
+        cursor.resize(num_shards);
+      }
+    }
+  };
+
+  std::vector<F> shards_;
+  uint64_t salt_;
+  std::string name_;
+};
+
+/// Hash-partitions the build sets and runs one TPJO build per shard on a
+/// worker pool (parallel across shards; each shard build is the unchanged
+/// single-threaded algorithm). `options.total_bits` is the *global* budget,
+/// split across shards proportionally to their positive-key counts so
+/// bits-per-key — and therefore the FPR bound — is preserved. With
+/// num_shards == 1 the result answers identically to Habf::Build.
+ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
+                                     const std::vector<WeightedKey>& negatives,
+                                     const HabfOptions& options,
+                                     const ShardedBuildOptions& sharding);
+
+}  // namespace habf

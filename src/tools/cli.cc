@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/habf.h"
+#include "core/sharded_filter.h"
 #include "eval/metrics.h"
 #include "util/serde.h"
 #include "workload/dataset.h"
@@ -19,7 +20,7 @@ constexpr char kUsage[] =
     "usage: habf_tool <command> [options]\n"
     "  build    --positives FILE --out FILTER [--negatives FILE]\n"
     "           [--bits-per-key N] [--delta D] [--k K] [--cell-bits C]\n"
-    "           [--fast]\n"
+    "           [--fast] [--shards N] [--threads T]\n"
     "  query    --filter FILTER (--key KEY ... | --keys FILE)\n"
     "  stats    --filter FILTER\n"
     "  eval     --filter FILTER --negatives FILE\n"
@@ -169,6 +170,45 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
   }
   options.fast = flags.Has("fast");
 
+  ShardedBuildOptions sharding;
+  if (const std::string* v = flags.GetOne("shards")) {
+    if (!ParseSize(*v, &sharding.num_shards) || sharding.num_shards == 0 ||
+        sharding.num_shards > kMaxSnapshotShards) {
+      *err += "bad --shards\n";
+      return 1;
+    }
+  }
+  if (const std::string* v = flags.GetOne("threads")) {
+    if (!ParseSize(*v, &sharding.num_threads)) {
+      *err += "bad --threads\n";
+      return 1;
+    }
+  }
+
+  if (sharding.num_shards > 1) {
+    const ShardedFilter<Habf> filter =
+        BuildShardedHabf(positives, negatives, options, sharding);
+    if (!filter.SaveToFile(*out_path)) {
+      *err += "cannot write " + *out_path + "\n";
+      return 2;
+    }
+    size_t optimized = 0;
+    size_t collisions = 0;
+    for (size_t s = 0; s < filter.num_shards(); ++s) {
+      optimized += filter.shard(s).stats().optimized;
+      collisions += filter.shard(s).stats().initial_collisions;
+    }
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "built %s: %zu positives, %zu negatives, %zu shards, "
+                  "%zu/%zu collision keys optimized, %zu bytes\n",
+                  out_path->c_str(), positives.size(), negatives.size(),
+                  filter.num_shards(), optimized, collisions,
+                  filter.MemoryUsageBytes());
+    *out += line;
+    return 0;
+  }
+
   const Habf filter = Habf::Build(positives, negatives, options);
   if (!filter.SaveToFile(*out_path)) {
     *err += "cannot write " + *out_path + "\n";
@@ -185,17 +225,50 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
   return 0;
 }
 
-std::optional<Habf> LoadFilter(const Flags& flags, std::string* err) {
+/// A filter restored from either snapshot format (unsharded HABF or the
+/// sharded wrapper). Models enough of the Filter concept for the query,
+/// stats, and eval commands.
+struct LoadedFilter {
+  std::optional<Habf> single;
+  std::optional<ShardedFilter<Habf>> sharded;
+
+  bool MightContain(std::string_view key) const {
+    return single.has_value() ? single->Contains(key)
+                              : sharded->MightContain(key);
+  }
+  size_t MemoryUsageBytes() const {
+    return single.has_value() ? single->MemoryUsageBytes()
+                              : sharded->MemoryUsageBytes();
+  }
+  size_t num_shards() const {
+    return single.has_value() ? 1 : sharded->num_shards();
+  }
+  /// Options of the filter (shard 0's for a sharded snapshot — every shard
+  /// shares k/cell_bits/delta/fast; total_bits and seed are per shard).
+  const HabfOptions& options() const {
+    return single.has_value() ? single->options() : sharded->shard(0).options();
+  }
+};
+
+std::optional<LoadedFilter> LoadFilter(const Flags& flags, std::string* err) {
   const std::string* path = flags.GetOne("filter");
   if (path == nullptr) {
     *err += "missing --filter\n";
     return std::nullopt;
   }
-  auto filter = Habf::LoadFromFile(*path);
-  if (!filter.has_value()) {
+  std::string bytes;
+  if (!ReadFileBytes(*path, &bytes)) {
     *err += "cannot load filter from " + *path + "\n";
+    return std::nullopt;
   }
-  return filter;
+  LoadedFilter loaded;
+  loaded.sharded = ShardedFilter<Habf>::Deserialize(bytes);
+  if (!loaded.sharded.has_value()) loaded.single = Habf::Deserialize(bytes);
+  if (!loaded.sharded.has_value() && !loaded.single.has_value()) {
+    *err += "cannot load filter from " + *path + "\n";
+    return std::nullopt;
+  }
+  return loaded;
 }
 
 int CmdQuery(const Flags& flags, std::string* out, std::string* err) {
@@ -214,7 +287,7 @@ int CmdQuery(const Flags& flags, std::string* out, std::string* err) {
   }
   for (const std::string& key : keys) {
     *out += key;
-    *out += filter->Contains(key) ? "\tmaybe-in-set\n" : "\tnot-in-set\n";
+    *out += filter->MightContain(key) ? "\tmaybe-in-set\n" : "\tnot-in-set\n";
   }
   return 0;
 }
@@ -223,17 +296,49 @@ int CmdStats(const Flags& flags, std::string* out, std::string* err) {
   auto filter = LoadFilter(flags, err);
   if (!filter.has_value()) return 2;
   const HabfOptions& options = filter->options();
+  // Aggregate the per-shard tallies (an unsharded filter is one "shard").
+  size_t total_bits = 0;
+  size_t bloom_bits = 0;
+  size_t expressor_cells = 0;
+  size_t expressor_inserted = 0;
+  size_t dynamic_insertions = 0;
+  auto tally = [&](const Habf& habf) {
+    total_bits += habf.options().total_bits;
+    bloom_bits += habf.bloom().num_bits();
+    expressor_cells += habf.expressor().num_cells();
+    expressor_inserted += habf.expressor().num_inserted();
+    dynamic_insertions += habf.dynamic_insertions();
+  };
+  if (filter->single.has_value()) {
+    tally(*filter->single);
+  } else {
+    for (size_t s = 0; s < filter->sharded->num_shards(); ++s) {
+      tally(filter->sharded->shard(s));
+    }
+  }
+  // A sharded snapshot stores the routing salt but not the global build
+  // seed (each shard carries its own derived seed), so printing shard 0's
+  // seed would show a value no build flag can reproduce — report the salt
+  // instead.
+  char origin[64];
+  if (filter->single.has_value()) {
+    std::snprintf(origin, sizeof(origin), "seed=%llu",
+                  static_cast<unsigned long long>(options.seed));
+  } else {
+    std::snprintf(origin, sizeof(origin), "salt=%llu",
+                  static_cast<unsigned long long>(filter->sharded->salt()));
+  }
   char line[512];
   std::snprintf(
       line, sizeof(line),
-      "total_bits=%zu delta=%.3f k=%zu cell_bits=%u fast=%d seed=%llu\n"
+      "total_bits=%zu delta=%.3f k=%zu cell_bits=%u fast=%d %s "
+      "shards=%zu\n"
       "bloom_bits=%zu expressor_cells=%zu expressor_inserted=%zu\n"
       "memory_bytes=%zu dynamic_insertions=%zu\n",
-      options.total_bits, options.delta, options.k, options.cell_bits,
-      options.fast ? 1 : 0, static_cast<unsigned long long>(options.seed),
-      filter->bloom().num_bits(), filter->expressor().num_cells(),
-      filter->expressor().num_inserted(), filter->MemoryUsageBytes(),
-      filter->dynamic_insertions());
+      total_bits, options.delta, options.k, options.cell_bits,
+      options.fast ? 1 : 0, origin, filter->num_shards(), bloom_bits,
+      expressor_cells, expressor_inserted, filter->MemoryUsageBytes(),
+      dynamic_insertions);
   *out += line;
   return 0;
 }

@@ -1,0 +1,103 @@
+// Fixed-size worker pool with a Submit/WaitAll API, used by the sharded
+// build path (core/sharded_filter.h) to run S independent TPJO builds in
+// parallel. Deliberately minimal: no futures, no task priorities — callers
+// submit void() tasks and synchronize with WaitAll().
+//
+// Thread-safety: Submit and WaitAll may be called from multiple threads;
+// tasks run on the worker threads (or inline when the pool has no workers).
+// Tasks must not throw — an escaped exception terminates the process, which
+// is the behavior we want for build workers (a failed shard build is a bug,
+// not a recoverable condition).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace habf {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers. 0 means *inline mode*: Submit runs the
+  /// task on the calling thread — the degenerate pool every parallel caller
+  /// can use unconditionally on single-core hosts.
+  explicit ThreadPool(size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// Enqueues `task` (runs it inline in a 0-worker pool). Safe to call while
+  /// other tasks are running; tasks submitted from within a task are also
+  /// drained before a concurrent WaitAll returns.
+  void Submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far (and any tasks those tasks
+  /// submitted) has finished. The pool is reusable afterwards.
+  void WaitAll() {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_workers_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and nothing left to run
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--unfinished_ == 0) all_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_workers_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t unfinished_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace habf

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -18,7 +19,13 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir();
+    // One directory per test case: gtest_discover_tests registers every case
+    // as its own ctest test, so a parallel `ctest -j` runs several CliTest
+    // cases concurrently — fixed shared filenames under TempDir() race.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "cli_test_" + info->name();
+    std::filesystem::create_directories(dir_);
     positives_path_ = dir_ + "/cli_positives.txt";
     negatives_path_ = dir_ + "/cli_negatives.txt";
     filter_path_ = dir_ + "/cli_filter.habf";
@@ -39,9 +46,8 @@ class CliTest : public ::testing::Test {
   }
 
   void TearDown() override {
-    std::remove(positives_path_.c_str());
-    std::remove(negatives_path_.c_str());
-    std::remove(filter_path_.c_str());
+    std::error_code ec;  // best-effort cleanup; never fail the test
+    std::filesystem::remove_all(dir_, ec);
   }
 
   int Run(std::vector<std::string> args) {
@@ -170,6 +176,44 @@ TEST_F(CliTest, GenerateRejectsBadArguments) {
   EXPECT_EQ(Run({"generate", "--dataset", "ycsb"}), 1);
   EXPECT_EQ(Run({"generate", "--dataset", "ycsb", "--positives", "a",
                  "--negatives", "b", "--count", "0"}),
+            1);
+}
+
+TEST_F(CliTest, ShardedBuildQueryStatsEvalPipeline) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--out", filter_path_, "--shards", "4",
+                 "--threads", "2"}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("4 shards"), std::string::npos);
+
+  // Zero false negatives through the sharded snapshot.
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--keys",
+                 positives_path_}),
+            0)
+      << err_;
+  EXPECT_EQ(out_.find("not-in-set"), std::string::npos)
+      << "a positive key was rejected by the sharded filter";
+
+  ASSERT_EQ(Run({"stats", "--filter", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("shards=4"), std::string::npos);
+
+  ASSERT_EQ(Run({"eval", "--filter", filter_path_, "--negatives",
+                 negatives_path_}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("weighted_fpr="), std::string::npos);
+}
+
+TEST_F(CliTest, ShardedBuildRejectsBadArguments) {
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "0"}),
+            1);
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "banana"}),
+            1);
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "2", "--threads", "x"}),
             1);
 }
 

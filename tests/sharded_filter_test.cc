@@ -1,0 +1,310 @@
+// Tests of the sharded filter subsystem (core/sharded_filter.h): build
+// correctness across shard/thread counts, the differential guarantee that
+// the shard-grouping batch path answers exactly like per-key routing, the
+// single-shard equivalence with an unsharded build, snapshot round-trips,
+// and concurrent readers sharing one sharded filter.
+
+#include "core/sharded_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/filter_interface.h"
+#include "core/habf.h"
+#include "eval/metrics.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+constexpr size_t kKeys = 6000;
+constexpr double kBitsPerKey = 10.0;
+
+const Dataset& SharedData() {
+  static const Dataset data = [] {
+    DatasetOptions options;
+    options.num_positives = kKeys;
+    options.num_negatives = kKeys;
+    options.seed = 4242;
+    return GenerateShallaLike(options);
+  }();
+  return data;
+}
+
+HabfOptions BaseOptions() {
+  HabfOptions options;
+  options.total_bits = static_cast<size_t>(kBitsPerKey * kKeys);
+  return options;
+}
+
+ShardedFilter<Habf> BuildSharded(size_t shards, size_t threads) {
+  ShardedBuildOptions sharding;
+  sharding.num_shards = shards;
+  sharding.num_threads = threads;
+  return BuildShardedHabf(SharedData().positives, SharedData().negatives,
+                          BaseOptions(), sharding);
+}
+
+/// Adversarial query batches: empty batch, empty-string keys, duplicates,
+/// an all-negative stream, and a mixed stream crossing shard boundaries.
+std::vector<std::vector<std::string>> AdversarialBatches() {
+  std::vector<std::vector<std::string>> batches;
+  batches.push_back({});
+  batches.push_back({""});
+  batches.push_back({SharedData().positives[0]});
+
+  std::vector<std::string> duplicates(41, SharedData().positives[3]);
+  duplicates[7] = SharedData().negatives[11].key;
+  duplicates[23] = "";
+  batches.push_back(duplicates);
+
+  std::vector<std::string> all_negative;
+  for (size_t i = 0; i < 500; ++i) {
+    all_negative.push_back("definitely-absent-" + std::to_string(i));
+  }
+  batches.push_back(all_negative);
+
+  std::vector<std::string> mixed;
+  for (size_t i = 0; i < 300; ++i) {
+    mixed.push_back(i % 2 == 0 ? SharedData().positives[i]
+                               : SharedData().negatives[i].key);
+  }
+  batches.push_back(mixed);
+  return batches;
+}
+
+/// Batch answers must match per-key routing bit for bit, and the returned
+/// count must equal the written 1 bytes.
+template <typename Filter>
+void ExpectBatchMatchesScalar(const Filter& filter) {
+  for (const auto& batch : AdversarialBatches()) {
+    std::vector<std::string_view> keys(batch.begin(), batch.end());
+    std::vector<uint8_t> out(batch.size() + 1, 0xAB);  // +1 canary slot
+    const size_t positives =
+        filter.ContainsBatch(KeySpan(keys.data(), keys.size()), out.data());
+    size_t written_ones = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const uint8_t expected = filter.MightContain(keys[i]) ? 1 : 0;
+      EXPECT_EQ(out[i], expected) << "key " << i << " of " << keys.size();
+      written_ones += out[i];
+    }
+    EXPECT_EQ(positives, written_ones);
+    EXPECT_EQ(out[batch.size()], 0xAB) << "wrote past the batch";
+  }
+}
+
+TEST(ShardedFilterTest, ZeroFalseNegativesAcrossShardCounts) {
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    const auto filter = BuildSharded(shards, 2);
+    EXPECT_EQ(filter.num_shards(), shards);
+    EXPECT_EQ(CountFalseNegatives(filter, SharedData().positives), 0u)
+        << shards << " shards";
+  }
+}
+
+TEST(ShardedFilterTest, BatchMatchesScalarOnAdversarialBatches) {
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{7}}) {
+    ExpectBatchMatchesScalar(BuildSharded(shards, 2));
+  }
+}
+
+TEST(ShardedFilterTest, SingleShardAnswersExactlyLikeUnsharded) {
+  const Habf unsharded = Habf::Build(SharedData().positives,
+                                     SharedData().negatives, BaseOptions());
+  const auto sharded = BuildSharded(1, 1);
+  for (const auto& key : SharedData().positives) {
+    ASSERT_TRUE(sharded.MightContain(key));
+  }
+  for (const auto& wk : SharedData().negatives) {
+    EXPECT_EQ(unsharded.Contains(wk.key), sharded.MightContain(wk.key))
+        << wk.key;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::string probe = "probe-" + std::to_string(i);
+    EXPECT_EQ(unsharded.Contains(probe), sharded.MightContain(probe));
+  }
+}
+
+TEST(ShardedFilterTest, ThreadCountDoesNotChangeTheFilter) {
+  // The build is deterministic per shard, so worker scheduling must not
+  // change any answer.
+  const auto serial = BuildSharded(4, 1);
+  const auto parallel = BuildSharded(4, 4);
+  for (const auto& wk : SharedData().negatives) {
+    EXPECT_EQ(serial.MightContain(wk.key), parallel.MightContain(wk.key));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::string probe = "sched-probe-" + std::to_string(i);
+    EXPECT_EQ(serial.MightContain(probe), parallel.MightContain(probe));
+  }
+}
+
+TEST(ShardedFilterTest, WeightedFprComparableToUnsharded) {
+  const Habf unsharded = Habf::Build(SharedData().positives,
+                                     SharedData().negatives, BaseOptions());
+  const auto sharded = BuildSharded(4, 2);
+  const double fpr_unsharded =
+      MeasureWeightedFpr(unsharded, SharedData().negatives);
+  const double fpr_sharded =
+      MeasureWeightedFpr(sharded, SharedData().negatives);
+  // Sharding keeps bits-per-key, so the optimized-away weighted FPR must
+  // stay in the same regime (generous factor: shards are smaller filters).
+  EXPECT_LE(fpr_sharded, fpr_unsharded * 3 + 0.02)
+      << "unsharded=" << fpr_unsharded << " sharded=" << fpr_sharded;
+}
+
+TEST(ShardedFilterTest, FilterRefAndQueryBatchInterop) {
+  const auto filter = BuildSharded(3, 2);
+  const FilterRef ref(filter);
+  EXPECT_EQ(ref.MemoryUsageBytes(), filter.MemoryUsageBytes());
+  EXPECT_STREQ(ref.Name(), "sharded-habf");
+  std::vector<std::string_view> keys;
+  for (size_t i = 0; i < 64; ++i) keys.push_back(SharedData().positives[i]);
+  std::vector<uint8_t> out(keys.size());
+  EXPECT_EQ(ref.ContainsBatch(KeySpan(keys.data(), keys.size()), out.data()),
+            keys.size());
+}
+
+TEST(ShardedFilterTest, SnapshotRoundTripPreservesEveryAnswer) {
+  const auto original = BuildSharded(4, 2);
+  std::string bytes;
+  original.Serialize(&bytes);
+  const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_shards(), original.num_shards());
+  EXPECT_EQ(restored->salt(), original.salt());
+  for (const auto& key : SharedData().positives) {
+    ASSERT_TRUE(restored->MightContain(key)) << key;
+  }
+  for (const auto& wk : SharedData().negatives) {
+    EXPECT_EQ(original.MightContain(wk.key), restored->MightContain(wk.key));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::string probe = "snap-probe-" + std::to_string(i);
+    EXPECT_EQ(original.MightContain(probe), restored->MightContain(probe));
+  }
+}
+
+TEST(ShardedFilterTest, SnapshotCorruptionRejected) {
+  const auto original = BuildSharded(3, 1);
+  std::string bytes;
+  original.Serialize(&bytes);
+
+  std::string bad = bytes;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(bad).has_value());
+
+  bad = bytes;
+  bad[4] ^= 0x01;  // version
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(bad).has_value());
+
+  for (size_t cut : {size_t{0}, size_t{7}, size_t{17}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(
+                     std::string_view(bytes).substr(0, cut))
+                     .has_value())
+        << "cut=" << cut;
+  }
+
+  // Trailing garbage must be rejected, not silently ignored.
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(bytes + "x").has_value());
+
+  // A hostile shard count cannot trigger a huge reserve: the count field is
+  // right after magic+version+salt.
+  bad = bytes;
+  bad[16] = static_cast<char>(0xFF);
+  bad[17] = static_cast<char>(0xFF);
+  bad[18] = static_cast<char>(0xFF);
+  bad[19] = static_cast<char>(0xFF);
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(bad).has_value());
+}
+
+TEST(ShardedFilterTest, BuilderClampsShardCountToSnapshotBound) {
+  // A shard count beyond what Deserialize accepts would produce a filter
+  // that saves but can never load; the builder clamps instead.
+  std::vector<std::string> positives;
+  for (int i = 0; i < 100; ++i) positives.push_back("c-" + std::to_string(i));
+  HabfOptions options;
+  options.total_bits = size_t{64} * (kMaxSnapshotShards + 16);
+  ShardedBuildOptions sharding;
+  sharding.num_shards = kMaxSnapshotShards + 10;
+  sharding.num_threads = 1;
+  const auto filter = BuildShardedHabf(positives, {}, options, sharding);
+  EXPECT_EQ(filter.num_shards(), kMaxSnapshotShards);
+  std::string bytes;
+  filter.Serialize(&bytes);
+  const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_shards(), kMaxSnapshotShards);
+  for (const auto& key : positives) EXPECT_TRUE(restored->MightContain(key));
+}
+
+TEST(ShardedFilterTest, FileRoundTrip) {
+  const auto original = BuildSharded(2, 2);
+  const std::string path =
+      ::testing::TempDir() + "sharded_filter_test.habf";
+  ASSERT_TRUE(original.SaveToFile(path));
+  const auto restored = ShardedFilter<Habf>::LoadFromFile(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_shards(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      ShardedFilter<Habf>::LoadFromFile(path + ".missing").has_value());
+}
+
+TEST(ShardedFilterTest, ConcurrentReadersSeeConsistentAnswers) {
+  const auto filter = BuildSharded(4, 2);
+
+  std::vector<std::string_view> keys;
+  for (const auto& key : SharedData().positives) keys.push_back(key);
+  for (const auto& wk : SharedData().negatives) keys.push_back(wk.key);
+
+  std::vector<uint8_t> expected(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    expected[i] = filter.MightContain(keys[i]) ? 1 : 0;
+  }
+
+  constexpr size_t kThreads = 8;
+  constexpr int kRounds = 4;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t batch_size = 16 * (t + 1) + t;  // staggered block edges
+      std::vector<uint8_t> out(batch_size);
+      for (int round = 0; round < kRounds; ++round) {
+        if ((static_cast<size_t>(round) + t) % 2 == 0) {
+          for (size_t base = 0; base < keys.size(); base += batch_size) {
+            const size_t count = keys.size() - base < batch_size
+                                     ? keys.size() - base
+                                     : batch_size;
+            filter.ContainsBatch(KeySpan(keys.data() + base, count),
+                                 out.data());
+            for (size_t i = 0; i < count; ++i) {
+              if (out[i] != expected[base + i]) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+        } else {
+          for (size_t i = 0; i < keys.size(); ++i) {
+            if ((filter.MightContain(keys[i]) ? 1 : 0) != expected[i]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace habf

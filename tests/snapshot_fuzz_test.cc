@@ -1,0 +1,189 @@
+// Deterministic fuzzing of snapshot loading: random truncations and bit
+// flips over serialized HABF and sharded-HABF snapshots must never crash,
+// abort, or allocate absurdly — Deserialize either rejects the bytes or
+// returns a filter whose queries run safely. Also drives crafted hostile
+// headers (NaN/Inf delta, absurd total_bits) at the field offsets of the
+// version-1 format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/habf.h"
+#include "core/sharded_filter.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace {
+
+// Version-1 HABF snapshot header offsets (see Habf::Serialize): magic u32,
+// version u32, total_bits u64, delta f64, k u64, cell_bits u8, fast u8,
+// seed u64, then the variable-length payload.
+constexpr size_t kOffTotalBits = 8;
+constexpr size_t kOffDelta = 16;
+constexpr size_t kOffK = 24;
+
+const Dataset& SharedData() {
+  static const Dataset data = [] {
+    DatasetOptions options;
+    options.num_positives = 2000;
+    options.num_negatives = 2000;
+    options.seed = 909;
+    return GenerateShallaLike(options);
+  }();
+  return data;
+}
+
+std::string HabfSnapshot() {
+  HabfOptions options;
+  options.total_bits = 2000 * 10;
+  const Habf filter =
+      Habf::Build(SharedData().positives, SharedData().negatives, options);
+  std::string bytes;
+  filter.Serialize(&bytes);
+  return bytes;
+}
+
+std::string ShardedSnapshot() {
+  HabfOptions options;
+  options.total_bits = 2000 * 10;
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 3;
+  sharding.num_threads = 1;
+  const auto filter = BuildShardedHabf(SharedData().positives,
+                                       SharedData().negatives, options,
+                                       sharding);
+  std::string bytes;
+  filter.Serialize(&bytes);
+  return bytes;
+}
+
+/// Loads `bytes` with `deserialize` and, when a filter comes back, runs a
+/// few queries — the contract under corruption is "reject or behave", never
+/// crash.
+template <typename DeserializeFn>
+void LoadAndProbe(const std::string& bytes, DeserializeFn&& deserialize) {
+  const auto filter = deserialize(std::string_view(bytes));
+  if (!filter.has_value()) return;
+  for (int i = 0; i < 8; ++i) {
+    (void)filter->MightContain("fuzz-probe-" + std::to_string(i));
+  }
+  (void)filter->MightContain("");
+}
+
+template <typename DeserializeFn>
+void FuzzTruncations(const std::string& bytes, DeserializeFn&& deserialize) {
+  Xoshiro256 rng(0xF022ULL);
+  for (int iter = 0; iter < 150; ++iter) {
+    const size_t cut = rng.NextBounded(bytes.size());
+    LoadAndProbe(bytes.substr(0, cut), deserialize);
+  }
+  // Every prefix of the header region, exhaustively.
+  for (size_t cut = 0; cut < 64 && cut < bytes.size(); ++cut) {
+    LoadAndProbe(bytes.substr(0, cut), deserialize);
+  }
+}
+
+template <typename DeserializeFn>
+void FuzzBitFlips(const std::string& bytes, DeserializeFn&& deserialize) {
+  Xoshiro256 rng(0xB17FULL);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string mutated = bytes;
+    const size_t flips = 1 + rng.NextBounded(8);
+    for (size_t f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] = static_cast<char>(
+          static_cast<uint8_t>(mutated[pos]) ^
+          static_cast<uint8_t>(1u << rng.NextBounded(8)));
+    }
+    LoadAndProbe(mutated, deserialize);
+  }
+}
+
+void PatchU64(std::string* bytes, size_t offset, uint64_t value) {
+  ASSERT_LE(offset + 8, bytes->size());
+  std::memcpy(bytes->data() + offset, &value, 8);
+}
+
+void PatchDouble(std::string* bytes, size_t offset, double value) {
+  uint64_t raw;
+  std::memcpy(&raw, &value, 8);
+  PatchU64(bytes, offset, raw);
+}
+
+TEST(SnapshotFuzzTest, HabfTruncationsNeverCrash) {
+  FuzzTruncations(HabfSnapshot(), Habf::Deserialize);
+}
+
+TEST(SnapshotFuzzTest, HabfBitFlipsNeverCrash) {
+  FuzzBitFlips(HabfSnapshot(), Habf::Deserialize);
+}
+
+TEST(SnapshotFuzzTest, ShardedTruncationsNeverCrash) {
+  FuzzTruncations(ShardedSnapshot(), ShardedFilter<Habf>::Deserialize);
+}
+
+TEST(SnapshotFuzzTest, ShardedBitFlipsNeverCrash) {
+  FuzzBitFlips(ShardedSnapshot(), ShardedFilter<Habf>::Deserialize);
+}
+
+TEST(SnapshotFuzzTest, NonFiniteDeltaRejected) {
+  for (double hostile : {std::nan(""), HUGE_VAL, -HUGE_VAL, 1e300}) {
+    std::string bytes = HabfSnapshot();
+    PatchDouble(&bytes, kOffDelta, hostile);
+    EXPECT_FALSE(Habf::Deserialize(bytes).has_value()) << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, AbsurdTotalBitsRejected) {
+  for (uint64_t hostile :
+       {uint64_t{0}, uint64_t{63}, uint64_t{1} << 40, uint64_t{1} << 62,
+        ~uint64_t{0}}) {
+    std::string bytes = HabfSnapshot();
+    PatchU64(&bytes, kOffTotalBits, hostile);
+    EXPECT_FALSE(Habf::Deserialize(bytes).has_value()) << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, AbsurdKRejected) {
+  for (uint64_t hostile : {uint64_t{0}, uint64_t{17}, uint64_t{255},
+                           uint64_t{1} << 33}) {
+    std::string bytes = HabfSnapshot();
+    PatchU64(&bytes, kOffK, hostile);
+    EXPECT_FALSE(Habf::Deserialize(bytes).has_value()) << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, MismatchedPayloadSizesRejected) {
+  // A plausible header over a payload sized for a different filter: the
+  // word-count cross-check must reject it before allocating for the header.
+  std::string bytes = HabfSnapshot();
+  PatchU64(&bytes, kOffTotalBits, uint64_t{1} << 30);
+  EXPECT_FALSE(Habf::Deserialize(bytes).has_value());
+}
+
+TEST(SnapshotFuzzTest, TrailingGarbageRejected) {
+  const std::string habf_bytes = HabfSnapshot();
+  EXPECT_FALSE(Habf::Deserialize(habf_bytes + "x").has_value());
+  EXPECT_FALSE(
+      Habf::Deserialize(habf_bytes + std::string(64, '\0')).has_value());
+  const std::string sharded_bytes = ShardedSnapshot();
+  EXPECT_FALSE(
+      ShardedFilter<Habf>::Deserialize(sharded_bytes + "x").has_value());
+}
+
+TEST(SnapshotFuzzTest, EmptyAndTinyInputsRejected) {
+  EXPECT_FALSE(Habf::Deserialize("").has_value());
+  EXPECT_FALSE(Habf::Deserialize("H").has_value());
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize("").has_value());
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize("SHRD").has_value());
+}
+
+}  // namespace
+}  // namespace habf

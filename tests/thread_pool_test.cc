@@ -1,0 +1,109 @@
+// Tests of the fixed worker pool (util/thread_pool.h): task completion,
+// WaitAll semantics, pool reuse, inline (0-worker) mode, and a contention
+// stress that a TSan build can observe.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace habf {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, WaitAllBlocksUntilSlowTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 6; ++i) {
+    pool.Submit([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      finished.fetch_add(1);
+    });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(finished.load(), 6);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterWaitAll) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+  pool.WaitAll();  // must not block with nothing pending
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 9);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitAll: destruction must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  constexpr size_t kChunks = 64;
+  constexpr size_t kPerChunk = 10000;
+  std::vector<uint64_t> partial(kChunks, 0);
+  ThreadPool pool(4);
+  for (size_t c = 0; c < kChunks; ++c) {
+    pool.Submit([&partial, c] {
+      uint64_t sum = 0;
+      for (size_t i = 0; i < kPerChunk; ++i) sum += c * kPerChunk + i;
+      partial[c] = sum;
+    });
+  }
+  pool.WaitAll();
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  const uint64_t n = kChunks * kPerChunk;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace habf
