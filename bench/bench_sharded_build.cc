@@ -1,11 +1,17 @@
-// Sharded HABF bench: parallel-vs-serial TPJO construction and sharded
-// batch-query throughput (results recorded into BENCH_query.json).
+// Sharded HABF bench: parallel-vs-serial TPJO construction, the zero-copy
+// partitioning memory win, and sharded batch-query throughput — serial
+// grouping and the pooled per-shard fan-out (results recorded into
+// BENCH_query.json).
 //
 // Construction is HABF's dominant cost (paper §IV); the sharded build runs
 // S independent TPJO builds on a util/thread_pool.h pool, so on a T-core
-// host the expected construction speedup approaches min(S, T). The query
-// side measures the shard-grouping ContainsBatch against the unsharded
-// native batch loop.
+// host the expected construction speedup approaches min(S, T). The memory
+// section compares the span-based partitioning (shard-contiguous view
+// permutations over the caller's keys) against a bench-local replica of the
+// old copying partition (per-shard std::string vectors), via both exact
+// logical partition bytes and per-build peak-RSS deltas, each build forked
+// into its own child (identical inherited heap, VmHWM reset via clear_refs)
+// so neither build can hide allocations in pages the other faulted in.
 //
 // Usage: bench_sharded_build [--keys N] [--shards S] [--threads T]
 //                            [--repeats R] [--json]
@@ -14,15 +20,25 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#if defined(__GLIBC__)
+#include <malloc.h>  // malloc_trim
+#endif
+
 #include "core/filter_interface.h"
 #include "core/habf.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
+#include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/dataset.h"
 
@@ -90,8 +106,57 @@ struct Result {
   double items_per_second;
 };
 
+/// Partition-memory comparison of the zero-copy sharded build against the
+/// old copying partition: exact logical byte counts plus per-build peak-RSS
+/// deltas measured in forked children.
+struct MemoryReport {
+  size_t input_key_bytes = 0;      // key payload held by the caller
+  size_t span_partition_bytes = 0; // views + shard ids + offsets
+  size_t copy_partition_bytes = 0; // per-shard string/WeightedKey copies
+  /// Per-build peak RSS growth, each measured in its own forked child so
+  /// both builds start from the identical heap snapshot (in-process, the
+  /// second build hides its allocations in pages the first already faulted
+  /// in). 0 when fork//proc is unavailable.
+  size_t peak_rss_delta_span_build = 0;
+  size_t peak_rss_delta_copy_build = 0;
+};
+
+/// Runs `build` in a forked child and returns the child's peak-RSS growth
+/// (VmHWM reset via clear_refs, then peak - rss_before). COW makes the
+/// parent's dataset free to share; every build allocation faults private
+/// pages that count toward the delta.
+size_t PeakRssDeltaInChild(const std::function<void()>& build) {
+  int fds[2];
+  if (pipe(fds) != 0) return 0;
+  const pid_t pid = fork();
+  if (pid == 0) {
+    close(fds[0]);
+    // Without the watermark reset the reading would be the inherited
+    // lifetime peak (dataset generation included), not this build's — keep
+    // the documented "0 when unavailable" instead of recording garbage.
+    const bool reset_ok = ResetPeakResidentSetBytes();
+    const size_t before = ReadResidentSetBytes();
+    build();
+    const size_t peak = ReadPeakResidentSetBytes();
+    const size_t delta =
+        reset_ok && peak > before ? peak - before : 0;
+    ssize_t ignored = write(fds[1], &delta, sizeof(delta));
+    (void)ignored;
+    _exit(0);
+  }
+  close(fds[1]);
+  size_t delta = 0;
+  if (pid < 0 || read(fds[0], &delta, sizeof(delta)) != sizeof(delta)) {
+    delta = 0;
+  }
+  close(fds[0]);
+  if (pid > 0) waitpid(pid, nullptr, 0);
+  return delta;
+}
+
 void PrintResults(const std::vector<Result>& results, const Args& args,
-                  size_t effective_threads, double speedup) {
+                  size_t effective_threads, double speedup,
+                  const MemoryReport& memory) {
   if (args.json) {
     std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
                 "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
@@ -105,7 +170,21 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
                   results[i].ns_per_key, results[i].items_per_second,
                   i + 1 < results.size() ? "," : "");
     }
-    std::printf("  ],\n  \"construction_speedup\": %.3f\n}\n", speedup);
+    std::printf("  ],\n  \"construction_speedup\": %.3f,\n", speedup);
+    std::printf(
+        "  \"partition_memory\": {\n"
+        "    \"input_key_bytes\": %zu,\n"
+        "    \"span_partition_bytes\": %zu,\n"
+        "    \"copy_partition_bytes\": %zu,\n"
+        "    \"copy_over_span_ratio\": %.2f,\n"
+        "    \"peak_rss_delta_span_build\": %zu,\n"
+        "    \"peak_rss_delta_copy_build\": %zu\n  }\n}\n",
+        memory.input_key_bytes, memory.span_partition_bytes,
+        memory.copy_partition_bytes,
+        static_cast<double>(memory.copy_partition_bytes) /
+            static_cast<double>(std::max<size_t>(memory.span_partition_bytes,
+                                                 1)),
+        memory.peak_rss_delta_span_build, memory.peak_rss_delta_copy_build);
     return;
   }
   std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
@@ -116,6 +195,59 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
                 r.ns_per_key, r.items_per_second);
   }
   std::printf("parallel construction speedup: %.2fx\n", speedup);
+  std::printf(
+      "partition memory: input keys %.1f MiB; span views %.1f MiB vs key "
+      "copies %.1f MiB (%.1fx); per-build peak RSS delta %.1f MiB (span) "
+      "vs %.1f MiB (copy)\n",
+      memory.input_key_bytes / 1048576.0,
+      memory.span_partition_bytes / 1048576.0,
+      memory.copy_partition_bytes / 1048576.0,
+      static_cast<double>(memory.copy_partition_bytes) /
+          static_cast<double>(std::max<size_t>(memory.span_partition_bytes,
+                                               1)),
+      memory.peak_rss_delta_span_build / 1048576.0,
+      memory.peak_rss_delta_copy_build / 1048576.0);
+}
+
+/// The PR-2 copying partition, kept as the memory-comparison reference: a
+/// full per-shard copy of every key (the ~2x peak the zero-copy partition
+/// eliminated), then one serial build per shard on the same apportioned
+/// budgets. Returns the logical partition bytes through *partition_bytes.
+std::vector<Habf> BuildShardedCopyingReference(
+    const std::vector<std::string>& positives,
+    const std::vector<WeightedKey>& negatives, const HabfOptions& options,
+    size_t num_shards, uint64_t salt, size_t* partition_bytes) {
+  std::vector<std::vector<std::string>> shard_positives(num_shards);
+  std::vector<std::vector<WeightedKey>> shard_negatives(num_shards);
+  for (const std::string& key : positives) {
+    shard_positives[ShardOfKey(key, salt, num_shards)].push_back(key);
+  }
+  for (const WeightedKey& wk : negatives) {
+    shard_negatives[ShardOfKey(wk.key, salt, num_shards)].push_back(wk);
+  }
+  *partition_bytes = 0;
+  std::vector<size_t> pos_counts(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    pos_counts[s] = shard_positives[s].size();
+    for (const std::string& key : shard_positives[s]) {
+      *partition_bytes += sizeof(std::string) + key.size();
+    }
+    for (const WeightedKey& wk : shard_negatives[s]) {
+      *partition_bytes += sizeof(WeightedKey) + wk.key.size();
+    }
+  }
+  const std::vector<size_t> bits =
+      ApportionShardBits(options.total_bits, pos_counts);
+  std::vector<Habf> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    HabfOptions shard_options = options;
+    shard_options.total_bits = bits[s];
+    shard_options.seed = options.seed + s;
+    shards.push_back(
+        Habf::Build(shard_positives[s], shard_negatives[s], shard_options));
+  }
+  return shards;
 }
 
 }  // namespace
@@ -151,6 +283,45 @@ int main(int argc, char** argv) {
                        items / (static_cast<double>(ns) * 1e-9)});
     (void)keys_d;
   };
+
+  // --- partition memory: zero-copy span build vs copying reference --------
+  // Span build first: VmHWM is monotone, so whatever the copying build
+  // pushes the peak *beyond* the span build's is the copy overhead.
+  MemoryReport memory;
+  for (const auto& key : data.positives) memory.input_key_bytes += key.size();
+  for (const auto& wk : data.negatives) {
+    memory.input_key_bytes += wk.key.size();
+  }
+  memory.span_partition_bytes =
+      data.positives.size() *
+          (sizeof(std::string_view) + sizeof(uint32_t)) +
+      data.negatives.size() * (sizeof(WeightedKeyView) + sizeof(uint32_t)) +
+      2 * (args.shards + 1) * sizeof(size_t);
+  // Tighten the parent heap once, then fork one child per build: both
+  // children inherit the same heap snapshot, so their VmHWM deltas are
+  // directly comparable.
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  memory.peak_rss_delta_span_build = PeakRssDeltaInChild([&] {
+    DoNotOptimizeAway(BuildShardedHabf(data.positives, data.negatives,
+                                       options, serial_sharding));
+  });
+  memory.peak_rss_delta_copy_build = PeakRssDeltaInChild([&] {
+    size_t bytes = 0;
+    DoNotOptimizeAway(BuildShardedCopyingReference(
+        data.positives, data.negatives, options, args.shards,
+        kDefaultShardSalt, &bytes));
+  });
+  // The copy build in the child cannot report back its logical byte count
+  // through DoNotOptimizeAway, so compute it (cheaply, no builds) here.
+  memory.copy_partition_bytes = 0;
+  for (const auto& key : data.positives) {
+    memory.copy_partition_bytes += sizeof(std::string) + key.size();
+  }
+  for (const auto& wk : data.negatives) {
+    memory.copy_partition_bytes += sizeof(WeightedKey) + wk.key.size();
+  }
 
   // --- construction: unsharded vs sharded-serial vs sharded-parallel ------
   const uint64_t unsharded_ns = BestOf(args.repeats, [&] {
@@ -207,6 +378,31 @@ int main(int argc, char** argv) {
   record("BM_HabfBatchSharded",
          BestOf(args.repeats, [&] { batch_sweep(sharded); }), mixed_d);
 
+  // Pooled per-shard fan-out vs the serial grouped path, at a batch size
+  // large enough (8192) for the per-shard groups to amortize the task
+  // hand-off. The fan-out only helps with real cores; recorded either way.
+  constexpr size_t kLargeBatch = 8192;
+  auto large_batch_sweep = [&](const auto& filter) {
+    std::vector<uint8_t> out(kLargeBatch);
+    size_t positives = 0;
+    for (size_t base = 0; base < mixed.size(); base += kLargeBatch) {
+      const size_t count = std::min(kLargeBatch, mixed.size() - base);
+      positives += filter.ContainsBatch(
+          KeySpan(mixed.data() + base, count), out.data());
+    }
+    DoNotOptimizeAway(positives);
+  };
+  record("BM_HabfBatchShardedLarge",
+         BestOf(args.repeats, [&] { large_batch_sweep(sharded); }), mixed_d);
+  {
+    ThreadPool query_pool(effective_threads <= 1 ? 0 : effective_threads);
+    auto pooled = BuildShardedHabf(data.positives, data.negatives, options,
+                                   parallel_sharding);
+    pooled.SetQueryPool(&query_pool, /*min_parallel_keys=*/kLargeBatch);
+    record("BM_HabfBatchShardedLargePooled",
+           BestOf(args.repeats, [&] { large_batch_sweep(pooled); }), mixed_d);
+  }
+
   // Scalar routing path for reference.
   record("BM_HabfScalarSharded", BestOf(args.repeats, [&] {
            size_t positives = 0;
@@ -217,7 +413,7 @@ int main(int argc, char** argv) {
          }),
          mixed_d);
 
-  PrintResults(results, args, effective_threads, speedup);
+  PrintResults(results, args, effective_threads, speedup, memory);
 
   // Sanity: the sharded filter must keep the one-sided guarantee.
   if (CountFalseNegatives(sharded, data.positives) != 0) {

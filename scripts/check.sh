@@ -1,14 +1,34 @@
 #!/usr/bin/env bash
 # Local mirror of the tier-1 verify (and of .github/workflows/ci.yml):
-# configure + build + ctest. Usage: scripts/check.sh [Release|Debug]
+# configure + build + ctest.
+#
+# Usage: scripts/check.sh [Release|Debug] [--sanitize]
+#   --sanitize builds into build-sanitize/ with ASan+UBSan
+#   (-DHABF_SANITIZE=ON), which races/overflow-checks the concurrent
+#   sharded build and pooled query fan-out paths.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-build_type="${1:-Release}"
+build_type="Release"
+build_dir="build"
+sanitize_flags=()
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize)
+      build_dir="build-sanitize"
+      build_type="Debug"
+      sanitize_flags=(-DHABF_SANITIZE=ON)
+      ;;
+    Release|Debug) build_type="$arg" ;;
+    *) echo "usage: $0 [Release|Debug] [--sanitize]" >&2; exit 1 ;;
+  esac
+done
 
-cmake -B build -S . -DCMAKE_BUILD_TYPE="${build_type}"
-cmake --build build -j "$(nproc)"
-cd build
+# The +-expansion keeps `set -u` happy on bash < 4.4 when the array is empty.
+cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}" \
+  ${sanitize_flags[@]+"${sanitize_flags[@]}"}
+cmake --build "${build_dir}" -j "$(nproc)"
+cd "${build_dir}"
 # Explicit parallelism: temp-path races between test cases only show up when
 # ctest actually runs them concurrently.
 ctest --output-on-failure -j "$(nproc)"

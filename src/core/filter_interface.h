@@ -66,6 +66,26 @@ class Span {
 /// The key batch type every ContainsBatch takes.
 using KeySpan = Span<const std::string_view>;
 
+/// A span of key views — the build-set type of the span-based build entry
+/// points (Habf::Build, BuildShardedHabf). Deliberately the same type as
+/// KeySpan (the name marks build-set vs. query-batch intent); the viewed
+/// key bytes live in caller storage and must outlive the call.
+using StringSpan = KeySpan;
+
+/// Non-owning counterpart of WeightedKey (bloom/weighted_bloom.h): a key
+/// view with its misidentification cost Θ(e). Lets the sharded build
+/// partition weighted negatives without copying key bytes.
+struct WeightedKeyView {
+  std::string_view key;
+  double cost = 1.0;
+
+  constexpr WeightedKeyView() = default;
+  constexpr WeightedKeyView(std::string_view k, double c) : key(k), cost(c) {}
+};
+
+/// The weighted-negative batch type of the span-based build entry points.
+using WeightedKeySpan = Span<const WeightedKeyView>;
+
 /// Detects a native `size_t ContainsBatch(KeySpan, uint8_t*) const`.
 template <typename F, typename = void>
 struct HasNativeBatch : std::false_type {};

@@ -113,8 +113,7 @@ size_t Habf::ContainsBatch(KeySpan keys, uint8_t* out) const {
 
 class Habf::Builder {
  public:
-  Builder(Habf& habf, const std::vector<std::string>& positives,
-          const std::vector<WeightedKey>& negatives)
+  Builder(Habf& habf, StringSpan positives, WeightedKeySpan negatives)
       : habf_(habf),
         positives_(positives),
         negatives_(negatives),
@@ -248,8 +247,10 @@ class Habf::Builder {
   void RecordMemory();
 
   Habf& habf_;
-  const std::vector<std::string>& positives_;
-  const std::vector<WeightedKey>& negatives_;
+  // Non-owning views over the caller's key storage (zero-copy build): valid
+  // for the lifetime of the Builder, which lives inside Build().
+  StringSpan positives_;
+  WeightedKeySpan negatives_;
   size_t k_;
 
   // V (Fig. 4), struct-of-arrays: singleflag + keyid per Bloom-filter bit.
@@ -316,7 +317,7 @@ void Habf::Builder::BuildCollisionQueue() {
 void Habf::Builder::GatherCandidatesForUnit(int32_t neg_idx, size_t unit,
                                             int32_t es, bool demote,
                                             std::vector<Candidate>* out) {
-  const std::string& es_key = positives_[es];
+  const std::string_view es_key = positives_[es];
   const double eck_cost = negatives_[neg_idx].cost;
 
   // Locate hu: the (unique, since singleflag==1) member of φ(es) mapping es
@@ -400,7 +401,7 @@ void Habf::Builder::GatherCandidatesForUnit(int32_t neg_idx, size_t unit,
 
 bool Habf::Builder::TestsPositive(int32_t neg_idx, const uint8_t** fns_out,
                                   size_t* n_out) const {
-  const std::string& key = negatives_[neg_idx].key;
+  const std::string_view key = negatives_[neg_idx].key;
   if (habf_.bloom_.TestWith(key, habf_.h0_.data(), k_)) {
     *fns_out = habf_.h0_.data();
     *n_out = k_;
@@ -418,7 +419,7 @@ bool Habf::Builder::TestsPositive(int32_t neg_idx, const uint8_t** fns_out,
 
 bool Habf::Builder::TryOptimize(int32_t neg_idx, const uint8_t* fns,
                                 size_t n) {
-  const std::string& eck = negatives_[neg_idx].key;
+  const std::string_view eck = negatives_[neg_idx].key;
 
   // ξck: units mapped by eck that are singly mapped by an unadjusted
   // positive key (§III-D and Theorem 4.1).
@@ -583,7 +584,7 @@ void Habf::Builder::RecordMemory() {
   mem.Add("positive_phi", phi_.size() * sizeof(phi_[0]) + adjusted_.size());
   size_t neg_bytes = 0;
   for (const auto& wk : negatives_) {
-    neg_bytes += wk.key.size() + sizeof(double) + sizeof(std::string);
+    neg_bytes += wk.key.size() + sizeof(WeightedKeyView);
   }
   mem.Add("negative_keys", neg_bytes);
   mem.Add("collision_queue",
@@ -764,8 +765,7 @@ std::optional<Habf> Habf::LoadFromFile(const std::string& path) {
   return Deserialize(bytes);
 }
 
-Habf Habf::Build(const std::vector<std::string>& positives,
-                 const std::vector<WeightedKey>& negatives,
+Habf Habf::Build(StringSpan positives, WeightedKeySpan negatives,
                  const HabfOptions& options) {
   HabfOptions effective = options;
   Sizing sizing = ComputeSizing(effective);
@@ -776,6 +776,16 @@ Habf Habf::Build(const std::vector<std::string>& positives,
   Builder builder(habf, positives, negatives);
   builder.Run();
   return habf;
+}
+
+Habf Habf::Build(const std::vector<std::string>& positives,
+                 const std::vector<WeightedKey>& negatives,
+                 const HabfOptions& options) {
+  const std::vector<std::string_view> pos_views = MakeKeyViews(positives);
+  const std::vector<WeightedKeyView> neg_views =
+      MakeWeightedKeyViews(negatives);
+  return Build(StringSpan(pos_views.data(), pos_views.size()),
+               WeightedKeySpan(neg_views.data(), neg_views.size()), options);
 }
 
 }  // namespace habf

@@ -27,11 +27,27 @@
 
 #include "bloom/bloom_filter.h"
 #include "bloom/weighted_bloom.h"  // for WeightedKey
+#include "core/filter_interface.h"  // StringSpan / WeightedKeySpan
 #include "core/hash_expressor.h"
 #include "hashing/hash_provider.h"
 #include "util/memory.h"
 
 namespace habf {
+
+/// Materializes non-owning views over owning key vectors — the adapters the
+/// vector-based Build overloads use to reach the span-based core. O(n)
+/// pointer-sized views; no key bytes are copied.
+inline std::vector<std::string_view> MakeKeyViews(
+    const std::vector<std::string>& keys) {
+  return std::vector<std::string_view>(keys.begin(), keys.end());
+}
+inline std::vector<WeightedKeyView> MakeWeightedKeyViews(
+    const std::vector<WeightedKey>& keys) {
+  std::vector<WeightedKeyView> views;
+  views.reserve(keys.size());
+  for (const WeightedKey& wk : keys) views.emplace_back(wk.key, wk.cost);
+  return views;
+}
 
 /// Build-time parameters (defaults are the paper's tuned values, §V-D).
 struct HabfOptions {
@@ -104,6 +120,15 @@ class Habf {
   /// Builds a filter over `positives`, optimizing against `negatives` (keys
   /// with misidentification costs Θ). Negative information is advisory: keys
   /// outside both sets still query correctly with FPR ≈ a standard filter's.
+  ///
+  /// Zero-copy: the spans view caller storage; no key bytes are copied and
+  /// nothing is retained after Build returns. The viewed storage only needs
+  /// to outlive the call.
+  static Habf Build(StringSpan positives, WeightedKeySpan negatives,
+                    const HabfOptions& options);
+
+  /// Convenience overload over owning vectors: materializes views (O(n)
+  /// pointers, no key copies) and calls the span-based Build.
   static Habf Build(const std::vector<std::string>& positives,
                     const std::vector<WeightedKey>& negatives,
                     const HabfOptions& options);

@@ -1,6 +1,8 @@
 #include "core/sharded_filter.h"
 
 #include <algorithm>
+#include <cassert>
+#include <numeric>
 #include <thread>
 
 #include "hashing/hash_function.h"  // Fmix64
@@ -17,61 +19,148 @@ uint64_t ShardSeed(uint64_t base_seed, size_t shard) {
 
 }  // namespace
 
-ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
-                                     const std::vector<WeightedKey>& negatives,
-                                     const HabfOptions& options,
-                                     const ShardedBuildOptions& sharding) {
+std::vector<size_t> ApportionShardBits(size_t total_bits,
+                                       const std::vector<size_t>& weights,
+                                       size_t floor_bits) {
+  const size_t num_shards = weights.size();
+  if (num_shards == 0) return {};
+
+  // Largest-remainder (Hamilton) apportionment of quota_s = total * w_s / W.
+  // 128-bit intermediates: total_bits can reach 2^36 and W 2^40+, so the
+  // product overflows 64 bits on exactly the large builds that matter.
+  uint64_t weight_sum = 0;
+  for (size_t w : weights) weight_sum += w;
+  std::vector<size_t> bits(num_shards);
+  std::vector<std::pair<uint64_t, size_t>> remainders(num_shards);
+  size_t assigned = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    // All-zero weights (no positive keys anywhere) degrade to an even split.
+    const unsigned __int128 numer =
+        static_cast<unsigned __int128>(total_bits) *
+        (weight_sum == 0 ? 1 : weights[s]);
+    const uint64_t denom = weight_sum == 0 ? num_shards : weight_sum;
+    bits[s] = static_cast<size_t>(numer / denom);
+    remainders[s] = {static_cast<uint64_t>(numer % denom), s};
+    assigned += bits[s];
+  }
+  // Hand the truncated leftover (< num_shards bits) to the largest
+  // remainders; ties break toward the lower shard index for determinism.
+  assert(total_bits >= assigned && total_bits - assigned < num_shards);
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  for (size_t i = 0; i < total_bits - assigned; ++i) {
+    ++bits[remainders[i].second];
+  }
+
+  // Enforce the per-shard floor by rebalancing: raise the starved shards,
+  // then take the overshoot back from the richest shards so the global sum
+  // is preserved (impossible only when total_bits < floor * S, where the
+  // floors themselves exceed the budget and the sum becomes floor * S).
+  size_t deficit = 0;
+  for (size_t& b : bits) {
+    if (b < floor_bits) {
+      deficit += floor_bits - b;
+      b = floor_bits;
+    }
+  }
+  while (deficit > 0) {
+    size_t richest = num_shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (bits[s] > floor_bits &&
+          (richest == num_shards || bits[s] > bits[richest])) {
+        richest = s;
+      }
+    }
+    if (richest == num_shards) break;  // everyone at the floor already
+    const size_t take = std::min(deficit, bits[richest] - floor_bits);
+    bits[richest] -= take;
+    deficit -= take;
+  }
+  return bits;
+}
+
+namespace {
+
+/// The shared zero-copy build core, templated over key accessors so both
+/// public overloads partition *directly* from the caller's storage:
+/// `pos_at(i)` returns positive i as a string_view, `neg_at(i)` negative i
+/// as a WeightedKeyView. Only ONE set of views is ever materialized (the
+/// shard-contiguous grouped permutation) — routing the vector overload
+/// through an intermediate flat view vector would double the view memory
+/// on exactly the large builds the zero-copy path exists for.
+template <typename PosAt, typename NegAt>
+ShardedFilter<Habf> BuildShardedHabfImpl(size_t num_positives,
+                                         size_t num_negatives,
+                                         const PosAt& pos_at,
+                                         const NegAt& neg_at,
+                                         const HabfOptions& options,
+                                         const ShardedBuildOptions& sharding) {
   // Clamp to the bound the snapshot reader enforces, so every built filter
   // can be persisted and loaded back.
   const size_t num_shards =
       std::min(std::max<size_t>(1, sharding.num_shards), kMaxSnapshotShards);
+  std::vector<std::string_view> grouped_pos(num_positives);
+  std::vector<WeightedKeyView> grouped_neg(num_negatives);
   if (num_shards == 1) {
+    for (size_t i = 0; i < num_positives; ++i) grouped_pos[i] = pos_at(i);
+    for (size_t i = 0; i < num_negatives; ++i) grouped_neg[i] = neg_at(i);
     std::vector<Habf> shards;
-    shards.push_back(Habf::Build(positives, negatives, options));
+    shards.push_back(Habf::Build(
+        StringSpan(grouped_pos.data(), num_positives),
+        WeightedKeySpan(grouped_neg.data(), num_negatives), options));
     return ShardedFilter<Habf>(std::move(shards), sharding.salt);
   }
 
-  // Hash-partition both build sets by the routing salt. The partitions are
-  // key *copies* — Habf::Build takes concrete string vectors — so peak key
-  // memory during a sharded build is ~2x the input (a span-based Build is a
-  // ROADMAP follow-up). Count first so each partition allocates exactly
-  // once instead of growth-reallocating.
-  std::vector<size_t> pos_counts(num_shards, 0);
-  std::vector<size_t> neg_counts(num_shards, 0);
-  for (const std::string& key : positives) {
-    ++pos_counts[ShardOfKey(key, sharding.salt, num_shards)];
+  // Hash-partition both build sets by the routing salt — zero-copy: the
+  // partitions are shard-contiguous *view permutations* over the caller's
+  // key storage (route once, prefix-sum the group offsets, gather), so the
+  // partitioning cost is O(n) pointer-sized views instead of a second copy
+  // of every key byte.
+  std::vector<uint32_t> pos_shard(num_positives);
+  std::vector<uint32_t> neg_shard(num_negatives);
+  std::vector<size_t> pos_offsets(num_shards + 1, 0);
+  std::vector<size_t> neg_offsets(num_shards + 1, 0);
+  for (size_t i = 0; i < num_positives; ++i) {
+    const size_t s = ShardOfKey(pos_at(i), sharding.salt, num_shards);
+    pos_shard[i] = static_cast<uint32_t>(s);
+    ++pos_offsets[s + 1];
   }
-  for (const WeightedKey& wk : negatives) {
-    ++neg_counts[ShardOfKey(wk.key, sharding.salt, num_shards)];
+  for (size_t i = 0; i < num_negatives; ++i) {
+    const size_t s = ShardOfKey(neg_at(i).key, sharding.salt, num_shards);
+    neg_shard[i] = static_cast<uint32_t>(s);
+    ++neg_offsets[s + 1];
   }
-  std::vector<std::vector<std::string>> shard_positives(num_shards);
-  std::vector<std::vector<WeightedKey>> shard_negatives(num_shards);
-  for (size_t s = 0; s < num_shards; ++s) {
-    shard_positives[s].reserve(pos_counts[s]);
-    shard_negatives[s].reserve(neg_counts[s]);
+  for (size_t s = 1; s <= num_shards; ++s) {
+    pos_offsets[s] += pos_offsets[s - 1];
+    neg_offsets[s] += neg_offsets[s - 1];
   }
-  for (const std::string& key : positives) {
-    shard_positives[ShardOfKey(key, sharding.salt, num_shards)].push_back(key);
-  }
-  for (const WeightedKey& wk : negatives) {
-    shard_negatives[ShardOfKey(wk.key, sharding.salt, num_shards)].push_back(
-        wk);
+  {
+    std::vector<size_t> cursor(pos_offsets.begin(), pos_offsets.end() - 1);
+    for (size_t i = 0; i < num_positives; ++i) {
+      grouped_pos[cursor[pos_shard[i]]++] = pos_at(i);
+    }
+    cursor.assign(neg_offsets.begin(), neg_offsets.end() - 1);
+    for (size_t i = 0; i < num_negatives; ++i) {
+      grouped_neg[cursor[neg_shard[i]]++] = neg_at(i);
+    }
   }
 
-  // Split the global bit budget proportionally to each shard's positive-key
-  // count (bits-per-key invariant); empty shards get the 64-bit floor the
-  // sizing rule requires.
-  const size_t total_keys = positives.size();
+  // Split the global bit budget across shards proportionally to their
+  // positive-key counts (bits-per-key invariant). Largest-remainder
+  // apportionment: the per-shard budgets sum exactly to options.total_bits
+  // (given the 64-bit sizing floor fits), instead of drifting by up to S-1
+  // floor-truncated bits plus unrebalanced empty-shard floors.
+  std::vector<size_t> pos_counts(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    pos_counts[s] = pos_offsets[s + 1] - pos_offsets[s];
+  }
+  const std::vector<size_t> shard_bits =
+      ApportionShardBits(options.total_bits, pos_counts);
   std::vector<HabfOptions> shard_options(num_shards, options);
   for (size_t s = 0; s < num_shards; ++s) {
-    size_t bits =
-        total_keys == 0
-            ? options.total_bits / num_shards
-            : static_cast<size_t>(static_cast<double>(options.total_bits) *
-                                  static_cast<double>(
-                                      shard_positives[s].size()) /
-                                  static_cast<double>(total_keys));
-    shard_options[s].total_bits = std::max<size_t>(bits, 64);
+    shard_options[s].total_bits = shard_bits[s];
     shard_options[s].seed = ShardSeed(options.seed, s);
   }
 
@@ -82,16 +171,21 @@ ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
   }
   num_threads = std::min(num_threads, num_shards);
 
-  // One build task per shard. Habf has no default constructor, so workers
-  // fill a vector of optionals that is unwrapped after the barrier. The
-  // pool runs inline when only one worker is useful.
+  // One build task per shard, each consuming its span of the grouped views.
+  // Habf has no default constructor, so workers fill a vector of optionals
+  // that is unwrapped after the barrier. The pool runs inline when only one
+  // worker is useful. WaitAll rethrows the first exception a shard build
+  // escaped with, so the unwrap below never dereferences an empty slot.
   std::vector<std::optional<Habf>> built(num_shards);
   {
     ThreadPool pool(num_threads <= 1 ? 0 : num_threads);
     for (size_t s = 0; s < num_shards; ++s) {
       pool.Submit([&, s] {
-        built[s] = Habf::Build(shard_positives[s], shard_negatives[s],
-                               shard_options[s]);
+        built[s] = Habf::Build(
+            StringSpan(grouped_pos.data() + pos_offsets[s], pos_counts[s]),
+            WeightedKeySpan(grouped_neg.data() + neg_offsets[s],
+                            neg_offsets[s + 1] - neg_offsets[s]),
+            shard_options[s]);
       });
     }
     pool.WaitAll();
@@ -99,8 +193,36 @@ ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
 
   std::vector<Habf> shards;
   shards.reserve(num_shards);
-  for (std::optional<Habf>& shard : built) shards.push_back(std::move(*shard));
+  for (std::optional<Habf>& shard : built) {
+    assert(shard.has_value());  // WaitAll would have thrown otherwise
+    shards.push_back(std::move(*shard));
+  }
   return ShardedFilter<Habf>(std::move(shards), sharding.salt);
+}
+
+}  // namespace
+
+ShardedFilter<Habf> BuildShardedHabf(StringSpan positives,
+                                     WeightedKeySpan negatives,
+                                     const HabfOptions& options,
+                                     const ShardedBuildOptions& sharding) {
+  return BuildShardedHabfImpl(
+      positives.size(), negatives.size(),
+      [&](size_t i) { return positives[i]; },
+      [&](size_t i) { return negatives[i]; }, options, sharding);
+}
+
+ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
+                                     const std::vector<WeightedKey>& negatives,
+                                     const HabfOptions& options,
+                                     const ShardedBuildOptions& sharding) {
+  return BuildShardedHabfImpl(
+      positives.size(), negatives.size(),
+      [&](size_t i) { return std::string_view(positives[i]); },
+      [&](size_t i) {
+        return WeightedKeyView(negatives[i].key, negatives[i].cost);
+      },
+      options, sharding);
 }
 
 }  // namespace habf

@@ -30,6 +30,7 @@
 #include "core/habf.h"
 #include "hashing/xxhash.h"
 #include "util/serde.h"
+#include "util/thread_pool.h"
 
 namespace habf {
 
@@ -51,6 +52,20 @@ inline size_t ShardOfKey(std::string_view key, uint64_t salt,
   return static_cast<size_t>(XxHash64(key.data(), key.size(), salt) %
                              num_shards);
 }
+
+/// Default batch size above which a configured query pool kicks in (below
+/// it the task hand-off costs more than the per-shard group queries).
+constexpr size_t kDefaultParallelQueryThreshold = 4096;
+
+/// Splits `total_bits` across shards proportionally to `weights` (positive
+/// key counts) by largest-remainder apportionment, then rebalances so every
+/// shard gets at least `floor_bits` (the minimum Habf::ComputeSizing
+/// accepts). Invariant: the result sums to exactly
+/// max(total_bits, floor_bits * weights.size()) — no floor-truncation drift
+/// and no unrebalanced empty-shard overshoot. All-zero weights split evenly.
+std::vector<size_t> ApportionShardBits(size_t total_bits,
+                                       const std::vector<size_t>& weights,
+                                       size_t floor_bits = 64);
 
 /// Build/runtime parameters of the sharded build entry points.
 struct ShardedBuildOptions {
@@ -88,6 +103,21 @@ class ShardedFilter {
   size_t ShardOf(std::string_view key) const {
     return ShardOfKey(key, salt_, shards_.size());
   }
+
+  /// Opt-in pooled query fan-out: batches of at least `min_parallel_keys`
+  /// run their per-shard group queries as tasks on `pool` (nullptr reverts
+  /// to the serial path). The per-shard output regions are disjoint, so the
+  /// only synchronization is the WaitAll barrier, and the answers are
+  /// bit-for-bit identical to the serial path. The pool must outlive the
+  /// filter's last ContainsBatch call; sharing one pool between concurrent
+  /// readers is safe (each reader's barrier also drains the other's tasks).
+  void SetQueryPool(ThreadPool* pool,
+                    size_t min_parallel_keys = kDefaultParallelQueryThreshold) {
+    query_pool_ = pool;
+    parallel_query_threshold_ = min_parallel_keys < 1 ? 1 : min_parallel_keys;
+  }
+
+  ThreadPool* query_pool() const { return query_pool_; }
 
   // --- Filter concept -----------------------------------------------------
 
@@ -129,15 +159,45 @@ class ShardedFilter {
       scratch.origin[slot] = static_cast<uint32_t>(i);
     }
 
-    // Pass 3: one native batch query per non-empty group, then scatter.
+    // Pass 3: one native batch query per non-empty group — pooled fan-out
+    // for large batches when a query pool is configured (each task reads
+    // and writes a disjoint slice of the grouping scratch, so the WaitAll
+    // barrier is the only synchronization), serial otherwise.
     size_t positives = 0;
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      const size_t begin = scratch.offsets[s];
-      const size_t count = scratch.offsets[s + 1] - begin;
-      if (count == 0) continue;
-      positives += QueryBatch(shards_[s],
-                              KeySpan(scratch.grouped.data() + begin, count),
-                              scratch.grouped_out.data() + begin);
+    ThreadPool* pool = query_pool_;
+    if (pool != nullptr && pool->num_threads() > 0 &&
+        n >= parallel_query_threshold_) {
+      std::fill(scratch.shard_positives.begin(),
+                scratch.shard_positives.end(), size_t{0});
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        const size_t begin = scratch.offsets[s];
+        const size_t count = scratch.offsets[s + 1] - begin;
+        if (count == 0) continue;
+        // Capture raw pointers into *this caller's* scratch: naming the
+        // thread_local inside the lambda would silently re-resolve it to
+        // the worker's own (empty) instance instead.
+        const std::string_view* group_keys = scratch.grouped.data() + begin;
+        uint8_t* group_out = scratch.grouped_out.data() + begin;
+        size_t* group_positives = &scratch.shard_positives[s];
+        pool->Submit([this, s, group_keys, group_out, group_positives,
+                      count] {
+          *group_positives =
+              QueryBatch(shards_[s], KeySpan(group_keys, count), group_out);
+        });
+      }
+      pool->WaitAll();
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        positives += scratch.shard_positives[s];
+      }
+    } else {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        const size_t begin = scratch.offsets[s];
+        const size_t count = scratch.offsets[s + 1] - begin;
+        if (count == 0) continue;
+        positives += QueryBatch(shards_[s],
+                                KeySpan(scratch.grouped.data() + begin, count),
+                                scratch.grouped_out.data() + begin);
+      }
     }
     for (size_t i = 0; i < n; ++i) {
       out[scratch.origin[i]] = scratch.grouped_out[i];
@@ -216,6 +276,9 @@ class ShardedFilter {
     std::vector<size_t> cursor;
     std::vector<std::string_view> grouped;
     std::vector<uint8_t> grouped_out;
+    /// Per-shard positive counts of the pooled fan-out (each task writes
+    /// its own slot; summed after the barrier).
+    std::vector<size_t> shard_positives;
 
     void Resize(size_t num_keys, size_t num_shards) {
       if (shard_of.size() < num_keys) {
@@ -227,6 +290,7 @@ class ShardedFilter {
       if (offsets.size() < num_shards + 1) {
         offsets.resize(num_shards + 1);
         cursor.resize(num_shards);
+        shard_positives.resize(num_shards);
       }
     }
   };
@@ -234,14 +298,34 @@ class ShardedFilter {
   std::vector<F> shards_;
   uint64_t salt_;
   std::string name_;
+  /// Pooled fan-out configuration (SetQueryPool); nullptr = serial pass 3.
+  ThreadPool* query_pool_ = nullptr;
+  size_t parallel_query_threshold_ = kDefaultParallelQueryThreshold;
 };
 
 /// Hash-partitions the build sets and runs one TPJO build per shard on a
 /// worker pool (parallel across shards; each shard build is the unchanged
 /// single-threaded algorithm). `options.total_bits` is the *global* budget,
-/// split across shards proportionally to their positive-key counts so
-/// bits-per-key — and therefore the FPR bound — is preserved. With
-/// num_shards == 1 the result answers identically to Habf::Build.
+/// split across shards by ApportionShardBits so bits-per-key — and
+/// therefore the FPR bound — is preserved and the per-shard budgets sum
+/// exactly to it. With num_shards == 1 the result answers identically to
+/// Habf::Build.
+///
+/// Zero-copy: partitioning builds shard-contiguous *view permutations* over
+/// the caller's key storage instead of copying strings, so peak key memory
+/// during the build is ~1x the input (plus O(n) pointer-sized views). The
+/// viewed storage must outlive the call. A worker task that throws (e.g.
+/// std::bad_alloc in a shard build) propagates out of this function via the
+/// pool's WaitAll.
+ShardedFilter<Habf> BuildShardedHabf(StringSpan positives,
+                                     WeightedKeySpan negatives,
+                                     const HabfOptions& options,
+                                     const ShardedBuildOptions& sharding);
+
+/// Convenience overload over owning vectors: partitions directly from the
+/// vectors' storage through the same zero-copy core (no key copies, and no
+/// intermediate flat view vector either — only the grouped permutation is
+/// materialized).
 ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
                                      const std::vector<WeightedKey>& negatives,
                                      const HabfOptions& options,

@@ -1,15 +1,19 @@
 #include "tools/cli.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
+#include "core/filter_interface.h"
 #include "core/habf.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
 #include "util/serde.h"
+#include "util/thread_pool.h"
 #include "workload/dataset.h"
 
 namespace habf {
@@ -22,6 +26,7 @@ constexpr char kUsage[] =
     "           [--bits-per-key N] [--delta D] [--k K] [--cell-bits C]\n"
     "           [--fast] [--shards N] [--threads T]\n"
     "  query    --filter FILTER (--key KEY ... | --keys FILE)\n"
+    "           [--parallel-batch] [--threads T]\n"
     "  stats    --filter FILTER\n"
     "  eval     --filter FILTER --negatives FILE\n"
     "  generate --dataset shalla|ycsb --positives FILE --negatives FILE\n"
@@ -50,7 +55,7 @@ std::optional<Flags> ParseFlags(const std::vector<std::string>& args,
       return std::nullopt;
     }
     const std::string name = arg.substr(2);
-    if (name == "fast") {
+    if (name == "fast" || name == "parallel-batch") {
       flags.values[name].push_back("1");
       continue;
     }
@@ -63,16 +68,28 @@ std::optional<Flags> ParseFlags(const std::vector<std::string>& args,
   return flags;
 }
 
+/// Strict double parse: the whole string must be consumed and the value
+/// finite — strtod happily accepts "nan"/"inf", which would flow into
+/// total_bits as undefined float-to-integer casts.
 bool ParseDouble(const std::string& text, double* out) {
   char* end = nullptr;
   *out = std::strtod(text.c_str(), &end);
-  return end != nullptr && *end == '\0' && end != text.c_str();
+  return end != nullptr && *end == '\0' && end != text.c_str() &&
+         std::isfinite(*out);
 }
 
 bool ParseSize(const std::string& text, size_t* out) {
   const auto result =
       std::from_chars(text.data(), text.data() + text.size(), *out);
   return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+/// "bad --flag value 'text' (expectation)" — every numeric-flag rejection
+/// names the offending value so the error is actionable.
+std::string BadFlag(const char* flag, const std::string& text,
+                    const char* expectation) {
+  return std::string("bad --") + flag + " value '" + text + "' (" +
+         expectation + ")\n";
 }
 
 /// Reads one key per line. Returns false on I/O failure.
@@ -141,29 +158,47 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
   double bits_per_key = 10.0;
   if (const std::string* v = flags.GetOne("bits-per-key")) {
     if (!ParseDouble(*v, &bits_per_key) || bits_per_key <= 0) {
-      *err += "bad --bits-per-key\n";
+      *err += BadFlag("bits-per-key", *v, "expected a finite number > 0");
       return 1;
     }
   }
   HabfOptions options;
-  options.total_bits = static_cast<size_t>(
-      bits_per_key * static_cast<double>(positives.size()));
+  const double total_bits_d =
+      bits_per_key * static_cast<double>(positives.size());
+  // Guard the float-to-integer cast: a finite but huge product (e.g.
+  // --bits-per-key 1e19) would make the conversion itself undefined.
+  if (total_bits_d >= 9.0e18) {
+    *err += "bit budget too large: --bits-per-key " +
+            std::to_string(bits_per_key) + " over " +
+            std::to_string(positives.size()) + " positives overflows\n";
+    return 1;
+  }
+  options.total_bits = static_cast<size_t>(total_bits_d);
+  if (options.total_bits < 64) {
+    // Below the sizing floor the filter cannot be laid out (and the debug
+    // build would trip ComputeSizing's assert) — reject, don't crash.
+    *err += "bit budget too small: --bits-per-key " +
+            std::to_string(bits_per_key) + " over " +
+            std::to_string(positives.size()) +
+            " positives yields fewer than 64 total bits\n";
+    return 1;
+  }
   if (const std::string* v = flags.GetOne("delta")) {
     if (!ParseDouble(*v, &options.delta) || options.delta < 0) {
-      *err += "bad --delta\n";
+      *err += BadFlag("delta", *v, "expected a finite number >= 0");
       return 1;
     }
   }
   if (const std::string* v = flags.GetOne("k")) {
     if (!ParseSize(*v, &options.k) || options.k == 0 || options.k > 16) {
-      *err += "bad --k\n";
+      *err += BadFlag("k", *v, "expected an integer in [1, 16]");
       return 1;
     }
   }
   if (const std::string* v = flags.GetOne("cell-bits")) {
     size_t cell = 0;
     if (!ParseSize(*v, &cell) || cell < 2 || cell > 8) {
-      *err += "bad --cell-bits\n";
+      *err += BadFlag("cell-bits", *v, "expected an integer in [2, 8]");
       return 1;
     }
     options.cell_bits = static_cast<unsigned>(cell);
@@ -174,13 +209,14 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
   if (const std::string* v = flags.GetOne("shards")) {
     if (!ParseSize(*v, &sharding.num_shards) || sharding.num_shards == 0 ||
         sharding.num_shards > kMaxSnapshotShards) {
-      *err += "bad --shards\n";
+      *err += BadFlag("shards", *v, "expected an integer in [1, 4096]");
       return 1;
     }
   }
   if (const std::string* v = flags.GetOne("threads")) {
     if (!ParseSize(*v, &sharding.num_threads)) {
-      *err += "bad --threads\n";
+      *err += BadFlag("threads", *v,
+                      "expected a non-negative integer (0 = hardware)");
       return 1;
     }
   }
@@ -285,9 +321,45 @@ int CmdQuery(const Flags& flags, std::string* out, std::string* err) {
     *err += "query requires --key or --keys\n";
     return 1;
   }
-  for (const std::string& key : keys) {
-    *out += key;
-    *out += filter->MightContain(key) ? "\tmaybe-in-set\n" : "\tnot-in-set\n";
+
+  std::vector<uint8_t> answers(keys.size());
+  if (flags.Has("parallel-batch")) {
+    // Batched query; a sharded filter additionally fans its per-shard
+    // groups out to a worker pool. Answers are bit-for-bit identical to
+    // the per-key path (tests assert this), just faster on large inputs.
+    size_t threads = 0;
+    if (const std::string* v = flags.GetOne("threads")) {
+      if (!ParseSize(*v, &threads)) {
+        *err += BadFlag("threads", *v,
+                        "expected a non-negative integer (0 = hardware)");
+        return 1;
+      }
+    }
+    if (threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = hw == 0 ? 1 : hw;
+    }
+    const std::vector<std::string_view> views = MakeKeyViews(keys);
+    if (filter->sharded.has_value()) {
+      ThreadPool pool(threads <= 1 ? 0 : threads);
+      filter->sharded->SetQueryPool(&pool, /*min_parallel_keys=*/1);
+      filter->sharded->ContainsBatch(KeySpan(views.data(), views.size()),
+                                     answers.data());
+      filter->sharded->SetQueryPool(nullptr);
+    } else {
+      // An unsharded filter has no per-shard groups to fan out — batch it
+      // without spinning up workers that would never run a task.
+      filter->single->ContainsBatch(KeySpan(views.data(), views.size()),
+                                    answers.data());
+    }
+  } else {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      answers[i] = filter->MightContain(keys[i]) ? 1 : 0;
+    }
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    *out += keys[i];
+    *out += answers[i] ? "\tmaybe-in-set\n" : "\tnot-in-set\n";
   }
   return 0;
 }
@@ -382,7 +454,7 @@ int CmdGenerate(const Flags& flags, std::string* out, std::string* err) {
   if (const std::string* v = flags.GetOne("count")) {
     size_t count = 0;
     if (!ParseSize(*v, &count) || count == 0) {
-      *err += "bad --count\n";
+      *err += BadFlag("count", *v, "expected an integer > 0");
       return 1;
     }
     options.num_positives = count;
@@ -391,7 +463,7 @@ int CmdGenerate(const Flags& flags, std::string* out, std::string* err) {
   if (const std::string* v = flags.GetOne("seed")) {
     size_t seed = 0;
     if (!ParseSize(*v, &seed)) {
-      *err += "bad --seed\n";
+      *err += BadFlag("seed", *v, "expected a non-negative integer");
       return 1;
     }
     options.seed = seed;
@@ -399,7 +471,7 @@ int CmdGenerate(const Flags& flags, std::string* out, std::string* err) {
   double theta = 0.0;
   if (const std::string* v = flags.GetOne("zipf")) {
     if (!ParseDouble(*v, &theta) || theta < 0) {
-      *err += "bad --zipf\n";
+      *err += BadFlag("zipf", *v, "expected a finite number >= 0");
       return 1;
     }
   }

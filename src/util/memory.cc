@@ -52,4 +52,11 @@ size_t ReadResidentSetBytes() { return ReadProcStatusField("VmRSS:"); }
 
 size_t ReadPeakResidentSetBytes() { return ReadProcStatusField("VmHWM:"); }
 
+bool ResetPeakResidentSetBytes() {
+  FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
 }  // namespace habf

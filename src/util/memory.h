@@ -45,4 +45,10 @@ size_t ReadResidentSetBytes();
 /// /proc is unavailable.
 size_t ReadPeakResidentSetBytes();
 
+/// Resets the kernel's peak-RSS watermark to the current RSS (writes "5" to
+/// /proc/self/clear_refs), so a following ReadPeakResidentSetBytes() reports
+/// the peak of one phase instead of the process lifetime. Returns false when
+/// the kernel interface is unavailable.
+bool ResetPeakResidentSetBytes();
+
 }  // namespace habf

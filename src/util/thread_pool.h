@@ -5,18 +5,26 @@
 //
 // Thread-safety: Submit and WaitAll may be called from multiple threads;
 // tasks run on the worker threads (or inline when the pool has no workers).
-// Tasks must not throw — an escaped exception terminates the process, which
-// is the behavior we want for build workers (a failed shard build is a bug,
-// not a recoverable condition).
+//
+// Exception contract: a task that throws does NOT terminate the process.
+// The first escaped exception is captured and rethrown by the next WaitAll()
+// (later exceptions from the same batch are dropped); the remaining queued
+// tasks still run, so the pool is quiescent and reusable after the rethrow.
+// Exceptions escaping tasks drained by the destructor are swallowed — a
+// destructor cannot rethrow. Callers that share one pool between concurrent
+// WaitAll()ers should know the captured exception surfaces in whichever
+// WaitAll observes it first.
 
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace habf {
@@ -51,7 +59,14 @@ class ThreadPool {
   /// drained before a concurrent WaitAll returns.
   void Submit(std::function<void()> task) {
     if (workers_.empty()) {
-      task();
+      // Inline mode keeps the worker contract: the exception is captured
+      // here and surfaces from the next WaitAll, not from Submit.
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
       return;
     }
     {
@@ -63,10 +78,17 @@ class ThreadPool {
   }
 
   /// Blocks until every task submitted so far (and any tasks those tasks
-  /// submitted) has finished. The pool is reusable afterwards.
+  /// submitted) has finished, then rethrows the first exception any of them
+  /// escaped with (see the exception contract above). The pool is reusable
+  /// afterwards whether or not it throws.
   void WaitAll() {
     std::unique_lock<std::mutex> lock(mu_);
     all_done_.wait(lock, [this] { return unfinished_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = std::exchange(first_error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
   }
 
   size_t num_threads() const { return workers_.size(); }
@@ -83,9 +105,15 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
       {
         std::unique_lock<std::mutex> lock(mu_);
+        if (error && !first_error_) first_error_ = std::move(error);
         if (--unfinished_ == 0) all_done_.notify_all();
       }
     }
@@ -95,6 +123,8 @@ class ThreadPool {
   std::condition_variable wake_workers_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
+  /// First exception escaped by a task since the last WaitAll rethrow.
+  std::exception_ptr first_error_;
   size_t unfinished_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -209,11 +209,90 @@ TEST_F(CliTest, ShardedBuildRejectsBadArguments) {
   EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
                  filter_path_, "--shards", "0"}),
             1);
+  // The rejection must name the offending value, not silently clamp to 1.
+  EXPECT_NE(err_.find("--shards value '0'"), std::string::npos) << err_;
+  EXPECT_FALSE(std::filesystem::exists(filter_path_))
+      << "a rejected build must not write a filter";
   EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
                  filter_path_, "--shards", "banana"}),
             1);
+  EXPECT_NE(err_.find("banana"), std::string::npos) << err_;
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "5000"}),
+            1)
+      << "beyond the 4096 snapshot bound";
   EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
                  filter_path_, "--shards", "2", "--threads", "x"}),
+            1);
+}
+
+TEST_F(CliTest, BuildRejectsNonFiniteAndUnderflowingNumericFlags) {
+  // strtod accepts "nan"/"inf"; the CLI must not (a NaN bit budget is an
+  // undefined float-to-integer cast).
+  for (const char* bad : {"nan", "inf", "-inf", "1e999", "banana", "12x"}) {
+    EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                   filter_path_, "--bits-per-key", bad}),
+              1)
+        << bad;
+    EXPECT_NE(err_.find(bad), std::string::npos)
+        << "error must name the value: " << err_;
+  }
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--delta", "nan"}),
+            1);
+  // 3000 positives at 0.001 bits/key is below the 64-bit sizing floor.
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--bits-per-key", "0.001"}),
+            1);
+  EXPECT_NE(err_.find("bit budget too small"), std::string::npos) << err_;
+  // Finite but astronomically large: the float-to-size_t conversion of the
+  // total bit budget must be rejected, not undefined behavior.
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--bits-per-key", "1e19"}),
+            1);
+  EXPECT_NE(err_.find("bit budget too large"), std::string::npos) << err_;
+}
+
+TEST_F(CliTest, ParallelBatchQueryMatchesPerKeyQuery) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--out", filter_path_, "--shards", "4",
+                 "--threads", "2"}),
+            0)
+      << err_;
+  const std::string keys_path = dir_ + "/mixed_keys.txt";
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) {
+    mixed += (i % 2 == 0 ? "member-" : "outsider-") + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(WriteFileBytes(keys_path, mixed));
+
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--keys", keys_path}), 0)
+      << err_;
+  const std::string per_key_out = out_;
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--keys", keys_path,
+                 "--parallel-batch", "--threads", "3"}),
+            0)
+      << err_;
+  EXPECT_EQ(out_, per_key_out)
+      << "pooled fan-out must answer identically to the per-key path";
+
+  // The unsharded snapshot takes the plain batched path under the flag.
+  const std::string single_path = dir_ + "/single.habf";
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 single_path}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"query", "--filter", single_path, "--keys", keys_path}), 0)
+      << err_;
+  const std::string single_per_key = out_;
+  ASSERT_EQ(Run({"query", "--filter", single_path, "--keys", keys_path,
+                 "--parallel-batch"}),
+            0)
+      << err_;
+  EXPECT_EQ(out_, single_per_key);
+
+  EXPECT_EQ(Run({"query", "--filter", filter_path_, "--keys", keys_path,
+                 "--parallel-batch", "--threads", "zap"}),
             1);
 }
 

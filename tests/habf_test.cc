@@ -53,6 +53,33 @@ TEST(HabfTest, OptimizesMostCollisionKeys) {
             stats.initial_collisions + stats.num_negatives / 10);
 }
 
+TEST(HabfTest, SpanBuildIsBitIdenticalToVectorBuild) {
+  // The vector overload is a thin view adapter over the span-based Build;
+  // on identical inputs the two must produce the same filter, snapshot
+  // bytes included.
+  const Dataset data = SmallDataset(8000, 8000);
+  const HabfOptions options = DefaultOptions(8000 * 10);
+  const Habf from_vectors =
+      Habf::Build(data.positives, data.negatives, options);
+
+  const std::vector<std::string_view> pos_views = MakeKeyViews(data.positives);
+  const std::vector<WeightedKeyView> neg_views =
+      MakeWeightedKeyViews(data.negatives);
+  const Habf from_spans =
+      Habf::Build(StringSpan(pos_views.data(), pos_views.size()),
+                  WeightedKeySpan(neg_views.data(), neg_views.size()),
+                  options);
+
+  std::string vector_bytes, span_bytes;
+  from_vectors.Serialize(&vector_bytes);
+  from_spans.Serialize(&span_bytes);
+  EXPECT_EQ(vector_bytes, span_bytes);
+  EXPECT_EQ(from_vectors.stats().optimized, from_spans.stats().optimized);
+  for (const auto& wk : data.negatives) {
+    ASSERT_EQ(from_vectors.Contains(wk.key), from_spans.Contains(wk.key));
+  }
+}
+
 TEST(HabfTest, BeatsStandardBloomOnKnownNegatives) {
   const Dataset data = SmallDataset(20000, 20000);
   const size_t total_bits = 20000 * 10;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -18,6 +19,7 @@
 #include "core/filter_interface.h"
 #include "core/habf.h"
 #include "eval/metrics.h"
+#include "util/thread_pool.h"
 #include "workload/dataset.h"
 
 namespace habf {
@@ -169,6 +171,201 @@ TEST(ShardedFilterTest, FilterRefAndQueryBatchInterop) {
   std::vector<uint8_t> out(keys.size());
   EXPECT_EQ(ref.ContainsBatch(KeySpan(keys.data(), keys.size()), out.data()),
             keys.size());
+}
+
+TEST(ShardedFilterTest, ApportionShardBitsSumsExactly) {
+  // Largest-remainder apportionment: per-shard budgets sum exactly to the
+  // global budget (regression: the old floor-truncating split undershot by
+  // up to S-1 bits, and the empty-shard floor overshot without rebalancing).
+  const std::vector<std::vector<size_t>> weight_sets = {
+      {1, 1, 1},              // even
+      {1000, 1, 1, 1},        // heavily skewed
+      {7, 0, 13, 0, 1},       // empty shards
+      {0, 0, 0, 0},           // no positives anywhere
+      {123456789, 1, 98765},  // large + tiny
+  };
+  const std::vector<size_t> totals = {640, 1001, 65536, 100003,
+                                      (size_t{1} << 30) + 17};
+  for (const auto& weights : weight_sets) {
+    for (size_t total : totals) {
+      const std::vector<size_t> bits = ApportionShardBits(total, weights);
+      ASSERT_EQ(bits.size(), weights.size());
+      size_t sum = 0;
+      for (size_t b : bits) {
+        EXPECT_GE(b, 64u);
+        sum += b;
+      }
+      const size_t expected = std::max(total, size_t{64} * weights.size());
+      EXPECT_EQ(sum, expected)
+          << "total=" << total << " shards=" << weights.size();
+    }
+  }
+  // Proportionality: a shard with 1000x the weight gets the lion's share.
+  const auto skew = ApportionShardBits(100000, {1000, 1, 1, 1});
+  EXPECT_GT(skew[0], 99000u);
+}
+
+TEST(ShardedFilterTest, ApportionRebalancesFloorFromRichestShard) {
+  // One giant shard, three empty ones: the empty shards' 64-bit floors must
+  // come out of the giant's allocation, keeping the sum exact.
+  const auto bits = ApportionShardBits(10000, {42, 0, 0, 0});
+  EXPECT_EQ(bits[0], 10000u - 3 * 64u);
+  EXPECT_EQ(bits[1], 64u);
+  EXPECT_EQ(bits[2], 64u);
+  EXPECT_EQ(bits[3], 64u);
+  // Budget below the floors: sum degrades to floor * S, never less.
+  const auto floored = ApportionShardBits(100, {5, 5, 5});
+  EXPECT_EQ(floored, (std::vector<size_t>{64, 64, 64}));
+}
+
+TEST(ShardedFilterTest, ShardBudgetsSumToGlobalBudget) {
+  for (size_t shards : {size_t{2}, size_t{5}, size_t{8}}) {
+    const auto filter = BuildSharded(shards, 2);
+    size_t sum = 0;
+    for (size_t s = 0; s < filter.num_shards(); ++s) {
+      sum += filter.shard(s).options().total_bits;
+    }
+    EXPECT_EQ(sum, BaseOptions().total_bits) << shards << " shards";
+  }
+}
+
+TEST(ShardedFilterTest, SpanBuildIsBitIdenticalToVectorBuild) {
+  // The zero-copy span overload and the owning-vector adapter must produce
+  // the same sharded filter, snapshot bytes included.
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 5;
+  sharding.num_threads = 2;
+  const auto from_vectors = BuildShardedHabf(
+      SharedData().positives, SharedData().negatives, BaseOptions(), sharding);
+
+  const std::vector<std::string_view> pos_views =
+      MakeKeyViews(SharedData().positives);
+  const std::vector<WeightedKeyView> neg_views =
+      MakeWeightedKeyViews(SharedData().negatives);
+  const auto from_spans = BuildShardedHabf(
+      StringSpan(pos_views.data(), pos_views.size()),
+      WeightedKeySpan(neg_views.data(), neg_views.size()), BaseOptions(),
+      sharding);
+
+  std::string vector_bytes, span_bytes;
+  from_vectors.Serialize(&vector_bytes);
+  from_spans.Serialize(&span_bytes);
+  EXPECT_EQ(vector_bytes, span_bytes);
+}
+
+TEST(ShardedFilterTest, MoreShardsThanPositiveKeys) {
+  // Degenerate sharding: 7 shards over 3 positives leaves most shards with
+  // an empty build set. Build → query → snapshot round trip must all hold.
+  const std::vector<std::string> positives = {"alpha", "beta", "gamma"};
+  const std::vector<WeightedKey> negatives = {{"delta", 5.0}, {"epsilon", 1.0}};
+  HabfOptions options;
+  options.total_bits = 4096;  // >= 64 * 7, so the budget sum stays exact
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 7;
+  sharding.num_threads = 2;
+  const auto filter =
+      BuildShardedHabf(positives, negatives, options, sharding);
+  EXPECT_EQ(filter.num_shards(), 7u);
+  size_t budget_sum = 0;
+  for (size_t s = 0; s < filter.num_shards(); ++s) {
+    budget_sum += filter.shard(s).options().total_bits;
+  }
+  EXPECT_EQ(budget_sum, options.total_bits);
+  for (const auto& key : positives) {
+    EXPECT_TRUE(filter.MightContain(key)) << key;
+  }
+  ExpectBatchMatchesScalar(filter);
+
+  std::string bytes;
+  filter.Serialize(&bytes);
+  const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_shards(), 7u);
+  for (const auto& key : positives) {
+    EXPECT_TRUE(restored->MightContain(key)) << key;
+  }
+  for (int i = 0; i < 500; ++i) {
+    const std::string probe = "degen-probe-" + std::to_string(i);
+    EXPECT_EQ(filter.MightContain(probe), restored->MightContain(probe));
+  }
+}
+
+TEST(ShardedFilterTest, PooledBatchMatchesSerialBitForBit) {
+  auto filter = BuildSharded(5, 2);
+
+  // Serial answers over every adversarial batch plus one large batch.
+  std::vector<std::vector<std::string>> batches = AdversarialBatches();
+  std::vector<std::string> everything;
+  for (const auto& key : SharedData().positives) everything.push_back(key);
+  for (const auto& wk : SharedData().negatives) everything.push_back(wk.key);
+  batches.push_back(std::move(everything));
+
+  std::vector<std::vector<uint8_t>> serial_out;
+  std::vector<size_t> serial_positives;
+  for (const auto& batch : batches) {
+    std::vector<std::string_view> keys(batch.begin(), batch.end());
+    std::vector<uint8_t> out(batch.size());
+    serial_positives.push_back(
+        filter.ContainsBatch(KeySpan(keys.data(), keys.size()), out.data()));
+    serial_out.push_back(std::move(out));
+  }
+
+  // Pooled fan-out (threshold 1 so even tiny batches take the pooled path)
+  // must reproduce the serial answers bit for bit.
+  ThreadPool pool(4);
+  filter.SetQueryPool(&pool, /*min_parallel_keys=*/1);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    std::vector<std::string_view> keys(batches[b].begin(), batches[b].end());
+    std::vector<uint8_t> out(batches[b].size() + 1, 0xAB);  // canary slot
+    const size_t positives =
+        filter.ContainsBatch(KeySpan(keys.data(), keys.size()), out.data());
+    EXPECT_EQ(positives, serial_positives[b]) << "batch " << b;
+    for (size_t i = 0; i < batches[b].size(); ++i) {
+      ASSERT_EQ(out[i], serial_out[b][i]) << "batch " << b << " key " << i;
+    }
+    EXPECT_EQ(out[batches[b].size()], 0xAB) << "wrote past the batch";
+  }
+  filter.SetQueryPool(nullptr);
+}
+
+TEST(ShardedFilterTest, PooledBatchConcurrentReadersShareOnePool) {
+  auto filter = BuildSharded(4, 2);
+  ThreadPool pool(3);
+  filter.SetQueryPool(&pool, /*min_parallel_keys=*/1);
+
+  std::vector<std::string_view> keys;
+  for (const auto& key : SharedData().positives) keys.push_back(key);
+  for (const auto& wk : SharedData().negatives) keys.push_back(wk.key);
+  std::vector<uint8_t> expected(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    expected[i] = filter.MightContain(keys[i]) ? 1 : 0;
+  }
+
+  constexpr size_t kThreads = 4;
+  constexpr int kRounds = 3;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      const size_t batch_size = 97 + 13 * t;  // staggered block edges
+      std::vector<uint8_t> out(batch_size);
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t base = 0; base < keys.size(); base += batch_size) {
+          const size_t count = std::min(batch_size, keys.size() - base);
+          filter.ContainsBatch(KeySpan(keys.data() + base, count),
+                               out.data());
+          for (size_t i = 0; i < count; ++i) {
+            if (out[i] != expected[base + i]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  filter.SetQueryPool(nullptr);
 }
 
 TEST(ShardedFilterTest, SnapshotRoundTripPreservesEveryAnswer) {

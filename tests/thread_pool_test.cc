@@ -9,6 +9,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -84,6 +86,58 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
     // No WaitAll: destruction must still run everything already queued.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskRethrownFromWaitAll) {
+  // Regression: a throwing task used to escape onto the worker thread and
+  // terminate the process. It must be captured and rethrown at the barrier.
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("shard build failed"); });
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotStopSiblingTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 40; ++i) {
+    pool.Submit([&completed, i] {
+      if (i == 7) throw std::runtime_error("task 7");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  // Every non-throwing task still ran: the pool drained to quiescence
+  // before rethrowing.
+  EXPECT_EQ(completed.load(), 39);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionSurvivesAndPoolIsReusable) {
+  ThreadPool pool(1);  // one worker: deterministic task order
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([i] { throw std::runtime_error("error " + std::to_string(i)); });
+  }
+  try {
+    pool.WaitAll();
+    FAIL() << "WaitAll must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "error 0") << "first exception wins";
+  }
+  // The error slot was consumed by the rethrow; the pool works again.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, InlinePoolCapturesExceptionUntilWaitAll) {
+  ThreadPool pool(0);
+  // Submit must not throw (the worker contract), WaitAll must.
+  EXPECT_NO_THROW(pool.Submit([] { throw std::runtime_error("inline"); }));
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  pool.Submit([] {});
+  EXPECT_NO_THROW(pool.WaitAll());
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
