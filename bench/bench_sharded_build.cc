@@ -34,6 +34,7 @@
 #endif
 
 #include "core/filter_interface.h"
+#include "core/filter_store.h"
 #include "core/habf.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
@@ -106,6 +107,15 @@ struct Result {
   double items_per_second;
 };
 
+/// The serving-overlap measurement (DESIGN.md §5): queries answered from
+/// the current FilterStore snapshot while BuildShardedHabfAsync rebuilt a
+/// replacement, i.e. the work a blocking rebuild would have stalled.
+struct OverlapReport {
+  uint64_t rebuild_ns = 0;
+  size_t queries_served = 0;
+  double queries_per_second = 0.0;
+};
+
 /// Partition-memory comparison of the zero-copy sharded build against the
 /// old copying partition: exact logical byte counts plus per-build peak-RSS
 /// deltas measured in forked children.
@@ -156,7 +166,7 @@ size_t PeakRssDeltaInChild(const std::function<void()>& build) {
 
 void PrintResults(const std::vector<Result>& results, const Args& args,
                   size_t effective_threads, double speedup,
-                  const MemoryReport& memory) {
+                  const MemoryReport& memory, const OverlapReport& overlap) {
   if (args.json) {
     std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
                 "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
@@ -178,13 +188,20 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         "    \"copy_partition_bytes\": %zu,\n"
         "    \"copy_over_span_ratio\": %.2f,\n"
         "    \"peak_rss_delta_span_build\": %zu,\n"
-        "    \"peak_rss_delta_copy_build\": %zu\n  }\n}\n",
+        "    \"peak_rss_delta_copy_build\": %zu\n  },\n",
         memory.input_key_bytes, memory.span_partition_bytes,
         memory.copy_partition_bytes,
         static_cast<double>(memory.copy_partition_bytes) /
             static_cast<double>(std::max<size_t>(memory.span_partition_bytes,
                                                  1)),
         memory.peak_rss_delta_span_build, memory.peak_rss_delta_copy_build);
+    std::printf(
+        "  \"serve_during_rebuild\": {\n"
+        "    \"rebuild_ns\": %llu,\n"
+        "    \"queries_served\": %zu,\n"
+        "    \"queries_per_second_during_rebuild\": %.1f\n  }\n}\n",
+        static_cast<unsigned long long>(overlap.rebuild_ns),
+        overlap.queries_served, overlap.queries_per_second);
     return;
   }
   std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
@@ -207,6 +224,13 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
                                                1)),
       memory.peak_rss_delta_span_build / 1048576.0,
       memory.peak_rss_delta_copy_build / 1048576.0);
+  std::printf(
+      "serve during rebuild: %zu queries answered from the old snapshot in "
+      "%.1f ms of async rebuild (%.0f queries/s that a blocking rebuild "
+      "would have stalled)\n",
+      overlap.queries_served,
+      static_cast<double>(overlap.rebuild_ns) / 1e6,
+      overlap.queries_per_second);
 }
 
 /// The PR-2 copying partition, kept as the memory-comparison reference: a
@@ -349,8 +373,8 @@ int main(int argc, char** argv) {
   // --- query: unsharded native batch vs sharded grouped batch -------------
   const Habf unsharded =
       Habf::Build(data.positives, data.negatives, options);
-  const auto sharded = BuildShardedHabf(data.positives, data.negatives,
-                                        options, parallel_sharding);
+  auto sharded = BuildShardedHabf(data.positives, data.negatives,
+                                  options, parallel_sharding);
 
   std::vector<std::string_view> mixed;
   mixed.reserve(2 * args.keys);
@@ -413,12 +437,52 @@ int main(int argc, char** argv) {
          }),
          mixed_d);
 
-  PrintResults(results, args, effective_threads, speedup, memory);
-
   // Sanity: the sharded filter must keep the one-sided guarantee.
   if (CountFalseNegatives(sharded, data.positives) != 0) {
     std::fprintf(stderr, "FATAL: sharded filter dropped a positive key\n");
     return 1;
   }
+
+  // --- serving overlap: queries answered during an async rebuild ----------
+  // The hot-swap loop of DESIGN.md §5: the serving filter moves into a
+  // FilterStore, BuildShardedHabfAsync rebuilds a replacement (fresh seed,
+  // so it is a genuinely different filter), and the main thread keeps
+  // answering batched queries from the pinned current snapshot until the
+  // rebuild completes — every one of those queries is work a blocking
+  // rebuild would have stalled.
+  OverlapReport overlap;
+  {
+    FilterStore<ShardedFilter<Habf>> store(std::move(sharded));
+    HabfOptions rebuild_options = options;
+    rebuild_options.seed = options.seed + 1;
+    std::vector<uint8_t> out(kLargeBatch);
+    size_t base = 0;
+    Stopwatch rebuild_watch;
+    BuildHandle handle = BuildShardedHabfAsync(
+        data.positives, data.negatives, rebuild_options, parallel_sharding);
+    do {
+      const auto snapshot = store.Acquire();
+      const size_t count = std::min(kLargeBatch, mixed.size() - base);
+      snapshot.filter->ContainsBatch(KeySpan(mixed.data() + base, count),
+                                     out.data());
+      overlap.queries_served += count;
+      base = (base + count) % mixed.size();
+    } while (!handle.Ready());
+    overlap.rebuild_ns = rebuild_watch.ElapsedNanos();
+    store.Publish(handle.TakeResult());
+    overlap.queries_per_second =
+        static_cast<double>(overlap.queries_served) /
+        (static_cast<double>(std::max<uint64_t>(overlap.rebuild_ns, 1)) *
+         1e-9);
+    // The swapped-in filter serves correctly too.
+    if (CountFalseNegatives(*store.Acquire().filter, data.positives) != 0) {
+      std::fprintf(stderr,
+                   "FATAL: swapped-in rebuilt filter dropped a positive "
+                   "key\n");
+      return 1;
+    }
+  }
+
+  PrintResults(results, args, effective_threads, speedup, memory, overlap);
   return 0;
 }

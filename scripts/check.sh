@@ -2,25 +2,43 @@
 # Local mirror of the tier-1 verify (and of .github/workflows/ci.yml):
 # configure + build + ctest.
 #
-# Usage: scripts/check.sh [Release|Debug] [--sanitize]
+# Usage: scripts/check.sh [Release|Debug] [--sanitize|--tsan]
 #   --sanitize builds into build-sanitize/ with ASan+UBSan
 #   (-DHABF_SANITIZE=ON), which races/overflow-checks the concurrent
 #   sharded build and pooled query fan-out paths.
+#   --tsan builds into build-tsan/ with ThreadSanitizer (-DHABF_TSAN=ON)
+#   and runs the concurrency suites (thread pool, sharded build/query,
+#   async build handles, FilterStore hot swaps, concurrent readers) under
+#   it. The two sanitizers are mutually exclusive per build tree.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_type="Release"
 build_dir="build"
+mode="default"
 sanitize_flags=()
 for arg in "$@"; do
   case "$arg" in
     --sanitize)
+      if [ "${mode}" != "default" ]; then
+        echo "--sanitize and --tsan are mutually exclusive" >&2; exit 1
+      fi
       build_dir="build-sanitize"
       build_type="Debug"
+      mode="sanitize"
       sanitize_flags=(-DHABF_SANITIZE=ON)
       ;;
+    --tsan)
+      if [ "${mode}" != "default" ]; then
+        echo "--sanitize and --tsan are mutually exclusive" >&2; exit 1
+      fi
+      build_dir="build-tsan"
+      build_type="Debug"
+      mode="tsan"
+      sanitize_flags=(-DHABF_TSAN=ON)
+      ;;
     Release|Debug) build_type="$arg" ;;
-    *) echo "usage: $0 [Release|Debug] [--sanitize]" >&2; exit 1 ;;
+    *) echo "usage: $0 [Release|Debug] [--sanitize|--tsan]" >&2; exit 1 ;;
   esac
 done
 
@@ -29,6 +47,16 @@ cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}" \
   ${sanitize_flags[@]+"${sanitize_flags[@]}"}
 cmake --build "${build_dir}" -j "$(nproc)"
 cd "${build_dir}"
+if [ "${mode}" = "tsan" ]; then
+  # TSan is ~5-20x slower, so this tree runs the suites that exercise the
+  # concurrency surface instead of the full matrix (the default and ASan
+  # trees cover the rest). second_deadlock_stack gives usable reports for
+  # lock-order findings.
+  TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
+    -j "$(nproc)" \
+    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest'
+  exit 0
+fi
 # Explicit parallelism: temp-path races between test cases only show up when
 # ctest actually runs them concurrently.
 ctest --output-on-failure -j "$(nproc)"

@@ -1,0 +1,17 @@
+// FilterStore is header-only (it is a template); this translation unit
+// pins explicit instantiations for the two snapshot types the serving path
+// actually deploys, so template bugs surface as library build errors
+// instead of waiting for the first user, and debug symbols for them live in
+// habf_core.
+
+#include "core/filter_store.h"
+
+#include "core/habf.h"
+#include "core/sharded_filter.h"
+
+namespace habf {
+
+template class FilterStore<Habf>;
+template class FilterStore<ShardedFilter<Habf>>;
+
+}  // namespace habf

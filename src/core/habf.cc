@@ -756,7 +756,9 @@ std::optional<Habf> Habf::Deserialize(std::string_view data) {
 bool Habf::SaveToFile(const std::string& path) const {
   std::string bytes;
   Serialize(&bytes);
-  return WriteFileBytes(path, bytes);
+  // Atomic replace: a crash mid-save can never leave a torn snapshot that
+  // only surfaces at load time.
+  return WriteFileBytesAtomic(path, bytes);
 }
 
 std::optional<Habf> Habf::LoadFromFile(const std::string& path) {

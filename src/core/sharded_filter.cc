@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <thread>
 
@@ -83,34 +85,74 @@ std::vector<size_t> ApportionShardBits(size_t total_bits,
 
 namespace {
 
-/// The shared zero-copy build core, templated over key accessors so both
-/// public overloads partition *directly* from the caller's storage:
-/// `pos_at(i)` returns positive i as a string_view, `neg_at(i)` negative i
-/// as a WeightedKeyView. Only ONE set of views is ever materialized (the
-/// shard-contiguous grouped permutation) — routing the vector overload
-/// through an intermediate flat view vector would double the view memory
-/// on exactly the large builds the zero-copy path exists for.
+/// Everything a sharded build needs after partitioning, shared by the
+/// synchronous and asynchronous entry points so both produce *identical*
+/// filters: the shard-contiguous grouped view permutations, the group
+/// offsets, and the fully-resolved per-shard options (apportioned bit
+/// budgets, decorrelated seeds). The grouped views reference the caller's
+/// key storage, which must stay alive while any shard of the plan builds.
+struct ShardedBuildPlan {
+  size_t num_shards = 1;
+  uint64_t salt = kDefaultShardSalt;
+  /// Resolved worker count (min(requested-or-hardware, num_shards), >= 1).
+  size_t num_threads = 1;
+  std::vector<std::string_view> grouped_pos;
+  std::vector<WeightedKeyView> grouped_neg;
+  std::vector<size_t> pos_offsets;
+  std::vector<size_t> neg_offsets;
+  std::vector<HabfOptions> shard_options;
+};
+
+/// Runs shard `s` of the plan — the unchanged single-threaded TPJO build
+/// over the shard's contiguous slice of the grouped views.
+Habf BuildPlanShard(const ShardedBuildPlan& plan, size_t s) {
+  return Habf::Build(
+      StringSpan(plan.grouped_pos.data() + plan.pos_offsets[s],
+                 plan.pos_offsets[s + 1] - plan.pos_offsets[s]),
+      WeightedKeySpan(plan.grouped_neg.data() + plan.neg_offsets[s],
+                      plan.neg_offsets[s + 1] - plan.neg_offsets[s]),
+      plan.shard_options[s]);
+}
+
+/// The shared zero-copy partitioning core, templated over key accessors so
+/// both public overload families partition *directly* from the caller's
+/// storage: `pos_at(i)` returns positive i as a string_view, `neg_at(i)`
+/// negative i as a WeightedKeyView. Only ONE set of views is ever
+/// materialized (the shard-contiguous grouped permutation) — an
+/// intermediate flat view vector would double the view memory on exactly
+/// the large builds the zero-copy path exists for.
 template <typename PosAt, typename NegAt>
-ShardedFilter<Habf> BuildShardedHabfImpl(size_t num_positives,
-                                         size_t num_negatives,
-                                         const PosAt& pos_at,
-                                         const NegAt& neg_at,
-                                         const HabfOptions& options,
-                                         const ShardedBuildOptions& sharding) {
+ShardedBuildPlan PrepareShardedBuild(size_t num_positives,
+                                     size_t num_negatives, const PosAt& pos_at,
+                                     const NegAt& neg_at,
+                                     const HabfOptions& options,
+                                     const ShardedBuildOptions& sharding) {
+  ShardedBuildPlan plan;
   // Clamp to the bound the snapshot reader enforces, so every built filter
   // can be persisted and loaded back.
-  const size_t num_shards =
+  plan.num_shards =
       std::min(std::max<size_t>(1, sharding.num_shards), kMaxSnapshotShards);
-  std::vector<std::string_view> grouped_pos(num_positives);
-  std::vector<WeightedKeyView> grouped_neg(num_negatives);
-  if (num_shards == 1) {
-    for (size_t i = 0; i < num_positives; ++i) grouped_pos[i] = pos_at(i);
-    for (size_t i = 0; i < num_negatives; ++i) grouped_neg[i] = neg_at(i);
-    std::vector<Habf> shards;
-    shards.push_back(Habf::Build(
-        StringSpan(grouped_pos.data(), num_positives),
-        WeightedKeySpan(grouped_neg.data(), num_negatives), options));
-    return ShardedFilter<Habf>(std::move(shards), sharding.salt);
+  plan.salt = sharding.salt;
+
+  size_t num_threads = sharding.num_threads;
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  plan.num_threads = std::max<size_t>(
+      1, std::min<size_t>(num_threads, plan.num_shards));
+
+  plan.grouped_pos.resize(num_positives);
+  plan.grouped_neg.resize(num_negatives);
+  if (plan.num_shards == 1) {
+    // Degenerate single shard: identity permutation, options unchanged (no
+    // seed derivation), so the shard answers identically to Habf::Build.
+    for (size_t i = 0; i < num_positives; ++i) plan.grouped_pos[i] = pos_at(i);
+    for (size_t i = 0; i < num_negatives; ++i) plan.grouped_neg[i] = neg_at(i);
+    plan.pos_offsets = {0, num_positives};
+    plan.neg_offsets = {0, num_negatives};
+    plan.shard_options = {options};
+    return plan;
   }
 
   // Hash-partition both build sets by the routing salt — zero-copy: the
@@ -118,32 +160,34 @@ ShardedFilter<Habf> BuildShardedHabfImpl(size_t num_positives,
   // key storage (route once, prefix-sum the group offsets, gather), so the
   // partitioning cost is O(n) pointer-sized views instead of a second copy
   // of every key byte.
+  const size_t num_shards = plan.num_shards;
   std::vector<uint32_t> pos_shard(num_positives);
   std::vector<uint32_t> neg_shard(num_negatives);
-  std::vector<size_t> pos_offsets(num_shards + 1, 0);
-  std::vector<size_t> neg_offsets(num_shards + 1, 0);
+  plan.pos_offsets.assign(num_shards + 1, 0);
+  plan.neg_offsets.assign(num_shards + 1, 0);
   for (size_t i = 0; i < num_positives; ++i) {
-    const size_t s = ShardOfKey(pos_at(i), sharding.salt, num_shards);
+    const size_t s = ShardOfKey(pos_at(i), plan.salt, num_shards);
     pos_shard[i] = static_cast<uint32_t>(s);
-    ++pos_offsets[s + 1];
+    ++plan.pos_offsets[s + 1];
   }
   for (size_t i = 0; i < num_negatives; ++i) {
-    const size_t s = ShardOfKey(neg_at(i).key, sharding.salt, num_shards);
+    const size_t s = ShardOfKey(neg_at(i).key, plan.salt, num_shards);
     neg_shard[i] = static_cast<uint32_t>(s);
-    ++neg_offsets[s + 1];
+    ++plan.neg_offsets[s + 1];
   }
   for (size_t s = 1; s <= num_shards; ++s) {
-    pos_offsets[s] += pos_offsets[s - 1];
-    neg_offsets[s] += neg_offsets[s - 1];
+    plan.pos_offsets[s] += plan.pos_offsets[s - 1];
+    plan.neg_offsets[s] += plan.neg_offsets[s - 1];
   }
   {
-    std::vector<size_t> cursor(pos_offsets.begin(), pos_offsets.end() - 1);
+    std::vector<size_t> cursor(plan.pos_offsets.begin(),
+                               plan.pos_offsets.end() - 1);
     for (size_t i = 0; i < num_positives; ++i) {
-      grouped_pos[cursor[pos_shard[i]]++] = pos_at(i);
+      plan.grouped_pos[cursor[pos_shard[i]]++] = pos_at(i);
     }
-    cursor.assign(neg_offsets.begin(), neg_offsets.end() - 1);
+    cursor.assign(plan.neg_offsets.begin(), plan.neg_offsets.end() - 1);
     for (size_t i = 0; i < num_negatives; ++i) {
-      grouped_neg[cursor[neg_shard[i]]++] = neg_at(i);
+      plan.grouped_neg[cursor[neg_shard[i]]++] = neg_at(i);
     }
   }
 
@@ -154,50 +198,48 @@ ShardedFilter<Habf> BuildShardedHabfImpl(size_t num_positives,
   // floor-truncated bits plus unrebalanced empty-shard floors.
   std::vector<size_t> pos_counts(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    pos_counts[s] = pos_offsets[s + 1] - pos_offsets[s];
+    pos_counts[s] = plan.pos_offsets[s + 1] - plan.pos_offsets[s];
   }
   const std::vector<size_t> shard_bits =
       ApportionShardBits(options.total_bits, pos_counts);
-  std::vector<HabfOptions> shard_options(num_shards, options);
+  plan.shard_options.assign(num_shards, options);
   for (size_t s = 0; s < num_shards; ++s) {
-    shard_options[s].total_bits = shard_bits[s];
-    shard_options[s].seed = ShardSeed(options.seed, s);
+    plan.shard_options[s].total_bits = shard_bits[s];
+    plan.shard_options[s].seed = ShardSeed(options.seed, s);
   }
+  return plan;
+}
 
-  size_t num_threads = sharding.num_threads;
-  if (num_threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 1 : hw;
+/// Runs every shard of the plan on a fresh worker pool and assembles the
+/// filter — the synchronous tail shared by both BuildShardedHabf overloads.
+ShardedFilter<Habf> RunShardedBuild(const ShardedBuildPlan& plan) {
+  if (plan.num_shards == 1) {
+    std::vector<Habf> shards;
+    shards.push_back(BuildPlanShard(plan, 0));
+    return ShardedFilter<Habf>(std::move(shards), plan.salt);
   }
-  num_threads = std::min(num_threads, num_shards);
 
   // One build task per shard, each consuming its span of the grouped views.
   // Habf has no default constructor, so workers fill a vector of optionals
   // that is unwrapped after the barrier. The pool runs inline when only one
   // worker is useful. WaitAll rethrows the first exception a shard build
   // escaped with, so the unwrap below never dereferences an empty slot.
-  std::vector<std::optional<Habf>> built(num_shards);
+  std::vector<std::optional<Habf>> built(plan.num_shards);
   {
-    ThreadPool pool(num_threads <= 1 ? 0 : num_threads);
-    for (size_t s = 0; s < num_shards; ++s) {
-      pool.Submit([&, s] {
-        built[s] = Habf::Build(
-            StringSpan(grouped_pos.data() + pos_offsets[s], pos_counts[s]),
-            WeightedKeySpan(grouped_neg.data() + neg_offsets[s],
-                            neg_offsets[s + 1] - neg_offsets[s]),
-            shard_options[s]);
-      });
+    ThreadPool pool(plan.num_threads <= 1 ? 0 : plan.num_threads);
+    for (size_t s = 0; s < plan.num_shards; ++s) {
+      pool.Submit([&plan, &built, s] { built[s] = BuildPlanShard(plan, s); });
     }
     pool.WaitAll();
   }
 
   std::vector<Habf> shards;
-  shards.reserve(num_shards);
+  shards.reserve(plan.num_shards);
   for (std::optional<Habf>& shard : built) {
     assert(shard.has_value());  // WaitAll would have thrown otherwise
     shards.push_back(std::move(*shard));
   }
-  return ShardedFilter<Habf>(std::move(shards), sharding.salt);
+  return ShardedFilter<Habf>(std::move(shards), plan.salt);
 }
 
 }  // namespace
@@ -206,23 +248,221 @@ ShardedFilter<Habf> BuildShardedHabf(StringSpan positives,
                                      WeightedKeySpan negatives,
                                      const HabfOptions& options,
                                      const ShardedBuildOptions& sharding) {
-  return BuildShardedHabfImpl(
+  return RunShardedBuild(PrepareShardedBuild(
       positives.size(), negatives.size(),
       [&](size_t i) { return positives[i]; },
-      [&](size_t i) { return negatives[i]; }, options, sharding);
+      [&](size_t i) { return negatives[i]; }, options, sharding));
 }
 
 ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
                                      const std::vector<WeightedKey>& negatives,
                                      const HabfOptions& options,
                                      const ShardedBuildOptions& sharding) {
-  return BuildShardedHabfImpl(
+  return RunShardedBuild(PrepareShardedBuild(
       positives.size(), negatives.size(),
       [&](size_t i) { return std::string_view(positives[i]); },
       [&](size_t i) {
         return WeightedKeyView(negatives[i].key, negatives[i].cost);
       },
-      options, sharding);
+      options, sharding));
+}
+
+// --- asynchronous build -----------------------------------------------------
+
+/// State shared between the handle and its shard tasks. Deliberately holds
+/// no ThreadPool: a worker thread may drop the last reference (it holds a
+/// shared_ptr inside its task closure), and destroying a pool from one of
+/// its own workers would self-join. The plan lives here so the grouped
+/// views stay valid for exactly as long as any task can touch them.
+struct BuildHandle::State {
+  ShardedBuildPlan plan;
+  CancellationToken cancel;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable done_cv;
+  /// Shard tasks not yet finished (built, failed, or abandoned).
+  size_t remaining = 0;
+  /// Shards whose TPJO build completed.
+  size_t completed = 0;
+  /// Shards abandoned because a task observed the cancellation flag.
+  size_t skipped = 0;
+  /// TakeResult already consumed (or forfeited) the result.
+  bool taken = false;
+  /// First exception a shard build escaped with. Contained here — never
+  /// surfaced through the pool's WaitAll, so a shared pool's other clients
+  /// are unaffected by a failing rebuild.
+  std::exception_ptr error;
+  std::vector<std::optional<Habf>> built;
+};
+
+namespace {
+
+void StartShardTasks(const std::shared_ptr<BuildHandle::State>& state,
+                     ThreadPool* pool) {
+  const size_t num_shards = state->plan.num_shards;
+  state->remaining = num_shards;
+  state->built.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    pool->Submit([state, s] {
+      std::optional<Habf> result;
+      std::exception_ptr error;
+      bool skipped = false;
+      if (state->cancel.IsCancelled()) {
+        skipped = true;
+      } else {
+        // Contain any escape: letting it reach the pool would surface it in
+        // an unrelated client's WaitAll (e.g. a query barrier sharing this
+        // pool) instead of this handle's TakeResult.
+        try {
+          result = BuildPlanShard(state->plan, s);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (result.has_value()) {
+        state->built[s] = std::move(result);
+        ++state->completed;
+      }
+      if (skipped) ++state->skipped;
+      if (error && !state->error) state->error = error;
+      if (--state->remaining == 0) state->done_cv.notify_all();
+    });
+  }
+}
+
+BuildHandle MakeAsyncHandle(ShardedBuildPlan plan, ThreadPool* pool) {
+  auto state = std::make_shared<BuildHandle::State>();
+  state->plan = std::move(plan);
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    // A private pool always gets at least one real worker: an inline
+    // (0-worker) pool would run the whole build synchronously inside this
+    // call, which is exactly what the async entry point exists to avoid.
+    owned = std::make_unique<ThreadPool>(state->plan.num_threads);
+    pool = owned.get();
+  }
+  StartShardTasks(state, pool);
+  return BuildHandle(std::move(state), std::move(owned));
+}
+
+}  // namespace
+
+BuildHandle BuildShardedHabfAsync(StringSpan positives,
+                                  WeightedKeySpan negatives,
+                                  const HabfOptions& options,
+                                  const ShardedBuildOptions& sharding,
+                                  ThreadPool* pool) {
+  return MakeAsyncHandle(
+      PrepareShardedBuild(
+          positives.size(), negatives.size(),
+          [&](size_t i) { return positives[i]; },
+          [&](size_t i) { return negatives[i]; }, options, sharding),
+      pool);
+}
+
+BuildHandle BuildShardedHabfAsync(const std::vector<std::string>& positives,
+                                  const std::vector<WeightedKey>& negatives,
+                                  const HabfOptions& options,
+                                  const ShardedBuildOptions& sharding,
+                                  ThreadPool* pool) {
+  return MakeAsyncHandle(
+      PrepareShardedBuild(
+          positives.size(), negatives.size(),
+          [&](size_t i) { return std::string_view(positives[i]); },
+          [&](size_t i) {
+            return WeightedKeyView(negatives[i].key, negatives[i].cost);
+          },
+          options, sharding),
+      pool);
+}
+
+BuildHandle::BuildHandle(std::shared_ptr<State> state,
+                         std::unique_ptr<ThreadPool> owned_pool)
+    : state_(std::move(state)), owned_pool_(std::move(owned_pool)) {}
+
+BuildHandle::BuildHandle(BuildHandle&&) noexcept = default;
+
+BuildHandle& BuildHandle::operator=(BuildHandle&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    state_ = std::move(other.state_);
+    owned_pool_ = std::move(other.owned_pool_);
+  }
+  return *this;
+}
+
+BuildHandle::~BuildHandle() { Abandon(); }
+
+void BuildHandle::Abandon() {
+  if (state_ == nullptr) return;
+  Cancel();
+  Wait();
+  // Join the private workers (if any) while state_ still pins the plan the
+  // tasks view; only then release our reference.
+  owned_pool_.reset();
+  state_.reset();
+}
+
+bool BuildHandle::Ready() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->remaining == 0;
+}
+
+void BuildHandle::Wait() const {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done_cv.wait(lock, [&] { return state_->remaining == 0; });
+}
+
+void BuildHandle::Cancel() {
+  if (state_ != nullptr) state_->cancel.Cancel();
+}
+
+bool BuildHandle::CancelRequested() const {
+  return state_ != nullptr && state_->cancel.IsCancelled();
+}
+
+size_t BuildHandle::CompletedShards() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->completed;
+}
+
+size_t BuildHandle::num_shards() const {
+  return state_ == nullptr ? 0 : state_->plan.num_shards;
+}
+
+ShardedFilter<Habf> BuildHandle::TakeResult() {
+  if (state_ == nullptr) {
+    throw std::logic_error("BuildHandle::TakeResult on an empty handle");
+  }
+  Wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->taken) {
+    throw std::logic_error("BuildHandle::TakeResult called twice");
+  }
+  state_->taken = true;
+  // remaining == 0 and taken: no task can touch the plan anymore and the
+  // result is consumed on every exit below, so release the O(n) grouped
+  // views (and, on the error/cancel paths, the orphaned shard filters) now
+  // instead of keeping ~16 bytes/key resident until the handle itself dies
+  // (a service may hold the handle long after the swap).
+  std::vector<Habf> shards;
+  shards.reserve(state_->built.size());
+  const bool consumable = !state_->error && state_->skipped == 0;
+  if (consumable) {
+    for (std::optional<Habf>& shard : state_->built) {
+      shards.push_back(std::move(*shard));  // no error, no skip: all present
+    }
+  }
+  state_->built.clear();
+  state_->plan.grouped_pos = {};
+  state_->plan.grouped_neg = {};
+  if (state_->error) std::rethrow_exception(state_->error);
+  if (state_->skipped > 0) throw BuildCancelledError();
+  return ShardedFilter<Habf>(std::move(shards), state_->plan.salt);
 }
 
 }  // namespace habf

@@ -16,10 +16,13 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -96,6 +99,34 @@ class ShardedFilter {
     name_ = std::string("sharded-") + shards_.front().Name();
   }
 
+  // Moves transfer the query-pool configuration as plain values. They are
+  // NOT thread-safe against concurrent queries on the source (moving a
+  // filter out from under readers is a use-after-move bug regardless); the
+  // explicit definitions exist only because the atomic configuration
+  // members delete the implicit ones. Copying is deleted as before (the
+  // shard filters themselves need not be copyable).
+  ShardedFilter(const ShardedFilter&) = delete;
+  ShardedFilter& operator=(const ShardedFilter&) = delete;
+  ShardedFilter(ShardedFilter&& other) noexcept
+      : shards_(std::move(other.shards_)),
+        salt_(other.salt_),
+        name_(std::move(other.name_)),
+        query_pool_(other.query_pool_.load(std::memory_order_relaxed)),
+        parallel_query_threshold_(
+            other.parallel_query_threshold_.load(std::memory_order_relaxed)) {}
+  ShardedFilter& operator=(ShardedFilter&& other) noexcept {
+    if (this == &other) return *this;
+    shards_ = std::move(other.shards_);
+    salt_ = other.salt_;
+    name_ = std::move(other.name_);
+    query_pool_.store(other.query_pool_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    parallel_query_threshold_.store(
+        other.parallel_query_threshold_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+
   size_t num_shards() const { return shards_.size(); }
   uint64_t salt() const { return salt_; }
   const F& shard(size_t i) const { return shards_[i]; }
@@ -108,16 +139,34 @@ class ShardedFilter {
   /// run their per-shard group queries as tasks on `pool` (nullptr reverts
   /// to the serial path). The per-shard output regions are disjoint, so the
   /// only synchronization is the WaitAll barrier, and the answers are
-  /// bit-for-bit identical to the serial path. The pool must outlive the
-  /// filter's last ContainsBatch call; sharing one pool between concurrent
-  /// readers is safe (each reader's barrier also drains the other's tasks).
+  /// bit-for-bit identical to the serial path. Sharing one pool between
+  /// concurrent readers is safe (each reader's barrier also drains the
+  /// other's tasks).
+  ///
+  /// Contract under concurrency: SetQueryPool may be called while other
+  /// threads are inside ContainsBatch — both fields are atomic, and each
+  /// batch uses the *pool pointer* it loaded at entry for its whole
+  /// grouping pass. The pool/threshold pair is not installed as one unit,
+  /// though: a batch racing the reconfiguration may combine the old pool
+  /// with the new threshold (or vice versa). Either combination only
+  /// decides parallel-vs-serial for that one batch — answers are
+  /// bit-for-bit identical on both paths. The previous pool must outlive
+  /// every batch that was already in flight when it was replaced, and the
+  /// new pool every batch started after; destroying a pool immediately
+  /// after SetQueryPool(nullptr) without a barrier is the caller's race
+  /// (tests/sharded_filter_test.cc,
+  /// SetQueryPoolToggledUnderConcurrentReaders).
   void SetQueryPool(ThreadPool* pool,
                     size_t min_parallel_keys = kDefaultParallelQueryThreshold) {
-    query_pool_ = pool;
-    parallel_query_threshold_ = min_parallel_keys < 1 ? 1 : min_parallel_keys;
+    parallel_query_threshold_.store(
+        min_parallel_keys < 1 ? 1 : min_parallel_keys,
+        std::memory_order_relaxed);
+    query_pool_.store(pool, std::memory_order_release);
   }
 
-  ThreadPool* query_pool() const { return query_pool_; }
+  ThreadPool* query_pool() const {
+    return query_pool_.load(std::memory_order_acquire);
+  }
 
   // --- Filter concept -----------------------------------------------------
 
@@ -163,10 +212,12 @@ class ShardedFilter {
     // for large batches when a query pool is configured (each task reads
     // and writes a disjoint slice of the grouping scratch, so the WaitAll
     // barrier is the only synchronization), serial otherwise.
+    // One atomic load per batch: a concurrent SetQueryPool cannot change
+    // this batch's pool mid-pass (see the SetQueryPool contract).
     size_t positives = 0;
-    ThreadPool* pool = query_pool_;
+    ThreadPool* pool = query_pool_.load(std::memory_order_acquire);
     if (pool != nullptr && pool->num_threads() > 0 &&
-        n >= parallel_query_threshold_) {
+        n >= parallel_query_threshold_.load(std::memory_order_relaxed)) {
       std::fill(scratch.shard_positives.begin(),
                 scratch.shard_positives.end(), size_t{0});
       for (size_t s = 0; s < shards_.size(); ++s) {
@@ -258,7 +309,9 @@ class ShardedFilter {
   bool SaveToFile(const std::string& path) const {
     std::string bytes;
     Serialize(&bytes);
-    return WriteFileBytes(path, bytes);
+    // Atomic replace: a crash mid-save can never leave a torn snapshot that
+    // only surfaces at load time.
+    return WriteFileBytesAtomic(path, bytes);
   }
 
   static std::optional<ShardedFilter> LoadFromFile(const std::string& path) {
@@ -299,8 +352,10 @@ class ShardedFilter {
   uint64_t salt_;
   std::string name_;
   /// Pooled fan-out configuration (SetQueryPool); nullptr = serial pass 3.
-  ThreadPool* query_pool_ = nullptr;
-  size_t parallel_query_threshold_ = kDefaultParallelQueryThreshold;
+  /// Atomic so SetQueryPool is safe against in-flight ContainsBatch calls.
+  std::atomic<ThreadPool*> query_pool_{nullptr};
+  std::atomic<size_t> parallel_query_threshold_{
+      kDefaultParallelQueryThreshold};
 };
 
 /// Hash-partitions the build sets and runs one TPJO build per shard on a
@@ -330,5 +385,129 @@ ShardedFilter<Habf> BuildShardedHabf(const std::vector<std::string>& positives,
                                      const std::vector<WeightedKey>& negatives,
                                      const HabfOptions& options,
                                      const ShardedBuildOptions& sharding);
+
+// --- asynchronous build (DESIGN.md §5) --------------------------------------
+
+/// Thrown by BuildHandle::TakeResult when Cancel() abandoned at least one
+/// shard build, so no complete filter exists to take.
+class BuildCancelledError : public std::runtime_error {
+ public:
+  BuildCancelledError() : std::runtime_error("sharded HABF build cancelled") {}
+};
+
+class BuildHandle;
+
+/// Starts a sharded HABF build without blocking on the TPJO work: the key
+/// spaces are partitioned synchronously (cheap, O(n) routing hashes), one
+/// build task per shard is submitted, and a future-like BuildHandle is
+/// returned immediately. The finished filter is *bit-for-bit identical* to
+/// the synchronous BuildShardedHabf result for the same inputs — both run
+/// the same partition/apportion/seed plan — so a service can overlap TPJO
+/// construction with serving an old snapshot and hot-swap on completion
+/// (core/filter_store.h).
+///
+/// Pool choice: with `pool == nullptr` the handle owns a private worker pool
+/// (min(num_threads, num_shards) workers, at least 1 — an async build never
+/// runs inline on the caller). Passing a shared pool is allowed and safe —
+/// shard tasks contain their exceptions, so a failed build never poisons
+/// another client's WaitAll — but note two sharing effects: a WaitAll
+/// barrier on the shared pool (e.g. a pooled ContainsBatch fan-out) also
+/// waits for any rebuild tasks already queued, and a 0-worker (inline) pool
+/// degenerates the "async" build into completing during this call.
+///
+/// Lifetime: the spans view caller storage, which must stay alive until the
+/// handle completes (Wait()/TakeResult() returns, or the handle is
+/// destroyed — destruction cancels remaining shards and blocks until
+/// in-flight ones finish, so tasks never outlive the storage).
+BuildHandle BuildShardedHabfAsync(StringSpan positives,
+                                  WeightedKeySpan negatives,
+                                  const HabfOptions& options,
+                                  const ShardedBuildOptions& sharding,
+                                  ThreadPool* pool = nullptr);
+
+/// Vector convenience overload; the vectors must outlive the handle's
+/// completion exactly like the spans above.
+BuildHandle BuildShardedHabfAsync(const std::vector<std::string>& positives,
+                                  const std::vector<WeightedKey>& negatives,
+                                  const HabfOptions& options,
+                                  const ShardedBuildOptions& sharding,
+                                  ThreadPool* pool = nullptr);
+
+/// Future-like handle to an in-flight sharded build. Movable, not copyable.
+///
+/// Lifecycle: exactly one of TakeResult() (returns the filter or throws) or
+/// destruction (cancels + joins) consumes the build. Cancellation is
+/// cooperative and *best-effort*: Cancel() flips a CancellationToken that
+/// every not-yet-started shard task observes before building, so queued
+/// shards are abandoned promptly, but a shard already inside its TPJO build
+/// runs to completion (TPJO is monolithic); if every shard finished before
+/// the flag was observed, the result is intact and TakeResult still returns
+/// it.
+class BuildHandle {
+ public:
+  /// An empty handle (as if moved-from): Ready() is true, TakeResult throws.
+  BuildHandle() = default;
+
+  BuildHandle(BuildHandle&&) noexcept;
+  /// Abandons the currently held build (Cancel + Wait) before taking over
+  /// the other one.
+  BuildHandle& operator=(BuildHandle&&) noexcept;
+  BuildHandle(const BuildHandle&) = delete;
+  BuildHandle& operator=(const BuildHandle&) = delete;
+
+  /// Cancels remaining shards and blocks until in-flight shard tasks have
+  /// finished, so no task can outlive the caller's key storage and no pool
+  /// task is leaked. Call Cancel() + Wait() yourself first if you want the
+  /// teardown latency out of the destructor.
+  ~BuildHandle();
+
+  /// True once every shard task has finished (built, failed, or been
+  /// abandoned by Cancel). Never blocks. A moved-from handle is Ready.
+  bool Ready() const;
+
+  /// Blocks until Ready().
+  void Wait() const;
+
+  /// Requests cooperative cancellation (idempotent, never blocks): shard
+  /// tasks not yet started are abandoned; the one currently building (if
+  /// any) completes. See the class comment for the race with completion.
+  void Cancel();
+
+  /// Whether Cancel() has been called (not whether it won the race).
+  bool CancelRequested() const;
+
+  /// Shards whose TPJO build has completed so far (monotonic; equals
+  /// num_shards() on a fully successful build).
+  size_t CompletedShards() const;
+
+  size_t num_shards() const;
+
+  /// Waits, then consumes the result: returns the finished filter, rethrows
+  /// the first exception a shard build escaped with, or throws
+  /// BuildCancelledError if cancellation abandoned any shard. A second call
+  /// (or a call on a moved-from handle) throws std::logic_error — the
+  /// result is gone.
+  ShardedFilter<Habf> TakeResult();
+
+  /// Opaque shared state between the handle and its shard tasks (defined in
+  /// sharded_filter.cc — incomplete everywhere else, so the construction
+  /// path below is usable only by the BuildShardedHabfAsync implementation).
+  struct State;
+
+  /// Internal: handles are obtained from BuildShardedHabfAsync.
+  BuildHandle(std::shared_ptr<State> state,
+              std::unique_ptr<ThreadPool> owned_pool);
+
+ private:
+  /// Cancel + Wait + release (the destructor/move-assign teardown).
+  void Abandon();
+
+  /// Shared with the shard tasks; deliberately pool-free so the last
+  /// reference may be dropped from a worker thread without self-joining.
+  std::shared_ptr<State> state_;
+  /// Destroyed before state_ is released (declared after it), joining the
+  /// private workers while the handle still pins the shared state.
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
 
 }  // namespace habf

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/filter_interface.h"
+#include "core/filter_store.h"
 #include "core/habf.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
@@ -30,7 +31,9 @@ constexpr char kUsage[] =
     "  stats    --filter FILTER\n"
     "  eval     --filter FILTER --negatives FILE\n"
     "  generate --dataset shalla|ycsb --positives FILE --negatives FILE\n"
-    "           [--count N] [--zipf THETA] [--seed S]\n";
+    "           [--count N] [--zipf THETA] [--seed S]\n"
+    "  serve-sim --positives FILE [--negatives FILE] [build flags]\n"
+    "           [--rebuilds R] [--batch B]\n";
 
 /// Parsed flags: --name value pairs, repeated flags collected, bare --fast
 /// style booleans mapped to "1".
@@ -137,6 +140,78 @@ bool ReadWeightedLines(const std::string& path,
   return true;
 }
 
+/// Parses the filter-construction flags shared by `build` and `serve-sim`
+/// (--bits-per-key/--delta/--k/--cell-bits/--fast plus --shards/--threads)
+/// into `*options` and `*sharding`. Returns 0 or the exit code to propagate.
+int ParseBuildFlags(const Flags& flags, size_t num_positives,
+                    HabfOptions* options, ShardedBuildOptions* sharding,
+                    std::string* err) {
+  double bits_per_key = 10.0;
+  if (const std::string* v = flags.GetOne("bits-per-key")) {
+    if (!ParseDouble(*v, &bits_per_key) || bits_per_key <= 0) {
+      *err += BadFlag("bits-per-key", *v, "expected a finite number > 0");
+      return 1;
+    }
+  }
+  const double total_bits_d =
+      bits_per_key * static_cast<double>(num_positives);
+  // Guard the float-to-integer cast: a finite but huge product (e.g.
+  // --bits-per-key 1e19) would make the conversion itself undefined.
+  if (total_bits_d >= 9.0e18) {
+    *err += "bit budget too large: --bits-per-key " +
+            std::to_string(bits_per_key) + " over " +
+            std::to_string(num_positives) + " positives overflows\n";
+    return 1;
+  }
+  options->total_bits = static_cast<size_t>(total_bits_d);
+  if (options->total_bits < 64) {
+    // Below the sizing floor the filter cannot be laid out (and the debug
+    // build would trip ComputeSizing's assert) — reject, don't crash.
+    *err += "bit budget too small: --bits-per-key " +
+            std::to_string(bits_per_key) + " over " +
+            std::to_string(num_positives) +
+            " positives yields fewer than 64 total bits\n";
+    return 1;
+  }
+  if (const std::string* v = flags.GetOne("delta")) {
+    if (!ParseDouble(*v, &options->delta) || options->delta < 0) {
+      *err += BadFlag("delta", *v, "expected a finite number >= 0");
+      return 1;
+    }
+  }
+  if (const std::string* v = flags.GetOne("k")) {
+    if (!ParseSize(*v, &options->k) || options->k == 0 || options->k > 16) {
+      *err += BadFlag("k", *v, "expected an integer in [1, 16]");
+      return 1;
+    }
+  }
+  if (const std::string* v = flags.GetOne("cell-bits")) {
+    size_t cell = 0;
+    if (!ParseSize(*v, &cell) || cell < 2 || cell > 8) {
+      *err += BadFlag("cell-bits", *v, "expected an integer in [2, 8]");
+      return 1;
+    }
+    options->cell_bits = static_cast<unsigned>(cell);
+  }
+  options->fast = flags.Has("fast");
+
+  if (const std::string* v = flags.GetOne("shards")) {
+    if (!ParseSize(*v, &sharding->num_shards) || sharding->num_shards == 0 ||
+        sharding->num_shards > kMaxSnapshotShards) {
+      *err += BadFlag("shards", *v, "expected an integer in [1, 4096]");
+      return 1;
+    }
+  }
+  if (const std::string* v = flags.GetOne("threads")) {
+    if (!ParseSize(*v, &sharding->num_threads)) {
+      *err += BadFlag("threads", *v,
+                      "expected a non-negative integer (0 = hardware)");
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
   const std::string* positives_path = flags.GetOne("positives");
   const std::string* out_path = flags.GetOne("out");
@@ -155,70 +230,11 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
     if (!ReadWeightedLines(*path, &negatives, err)) return 2;
   }
 
-  double bits_per_key = 10.0;
-  if (const std::string* v = flags.GetOne("bits-per-key")) {
-    if (!ParseDouble(*v, &bits_per_key) || bits_per_key <= 0) {
-      *err += BadFlag("bits-per-key", *v, "expected a finite number > 0");
-      return 1;
-    }
-  }
   HabfOptions options;
-  const double total_bits_d =
-      bits_per_key * static_cast<double>(positives.size());
-  // Guard the float-to-integer cast: a finite but huge product (e.g.
-  // --bits-per-key 1e19) would make the conversion itself undefined.
-  if (total_bits_d >= 9.0e18) {
-    *err += "bit budget too large: --bits-per-key " +
-            std::to_string(bits_per_key) + " over " +
-            std::to_string(positives.size()) + " positives overflows\n";
-    return 1;
-  }
-  options.total_bits = static_cast<size_t>(total_bits_d);
-  if (options.total_bits < 64) {
-    // Below the sizing floor the filter cannot be laid out (and the debug
-    // build would trip ComputeSizing's assert) — reject, don't crash.
-    *err += "bit budget too small: --bits-per-key " +
-            std::to_string(bits_per_key) + " over " +
-            std::to_string(positives.size()) +
-            " positives yields fewer than 64 total bits\n";
-    return 1;
-  }
-  if (const std::string* v = flags.GetOne("delta")) {
-    if (!ParseDouble(*v, &options.delta) || options.delta < 0) {
-      *err += BadFlag("delta", *v, "expected a finite number >= 0");
-      return 1;
-    }
-  }
-  if (const std::string* v = flags.GetOne("k")) {
-    if (!ParseSize(*v, &options.k) || options.k == 0 || options.k > 16) {
-      *err += BadFlag("k", *v, "expected an integer in [1, 16]");
-      return 1;
-    }
-  }
-  if (const std::string* v = flags.GetOne("cell-bits")) {
-    size_t cell = 0;
-    if (!ParseSize(*v, &cell) || cell < 2 || cell > 8) {
-      *err += BadFlag("cell-bits", *v, "expected an integer in [2, 8]");
-      return 1;
-    }
-    options.cell_bits = static_cast<unsigned>(cell);
-  }
-  options.fast = flags.Has("fast");
-
   ShardedBuildOptions sharding;
-  if (const std::string* v = flags.GetOne("shards")) {
-    if (!ParseSize(*v, &sharding.num_shards) || sharding.num_shards == 0 ||
-        sharding.num_shards > kMaxSnapshotShards) {
-      *err += BadFlag("shards", *v, "expected an integer in [1, 4096]");
-      return 1;
-    }
-  }
-  if (const std::string* v = flags.GetOne("threads")) {
-    if (!ParseSize(*v, &sharding.num_threads)) {
-      *err += BadFlag("threads", *v,
-                      "expected a non-negative integer (0 = hardware)");
-      return 1;
-    }
+  if (const int code =
+          ParseBuildFlags(flags, positives.size(), &options, &sharding, err)) {
+    return code;
   }
 
   if (sharding.num_shards > 1) {
@@ -508,6 +524,118 @@ int CmdGenerate(const Flags& flags, std::string* out, std::string* err) {
   return 0;
 }
 
+/// Demonstrates the async-rebuild + hot-swap serving loop (DESIGN.md §5)
+/// end to end: build an initial sharded filter into a FilterStore, then for
+/// each of --rebuilds rounds start BuildShardedHabfAsync (a fresh seed per
+/// round, so the swap installs a genuinely different filter), keep
+/// answering batched queries from the *current* pinned snapshot the whole
+/// time the rebuild runs, and Publish() the finished build. Every query
+/// batch is checked against the zero-false-negative guarantee — a torn or
+/// half-swapped snapshot would drop positives and fail the run.
+int CmdServeSim(const Flags& flags, std::string* out, std::string* err) {
+  const std::string* positives_path = flags.GetOne("positives");
+  if (positives_path == nullptr) {
+    *err += "serve-sim requires --positives\n";
+    return 1;
+  }
+  std::vector<std::string> positives;
+  if (!ReadKeyLines(*positives_path, &positives, err)) return 2;
+  if (positives.empty()) {
+    *err += "no positive keys in " + *positives_path + "\n";
+    return 2;
+  }
+  std::vector<WeightedKey> negatives;
+  if (const std::string* path = flags.GetOne("negatives")) {
+    if (!ReadWeightedLines(*path, &negatives, err)) return 2;
+  }
+
+  HabfOptions options;
+  ShardedBuildOptions sharding;
+  if (const int code =
+          ParseBuildFlags(flags, positives.size(), &options, &sharding, err)) {
+    return code;
+  }
+  size_t rebuilds = 2;
+  if (const std::string* v = flags.GetOne("rebuilds")) {
+    if (!ParseSize(*v, &rebuilds) || rebuilds == 0) {
+      *err += BadFlag("rebuilds", *v, "expected an integer > 0");
+      return 1;
+    }
+  }
+  size_t batch = 1024;
+  if (const std::string* v = flags.GetOne("batch")) {
+    if (!ParseSize(*v, &batch) || batch == 0) {
+      *err += BadFlag("batch", *v, "expected an integer > 0");
+      return 1;
+    }
+  }
+
+  FilterStore<ShardedFilter<Habf>> store(
+      BuildShardedHabf(positives, negatives, options, sharding));
+
+  const std::vector<std::string_view> views = MakeKeyViews(positives);
+  std::vector<uint8_t> answers(batch);
+  size_t cursor = 0;
+  // One contiguous slice of the positive keys per query batch, cycling.
+  auto serve_one_batch = [&](const ShardedFilter<Habf>& snapshot) -> size_t {
+    const size_t count = std::min(batch, views.size() - cursor);
+    const size_t positives_seen = snapshot.ContainsBatch(
+        KeySpan(views.data() + cursor, count), answers.data());
+    cursor = (cursor + count) % views.size();
+    return positives_seen == count ? count : 0;  // 0 = a positive was dropped
+  };
+
+  size_t total_queries = 0;
+  for (size_t round = 1; round <= rebuilds; ++round) {
+    HabfOptions round_options = options;
+    round_options.seed = options.seed + round;  // a genuinely new filter
+    BuildHandle handle =
+        BuildShardedHabfAsync(positives, negatives, round_options, sharding);
+    // Serve from the current snapshot while the replacement builds. The
+    // do/while guarantees at least one batch per round even if the rebuild
+    // wins every race.
+    size_t round_queries = 0;
+    do {
+      const auto snapshot = store.Acquire();
+      const size_t served = serve_one_batch(*snapshot.filter);
+      if (served == 0) {
+        *err += "serve-sim: snapshot v" + std::to_string(snapshot.version) +
+                " dropped a positive key\n";
+        return 2;
+      }
+      round_queries += served;
+    } while (!handle.Ready());
+    const uint64_t version = store.Publish(handle.TakeResult());
+    total_queries += round_queries;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "rebuild %zu: shards=%zu queries_during_rebuild=%zu "
+                  "published_version=%llu\n",
+                  round, handle.num_shards(), round_queries,
+                  static_cast<unsigned long long>(version));
+    *out += line;
+  }
+
+  // The final swapped-in filter must serve every positive too.
+  const auto final_snapshot = store.Acquire();
+  for (size_t base = 0; base < views.size(); base += batch) {
+    const size_t count = std::min(batch, views.size() - base);
+    if (final_snapshot.filter->ContainsBatch(
+            KeySpan(views.data() + base, count), answers.data()) != count) {
+      *err += "serve-sim: final snapshot dropped a positive key\n";
+      return 2;
+    }
+  }
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "serve-sim: rebuilds=%zu total_queries_during_rebuild=%zu "
+                "final_version=%llu zero_false_negatives=ok\n",
+                rebuilds, total_queries,
+                static_cast<unsigned long long>(final_snapshot.version));
+  *out += line;
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::string* out,
@@ -527,6 +655,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out,
   if (command == "stats") return CmdStats(*flags, out, err);
   if (command == "eval") return CmdEval(*flags, out, err);
   if (command == "generate") return CmdGenerate(*flags, out, err);
+  if (command == "serve-sim") return CmdServeSim(*flags, out, err);
   *err += "unknown command: " + command + "\n";
   *err += kUsage;
   return 1;

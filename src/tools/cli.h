@@ -11,11 +11,16 @@
 //   eval  --filter FILTER --negatives FILE
 //   generate --dataset shalla|ycsb --positives FILE --negatives FILE
 //            [--count N] [--zipf THETA] [--seed S]
+//   serve-sim --positives FILE [--negatives FILE] [build flags]
+//            [--rebuilds R] [--batch B]
 //
 // Key files are one key per line; negative files may append a cost after a
 // tab ("key\tcost", default cost 1.0). `generate` emits the repository's
 // synthetic datasets in exactly that format, so the full pipeline can be
-// driven end to end without external data.
+// driven end to end without external data. `serve-sim` demonstrates the
+// async-rebuild + hot-swap serving loop: it keeps answering batched queries
+// from the current FilterStore snapshot while BuildShardedHabfAsync runs,
+// swaps on completion, and reports the queries served during each rebuild.
 
 #pragma once
 

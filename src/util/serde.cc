@@ -1,6 +1,10 @@
 #include "util/serde.h"
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+
+#include <unistd.h>
 
 namespace habf {
 
@@ -10,6 +14,29 @@ bool WriteFileBytes(const std::string& path, std::string_view data) {
   const size_t written = std::fwrite(data.data(), 1, data.size(), f);
   const bool ok = written == data.size() && std::fclose(f) == 0;
   if (written != data.size()) std::fclose(f);
+  return ok;
+}
+
+bool WriteFileBytesAtomic(const std::string& path, std::string_view data) {
+  // Temp name is unique per process (pid) AND per call (atomic counter), so
+  // concurrent savers of the same snapshot — whether two processes or two
+  // threads of one — never scribble on each other's temp file; the renames
+  // then serialize and the last one wins whole.
+  static std::atomic<uint64_t> save_counter{0};
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long long>(getpid())) +
+      "." + std::to_string(save_counter.fetch_add(1));
+  FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  // Flush userspace buffers, then force the bytes to disk *before* the
+  // rename publishes the file — otherwise a power loss could install a name
+  // pointing at unwritten data, the exact torn-snapshot this exists to
+  // prevent. POSIX rename() atomically replaces an existing destination.
+  ok = ok && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  ok = ok && std::rename(tmp_path.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp_path.c_str());
   return ok;
 }
 

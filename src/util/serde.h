@@ -127,9 +127,18 @@ class BinaryReader {
   bool ok_ = true;
 };
 
-/// Writes `data` to `path` atomically enough for our purposes (truncate +
-/// write). Returns false on any I/O error.
+/// Writes `data` to `path` by truncate + write. NOT crash-atomic: a crash
+/// mid-write leaves a torn file. Fine for scratch/test data; snapshots go
+/// through WriteFileBytesAtomic.
 bool WriteFileBytes(const std::string& path, std::string_view data);
+
+/// Crash-atomic replacement write: `data` goes to a temp file next to
+/// `path` (same directory, so the rename cannot cross filesystems), is
+/// flushed and fsync()ed, then rename()d into place — POSIX rename is
+/// atomic, so readers of `path` see either the complete old file or the
+/// complete new one, never a torn half-write. The temp file is removed on
+/// any failure. Returns false on any I/O error.
+bool WriteFileBytesAtomic(const std::string& path, std::string_view data);
 
 /// Reads the whole file into `*out`. Returns false on any I/O error.
 bool ReadFileBytes(const std::string& path, std::string* out);

@@ -1,7 +1,10 @@
 // Fixed-size worker pool with a Submit/WaitAll API, used by the sharded
 // build path (core/sharded_filter.h) to run S independent TPJO builds in
 // parallel. Deliberately minimal: no futures, no task priorities — callers
-// submit void() tasks and synchronize with WaitAll().
+// submit void() tasks and synchronize with WaitAll(). The only extra is
+// CancellationToken, the cooperative-cancellation flag the async build
+// handle (BuildShardedHabfAsync) threads through its queued shard tasks;
+// the pool itself never looks at tokens.
 //
 // Thread-safety: Submit and WaitAll may be called from multiple threads;
 // tasks run on the worker threads (or inline when the pool has no workers).
@@ -17,17 +20,46 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace habf {
+
+/// Cooperative cancellation flag shared by everyone holding a copy of the
+/// token. The pool itself never inspects it — cancellation is a contract
+/// between the submitter and its tasks: a task checks IsCancelled() at its
+/// natural re-entry points (e.g. between per-shard TPJO builds) and returns
+/// early, so already-queued work drains promptly instead of running to
+/// completion after nobody wants the result.
+///
+/// Copies are cheap (one shared_ptr) and all observe the same flag.
+/// Cancel() is one-way and idempotent; there is no "uncancel".
+/// Thread-safe: Cancel and IsCancelled may race freely (release/acquire, so
+/// a task that observes the flag also observes every write the cancelling
+/// thread made before Cancel()).
+class CancellationToken {
+ public:
+  CancellationToken()
+      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { cancelled_->store(true, std::memory_order_release); }
+
+  bool IsCancelled() const {
+    return cancelled_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
 
 /// A fixed pool of worker threads draining a FIFO task queue.
 class ThreadPool {

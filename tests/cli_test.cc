@@ -296,6 +296,75 @@ TEST_F(CliTest, ParallelBatchQueryMatchesPerKeyQuery) {
             1);
 }
 
+TEST_F(CliTest, BuildWritesSnapshotAtomicallyWithNoTempLeftover) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "2"}),
+            0)
+      << err_;
+  // The snapshot went through temp-file + rename: the directory must hold
+  // no *.tmp.* residue, and the published file must load whole.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  ASSERT_EQ(Run({"stats", "--filter", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("shards=2"), std::string::npos);
+
+  // Overwriting an existing snapshot also goes through the atomic path.
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"stats", "--filter", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("shards=1"), std::string::npos);
+
+  // A build into a missing directory fails cleanly, leaving nothing behind.
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 dir_ + "/no-such-dir/f.habf"}),
+            2);
+  EXPECT_NE(err_.find("cannot write"), std::string::npos) << err_;
+}
+
+TEST_F(CliTest, ServeSimOverlapsQueriesWithRebuildsAndSwaps) {
+  ASSERT_EQ(Run({"serve-sim", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--shards", "4", "--threads", "2",
+                 "--rebuilds", "2", "--batch", "256"}),
+            0)
+      << err_;
+  // One line per rebuild round, each reporting overlap queries and the
+  // published version, then the zero-false-negative summary.
+  EXPECT_NE(out_.find("rebuild 1: shards=4 queries_during_rebuild="),
+            std::string::npos)
+      << out_;
+  EXPECT_NE(out_.find("published_version=2"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("rebuild 2:"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("published_version=3"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("serve-sim: rebuilds=2 total_queries_during_rebuild="),
+            std::string::npos)
+      << out_;
+  EXPECT_NE(out_.find("final_version=3 zero_false_negatives=ok"),
+            std::string::npos)
+      << out_;
+}
+
+TEST_F(CliTest, ServeSimRejectsBadArguments) {
+  EXPECT_EQ(Run({"serve-sim"}), 1);
+  EXPECT_NE(err_.find("requires --positives"), std::string::npos);
+  EXPECT_EQ(Run({"serve-sim", "--positives", dir_ + "/nope.txt"}), 2);
+  EXPECT_EQ(Run({"serve-sim", "--positives", positives_path_, "--rebuilds",
+                 "0"}),
+            1);
+  EXPECT_NE(err_.find("--rebuilds value '0'"), std::string::npos) << err_;
+  EXPECT_EQ(Run({"serve-sim", "--positives", positives_path_, "--batch",
+                 "banana"}),
+            1);
+  EXPECT_NE(err_.find("banana"), std::string::npos) << err_;
+  EXPECT_EQ(Run({"serve-sim", "--positives", positives_path_,
+                 "--bits-per-key", "nan"}),
+            1)
+      << "serve-sim shares build's numeric hardening";
+}
+
 TEST_F(CliTest, HighCostNegativesOptimizedAway) {
   ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
                  negatives_path_, "--out", filter_path_, "--bits-per-key",

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "bloom/xor_filter.h"
@@ -63,6 +64,46 @@ TEST(FileBytes, RoundTripAndMissingFile) {
   EXPECT_EQ(read_back, payload);
   std::remove(path.c_str());
   EXPECT_FALSE(ReadFileBytes(path + ".does-not-exist", &read_back));
+}
+
+TEST(FileBytes, AtomicWriteRoundTripsAndLeavesNoTempFile) {
+  const std::string dir =
+      ::testing::TempDir() + "/serde_atomic_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/snapshot.bin";
+  const std::string payload("atomic\0payload", 14);
+  ASSERT_TRUE(WriteFileBytesAtomic(path, payload));
+  std::string read_back;
+  ASSERT_TRUE(ReadFileBytes(path, &read_back));
+  EXPECT_EQ(read_back, payload);
+  // The temp file was renamed away: the directory holds only the target.
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename(), "snapshot.bin")
+        << "leftover temp file: " << entry.path();
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBytes, AtomicWriteReplacesExistingFileWhole) {
+  const std::string path =
+      ::testing::TempDir() + "/serde_atomic_replace.bin";
+  ASSERT_TRUE(WriteFileBytesAtomic(path, "old-contents-that-are-longer"));
+  ASSERT_TRUE(WriteFileBytesAtomic(path, "new"));
+  std::string read_back;
+  ASSERT_TRUE(ReadFileBytes(path, &read_back));
+  EXPECT_EQ(read_back, "new") << "replacement must not mix with old bytes";
+  std::remove(path.c_str());
+}
+
+TEST(FileBytes, AtomicWriteFailsCleanlyIntoMissingDirectory) {
+  const std::string path =
+      ::testing::TempDir() + "/serde_no_such_dir/snapshot.bin";
+  EXPECT_FALSE(WriteFileBytesAtomic(path, "payload"));
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 class HabfSerdeTest : public ::testing::Test {

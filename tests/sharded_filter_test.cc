@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/filter_interface.h"
@@ -501,6 +502,64 @@ TEST(ShardedFilterTest, ConcurrentReadersSeeConsistentAnswers) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(ShardedFilterTest, SetQueryPoolToggledUnderConcurrentReaders) {
+  // The documented SetQueryPool contract: reconfiguring while batches are
+  // in flight is safe — each batch keeps the pool it loaded at entry and
+  // answers stay bit-for-bit correct whichever configuration it saw. TSan
+  // validates the atomicity; the assertions validate the answers.
+  auto filter = BuildSharded(4, 2);
+  ThreadPool pool(2);
+
+  std::vector<std::string_view> keys;
+  for (size_t i = 0; i < 1500; ++i) {
+    keys.push_back(i % 2 == 0
+                       ? std::string_view(SharedData().positives[i])
+                       : std::string_view(SharedData().negatives[i].key));
+  }
+  std::vector<uint8_t> expected(keys.size());
+  const size_t expected_positives =
+      filter.ContainsBatch(KeySpan(keys.data(), keys.size()),
+                           expected.data());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      std::vector<uint8_t> out(keys.size());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t positives = filter.ContainsBatch(
+            KeySpan(keys.data(), keys.size()), out.data());
+        if (positives != expected_positives || out != expected) {
+          mismatch.store(true);
+          return;
+        }
+      }
+    });
+  }
+  // Toggle pooled fan-out on and off under the readers' feet. The pool
+  // outlives every in-flight batch (joined readers first), per contract.
+  for (int round = 0; round < 200 && !mismatch.load(); ++round) {
+    filter.SetQueryPool(round % 2 == 0 ? &pool : nullptr,
+                        /*min_parallel_keys=*/1);
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(mismatch.load())
+      << "a batch observed a half-applied query-pool configuration";
+}
+
+TEST(ShardedFilterTest, MoveCarriesQueryPoolConfiguration) {
+  ThreadPool pool(1);
+  auto filter = BuildSharded(3, 1);
+  filter.SetQueryPool(&pool, /*min_parallel_keys=*/17);
+  const ShardedFilter<Habf> moved = std::move(filter);
+  EXPECT_EQ(moved.query_pool(), &pool);
+  EXPECT_EQ(moved.num_shards(), 3u);
+  EXPECT_EQ(CountFalseNegatives(moved, SharedData().positives), 0u);
 }
 
 }  // namespace

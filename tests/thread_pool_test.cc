@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -138,6 +140,54 @@ TEST(ThreadPoolTest, InlinePoolCapturesExceptionUntilWaitAll) {
   EXPECT_THROW(pool.WaitAll(), std::runtime_error);
   pool.Submit([] {});
   EXPECT_NO_THROW(pool.WaitAll());
+}
+
+TEST(ThreadPoolTest, CancellationTokenObservedByAlreadyQueuedTasks) {
+  // The async-build pattern: tasks already sitting in the queue when
+  // Cancel() fires must observe the flag when they finally run and skip
+  // their work. A blocker task parks the single worker so the whole batch
+  // is still queued at cancel time.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  std::atomic<int> skipped{0};
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([token, &ran, &skipped] {
+      if (token.IsCancelled()) {
+        skipped.fetch_add(1);
+      } else {
+        ran.fetch_add(1);
+      }
+    });
+  }
+  token.Cancel();  // before the worker has seen any of the 25
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.WaitAll();
+  EXPECT_EQ(skipped.load(), 25) << "queued tasks must observe cancellation";
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_TRUE(token.IsCancelled());
+}
+
+TEST(ThreadPoolTest, CancellationTokenCopiesShareOneFlag) {
+  CancellationToken original;
+  CancellationToken copy = original;
+  EXPECT_FALSE(copy.IsCancelled());
+  original.Cancel();
+  EXPECT_TRUE(copy.IsCancelled()) << "copies observe the shared flag";
+  CancellationToken fresh;
+  EXPECT_FALSE(fresh.IsCancelled()) << "distinct tokens stay independent";
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
