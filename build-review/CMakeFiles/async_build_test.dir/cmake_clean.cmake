@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_build_test.dir/tests/async_build_test.cc.o"
+  "CMakeFiles/async_build_test.dir/tests/async_build_test.cc.o.d"
+  "async_build_test"
+  "async_build_test.pdb"
+  "async_build_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

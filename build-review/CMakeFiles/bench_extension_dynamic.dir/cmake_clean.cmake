@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_dynamic.dir/bench/bench_extension_dynamic.cc.o"
+  "CMakeFiles/bench_extension_dynamic.dir/bench/bench_extension_dynamic.cc.o.d"
+  "bench_extension_dynamic"
+  "bench_extension_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

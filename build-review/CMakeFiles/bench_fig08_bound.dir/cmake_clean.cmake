@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_bound.dir/bench/bench_fig08_bound.cc.o"
+  "CMakeFiles/bench_fig08_bound.dir/bench/bench_fig08_bound.cc.o.d"
+  "bench_fig08_bound"
+  "bench_fig08_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_params.dir/bench/bench_fig09_params.cc.o"
+  "CMakeFiles/bench_fig09_params.dir/bench/bench_fig09_params.cc.o.d"
+  "bench_fig09_params"
+  "bench_fig09_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_uniform.dir/bench/bench_fig10_uniform.cc.o"
+  "CMakeFiles/bench_fig10_uniform.dir/bench/bench_fig10_uniform.cc.o.d"
+  "bench_fig10_uniform"
+  "bench_fig10_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_skewed.dir/bench/bench_fig11_skewed.cc.o"
+  "CMakeFiles/bench_fig11_skewed.dir/bench/bench_fig11_skewed.cc.o.d"
+  "bench_fig11_skewed"
+  "bench_fig11_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_time.dir/bench/bench_fig12_time.cc.o"
+  "CMakeFiles/bench_fig12_time.dir/bench/bench_fig12_time.cc.o.d"
+  "bench_fig12_time"
+  "bench_fig12_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_skewness.dir/bench/bench_fig13_skewness.cc.o"
+  "CMakeFiles/bench_fig13_skewness.dir/bench/bench_fig13_skewness.cc.o.d"
+  "bench_fig13_skewness"
+  "bench_fig13_skewness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_skewness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hashimpl.dir/bench/bench_fig14_hashimpl.cc.o"
+  "CMakeFiles/bench_fig14_hashimpl.dir/bench/bench_fig14_hashimpl.cc.o.d"
+  "bench_fig14_hashimpl"
+  "bench_fig14_hashimpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hashimpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

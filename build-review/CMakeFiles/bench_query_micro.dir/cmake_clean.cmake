@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_micro.dir/bench/bench_query_micro.cc.o"
+  "CMakeFiles/bench_query_micro.dir/bench/bench_query_micro.cc.o.d"
+  "bench_query_micro"
+  "bench_query_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharded_build.dir/bench/bench_sharded_build.cc.o"
+  "CMakeFiles/bench_sharded_build.dir/bench/bench_sharded_build.cc.o.d"
+  "bench_sharded_build"
+  "bench_sharded_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharded_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hashes.dir/bench/bench_table2_hashes.cc.o"
+  "CMakeFiles/bench_table2_hashes.dir/bench/bench_table2_hashes.cc.o.d"
+  "bench_table2_hashes"
+  "bench_table2_hashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

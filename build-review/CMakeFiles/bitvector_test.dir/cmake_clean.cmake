@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitvector_test.dir/tests/bitvector_test.cc.o"
+  "CMakeFiles/bitvector_test.dir/tests/bitvector_test.cc.o.d"
+  "bitvector_test"
+  "bitvector_test.pdb"
+  "bitvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bitvector_test.
+# This may be replaced when dependencies are built.

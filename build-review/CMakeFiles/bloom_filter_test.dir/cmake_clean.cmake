@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_filter_test.dir/tests/bloom_filter_test.cc.o"
+  "CMakeFiles/bloom_filter_test.dir/tests/bloom_filter_test.cc.o.d"
+  "bloom_filter_test"
+  "bloom_filter_test.pdb"
+  "bloom_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_cache.dir/examples/cdn_cache.cpp.o"
+  "CMakeFiles/cdn_cache.dir/examples/cdn_cache.cpp.o.d"
+  "cdn_cache"
+  "cdn_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

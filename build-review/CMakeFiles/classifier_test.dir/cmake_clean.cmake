@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_test.dir/tests/classifier_test.cc.o"
+  "CMakeFiles/classifier_test.dir/tests/classifier_test.cc.o.d"
+  "classifier_test"
+  "classifier_test.pdb"
+  "classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

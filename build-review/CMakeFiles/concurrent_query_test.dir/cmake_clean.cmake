@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_query_test.dir/tests/concurrent_query_test.cc.o"
+  "CMakeFiles/concurrent_query_test.dir/tests/concurrent_query_test.cc.o.d"
+  "concurrent_query_test"
+  "concurrent_query_test.pdb"
+  "concurrent_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for concurrent_query_test.
+# This may be replaced when dependencies are built.

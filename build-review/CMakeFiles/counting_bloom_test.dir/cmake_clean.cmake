@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_bloom_test.dir/tests/counting_bloom_test.cc.o"
+  "CMakeFiles/counting_bloom_test.dir/tests/counting_bloom_test.cc.o.d"
+  "counting_bloom_test"
+  "counting_bloom_test.pdb"
+  "counting_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

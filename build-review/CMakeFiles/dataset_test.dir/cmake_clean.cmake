@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_test.dir/tests/dataset_test.cc.o"
+  "CMakeFiles/dataset_test.dir/tests/dataset_test.cc.o.d"
+  "dataset_test"
+  "dataset_test.pdb"
+  "dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

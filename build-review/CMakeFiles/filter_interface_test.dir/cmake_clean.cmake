@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_interface_test.dir/tests/filter_interface_test.cc.o"
+  "CMakeFiles/filter_interface_test.dir/tests/filter_interface_test.cc.o.d"
+  "filter_interface_test"
+  "filter_interface_test.pdb"
+  "filter_interface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_store_test.dir/tests/filter_store_test.cc.o"
+  "CMakeFiles/filter_store_test.dir/tests/filter_store_test.cc.o.d"
+  "filter_store_test"
+  "filter_store_test.pdb"
+  "filter_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_differential_test.dir/tests/fuzz_differential_test.cc.o"
+  "CMakeFiles/fuzz_differential_test.dir/tests/fuzz_differential_test.cc.o.d"
+  "fuzz_differential_test"
+  "fuzz_differential_test.pdb"
+  "fuzz_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

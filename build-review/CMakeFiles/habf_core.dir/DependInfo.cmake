@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cc" "CMakeFiles/habf_core.dir/src/bloom/bloom_filter.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/bloom/bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/counting_bloom.cc" "CMakeFiles/habf_core.dir/src/bloom/counting_bloom.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/bloom/counting_bloom.cc.o.d"
+  "/root/repo/src/bloom/partitioned_bloom.cc" "CMakeFiles/habf_core.dir/src/bloom/partitioned_bloom.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/bloom/partitioned_bloom.cc.o.d"
+  "/root/repo/src/bloom/weighted_bloom.cc" "CMakeFiles/habf_core.dir/src/bloom/weighted_bloom.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/bloom/weighted_bloom.cc.o.d"
+  "/root/repo/src/bloom/xor_filter.cc" "CMakeFiles/habf_core.dir/src/bloom/xor_filter.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/bloom/xor_filter.cc.o.d"
+  "/root/repo/src/core/filter_store.cc" "CMakeFiles/habf_core.dir/src/core/filter_store.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/core/filter_store.cc.o.d"
+  "/root/repo/src/core/habf.cc" "CMakeFiles/habf_core.dir/src/core/habf.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/core/habf.cc.o.d"
+  "/root/repo/src/core/hash_expressor.cc" "CMakeFiles/habf_core.dir/src/core/hash_expressor.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/core/hash_expressor.cc.o.d"
+  "/root/repo/src/core/sharded_filter.cc" "CMakeFiles/habf_core.dir/src/core/sharded_filter.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/core/sharded_filter.cc.o.d"
+  "/root/repo/src/core/theory.cc" "CMakeFiles/habf_core.dir/src/core/theory.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/core/theory.cc.o.d"
+  "/root/repo/src/hashing/cityhash.cc" "CMakeFiles/habf_core.dir/src/hashing/cityhash.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/cityhash.cc.o.d"
+  "/root/repo/src/hashing/classic_hashes.cc" "CMakeFiles/habf_core.dir/src/hashing/classic_hashes.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/classic_hashes.cc.o.d"
+  "/root/repo/src/hashing/crc32.cc" "CMakeFiles/habf_core.dir/src/hashing/crc32.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/crc32.cc.o.d"
+  "/root/repo/src/hashing/hash_family.cc" "CMakeFiles/habf_core.dir/src/hashing/hash_family.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/hash_family.cc.o.d"
+  "/root/repo/src/hashing/hash_provider.cc" "CMakeFiles/habf_core.dir/src/hashing/hash_provider.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/hash_provider.cc.o.d"
+  "/root/repo/src/hashing/lookup3.cc" "CMakeFiles/habf_core.dir/src/hashing/lookup3.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/lookup3.cc.o.d"
+  "/root/repo/src/hashing/murmur3.cc" "CMakeFiles/habf_core.dir/src/hashing/murmur3.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/murmur3.cc.o.d"
+  "/root/repo/src/hashing/xxhash.cc" "CMakeFiles/habf_core.dir/src/hashing/xxhash.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/hashing/xxhash.cc.o.d"
+  "/root/repo/src/learned/classifier.cc" "CMakeFiles/habf_core.dir/src/learned/classifier.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/learned/classifier.cc.o.d"
+  "/root/repo/src/learned/learned_filters.cc" "CMakeFiles/habf_core.dir/src/learned/learned_filters.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/learned/learned_filters.cc.o.d"
+  "/root/repo/src/sim/lsm.cc" "CMakeFiles/habf_core.dir/src/sim/lsm.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/sim/lsm.cc.o.d"
+  "/root/repo/src/tools/cli.cc" "CMakeFiles/habf_core.dir/src/tools/cli.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/tools/cli.cc.o.d"
+  "/root/repo/src/util/bitvector.cc" "CMakeFiles/habf_core.dir/src/util/bitvector.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/util/bitvector.cc.o.d"
+  "/root/repo/src/util/memory.cc" "CMakeFiles/habf_core.dir/src/util/memory.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/util/memory.cc.o.d"
+  "/root/repo/src/util/serde.cc" "CMakeFiles/habf_core.dir/src/util/serde.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/util/serde.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "CMakeFiles/habf_core.dir/src/util/table_printer.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/util/table_printer.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "CMakeFiles/habf_core.dir/src/util/zipf.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/util/zipf.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "CMakeFiles/habf_core.dir/src/workload/dataset.cc.o" "gcc" "CMakeFiles/habf_core.dir/src/workload/dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

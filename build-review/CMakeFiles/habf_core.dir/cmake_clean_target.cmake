@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhabf_core.a"
+)

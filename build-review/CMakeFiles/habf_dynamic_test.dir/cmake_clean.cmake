@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habf_dynamic_test.dir/tests/habf_dynamic_test.cc.o"
+  "CMakeFiles/habf_dynamic_test.dir/tests/habf_dynamic_test.cc.o.d"
+  "habf_dynamic_test"
+  "habf_dynamic_test.pdb"
+  "habf_dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habf_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habf_property_test.dir/tests/habf_property_test.cc.o"
+  "CMakeFiles/habf_property_test.dir/tests/habf_property_test.cc.o.d"
+  "habf_property_test"
+  "habf_property_test.pdb"
+  "habf_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habf_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

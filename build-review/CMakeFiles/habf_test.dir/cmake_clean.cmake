@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habf_test.dir/tests/habf_test.cc.o"
+  "CMakeFiles/habf_test.dir/tests/habf_test.cc.o.d"
+  "habf_test"
+  "habf_test.pdb"
+  "habf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habf_tool.dir/src/tools/habf_tool.cc.o"
+  "CMakeFiles/habf_tool.dir/src/tools/habf_tool.cc.o.d"
+  "habf_tool"
+  "habf_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habf_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

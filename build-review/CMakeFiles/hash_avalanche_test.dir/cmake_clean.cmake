@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_avalanche_test.dir/tests/hash_avalanche_test.cc.o"
+  "CMakeFiles/hash_avalanche_test.dir/tests/hash_avalanche_test.cc.o.d"
+  "hash_avalanche_test"
+  "hash_avalanche_test.pdb"
+  "hash_avalanche_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_avalanche_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_expressor_test.dir/tests/hash_expressor_test.cc.o"
+  "CMakeFiles/hash_expressor_test.dir/tests/hash_expressor_test.cc.o.d"
+  "hash_expressor_test"
+  "hash_expressor_test.pdb"
+  "hash_expressor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_expressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

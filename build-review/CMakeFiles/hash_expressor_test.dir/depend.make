@@ -1,0 +1,2 @@
+# Empty dependencies file for hash_expressor_test.
+# This may be replaced when dependencies are built.

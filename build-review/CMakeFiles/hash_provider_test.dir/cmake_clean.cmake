@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_provider_test.dir/tests/hash_provider_test.cc.o"
+  "CMakeFiles/hash_provider_test.dir/tests/hash_provider_test.cc.o.d"
+  "hash_provider_test"
+  "hash_provider_test.pdb"
+  "hash_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashing_test.dir/tests/hashing_test.cc.o"
+  "CMakeFiles/hashing_test.dir/tests/hashing_test.cc.o.d"
+  "hashing_test"
+  "hashing_test.pdb"
+  "hashing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store.dir/examples/kv_store.cpp.o"
+  "CMakeFiles/kv_store.dir/examples/kv_store.cpp.o.d"
+  "kv_store"
+  "kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_filters_test.dir/tests/learned_filters_test.cc.o"
+  "CMakeFiles/learned_filters_test.dir/tests/learned_filters_test.cc.o.d"
+  "learned_filters_test"
+  "learned_filters_test.pdb"
+  "learned_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

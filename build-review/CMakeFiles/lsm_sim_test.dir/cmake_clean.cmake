@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_sim_test.dir/tests/lsm_sim_test.cc.o"
+  "CMakeFiles/lsm_sim_test.dir/tests/lsm_sim_test.cc.o.d"
+  "lsm_sim_test"
+  "lsm_sim_test.pdb"
+  "lsm_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

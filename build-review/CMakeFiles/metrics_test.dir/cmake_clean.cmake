@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_test.dir/tests/metrics_test.cc.o"
+  "CMakeFiles/metrics_test.dir/tests/metrics_test.cc.o.d"
+  "metrics_test"
+  "metrics_test.pdb"
+  "metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_bloom_test.dir/tests/partitioned_bloom_test.cc.o"
+  "CMakeFiles/partitioned_bloom_test.dir/tests/partitioned_bloom_test.cc.o.d"
+  "partitioned_bloom_test"
+  "partitioned_bloom_test.pdb"
+  "partitioned_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_zipf_test.dir/tests/rng_zipf_test.cc.o"
+  "CMakeFiles/rng_zipf_test.dir/tests/rng_zipf_test.cc.o.d"
+  "rng_zipf_test"
+  "rng_zipf_test.pdb"
+  "rng_zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

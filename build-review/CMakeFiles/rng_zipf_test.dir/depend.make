@@ -1,0 +1,2 @@
+# Empty dependencies file for rng_zipf_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serde_test.dir/tests/serde_test.cc.o"
+  "CMakeFiles/serde_test.dir/tests/serde_test.cc.o.d"
+  "serde_test"
+  "serde_test.pdb"
+  "serde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

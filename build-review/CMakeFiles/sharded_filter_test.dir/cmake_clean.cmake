@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_filter_test.dir/tests/sharded_filter_test.cc.o"
+  "CMakeFiles/sharded_filter_test.dir/tests/sharded_filter_test.cc.o.d"
+  "sharded_filter_test"
+  "sharded_filter_test.pdb"
+  "sharded_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_fuzz_test.dir/tests/snapshot_fuzz_test.cc.o"
+  "CMakeFiles/snapshot_fuzz_test.dir/tests/snapshot_fuzz_test.cc.o.d"
+  "snapshot_fuzz_test"
+  "snapshot_fuzz_test.pdb"
+  "snapshot_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_printer_test.dir/tests/table_printer_test.cc.o"
+  "CMakeFiles/table_printer_test.dir/tests/table_printer_test.cc.o.d"
+  "table_printer_test"
+  "table_printer_test.pdb"
+  "table_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

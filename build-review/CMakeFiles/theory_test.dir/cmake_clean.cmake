@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_test.dir/tests/theory_test.cc.o"
+  "CMakeFiles/theory_test.dir/tests/theory_test.cc.o.d"
+  "theory_test"
+  "theory_test.pdb"
+  "theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_pool_test.dir/tests/thread_pool_test.cc.o"
+  "CMakeFiles/thread_pool_test.dir/tests/thread_pool_test.cc.o.d"
+  "thread_pool_test"
+  "thread_pool_test.pdb"
+  "thread_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_blacklist.dir/examples/url_blacklist.cpp.o"
+  "CMakeFiles/url_blacklist.dir/examples/url_blacklist.cpp.o.d"
+  "url_blacklist"
+  "url_blacklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_blacklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for url_blacklist.
+# This may be replaced when dependencies are built.

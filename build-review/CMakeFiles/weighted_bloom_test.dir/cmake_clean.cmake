@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_bloom_test.dir/tests/weighted_bloom_test.cc.o"
+  "CMakeFiles/weighted_bloom_test.dir/tests/weighted_bloom_test.cc.o.d"
+  "weighted_bloom_test"
+  "weighted_bloom_test.pdb"
+  "weighted_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

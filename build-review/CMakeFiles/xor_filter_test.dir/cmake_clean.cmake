@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xor_filter_test.dir/tests/xor_filter_test.cc.o"
+  "CMakeFiles/xor_filter_test.dir/tests/xor_filter_test.cc.o.d"
+  "xor_filter_test"
+  "xor_filter_test.pdb"
+  "xor_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
