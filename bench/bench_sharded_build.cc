@@ -13,9 +13,16 @@
 // into its own child (identical inherited heap, VmHWM reset via clear_refs)
 // so neither build can hide allocations in pages the other faulted in.
 //
+// The skew section measures the routing-balance win of the two-choice
+// directory (DESIGN.md §6): max/mean shard weight under uniform hash
+// routing vs the two-choice directory, on a Zipf(1.1)-weighted key set and
+// on a single-hot-key adversarial set (routing-only — no filter builds — so
+// it runs at full acceptance scale, 1M keys, in milliseconds).
+//
 // Usage: bench_sharded_build [--keys N] [--shards S] [--threads T]
-//                            [--repeats R] [--json]
-// Defaults: 200k keys, S = 8, T = hardware threads, 3 repeats, table output.
+//                            [--repeats R] [--skew-keys N] [--json]
+// Defaults: 200k keys, S = 8, T = hardware threads, 3 repeats, 1M skew
+// keys, table output.
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +31,8 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include <sys/wait.h>
@@ -36,6 +45,7 @@
 #include "core/filter_interface.h"
 #include "core/filter_store.h"
 #include "core/habf.h"
+#include "core/routing_directory.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
 #include "util/memory.h"
@@ -51,6 +61,7 @@ struct Args {
   size_t shards = 8;
   size_t threads = 0;  // 0 = hardware concurrency
   int repeats = 3;
+  size_t skew_keys = 1000000;
   bool json = false;
 };
 
@@ -71,16 +82,21 @@ Args ParseArgs(int argc, char** argv) {
       if (const char* v = next()) {
         args.repeats = static_cast<int>(std::strtol(v, nullptr, 10));
       }
+    } else if (arg == "--skew-keys") {
+      if (const char* v = next()) {
+        args.skew_keys = std::strtoull(v, nullptr, 10);
+      }
     } else if (arg == "--json") {
       args.json = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_sharded_build [--keys N] [--shards S] "
-                   "[--threads T] [--repeats R] [--json]\n");
+                   "[--threads T] [--repeats R] [--skew-keys N] [--json]\n");
       std::exit(1);
     }
   }
-  if (args.keys == 0 || args.shards == 0 || args.repeats < 1) {
+  if (args.keys == 0 || args.shards == 0 || args.repeats < 1 ||
+      args.skew_keys == 0) {
     std::fprintf(stderr, "bad arguments\n");
     std::exit(1);
   }
@@ -115,6 +131,59 @@ struct OverlapReport {
   size_t queries_served = 0;
   double queries_per_second = 0.0;
 };
+
+/// Routing balance under skewed key weights: max/mean shard weight of
+/// uniform hash routing vs the two-choice directory, per workload.
+struct RoutingBalanceReport {
+  size_t skew_keys = 0;
+  /// The single-hot-key workload runs at a tenth of the Zipf scale (its
+  /// balance story is about the one hot key, not the tail) — reported
+  /// separately so the hot_* ratios are never read at the wrong scale.
+  size_t hot_keys = 0;
+  double zipf_theta = 1.1;
+  double hot_fraction = 0.10;
+  double zipf_uniform_ratio = 0.0;
+  double zipf_two_choice_ratio = 0.0;
+  double hot_uniform_ratio = 0.0;
+  double hot_two_choice_ratio = 0.0;
+  uint64_t directory_build_ns = 0;  // bucketize + two-choice, Zipf set
+};
+
+/// Routes `keys` both ways and returns (uniform ratio, two-choice ratio).
+std::pair<double, double> MeasureRoutingRatios(
+    const std::vector<WeightedKey>& keys, size_t num_shards,
+    uint64_t* build_ns) {
+  std::vector<std::pair<std::string_view, double>> views;
+  views.reserve(keys.size());
+  for (const WeightedKey& wk : keys) views.emplace_back(wk.key, wk.cost);
+  const double uniform =
+      UniformRoutingMaxMeanRatio(views, kDefaultShardSalt, num_shards);
+  Stopwatch watch;
+  std::vector<double> bucket_weights(kDefaultRoutingBuckets, 0.0);
+  for (const WeightedKey& wk : keys) {
+    bucket_weights[RoutingBucketOfKey(wk.key, kDefaultShardSalt,
+                                      kDefaultRoutingBuckets)] += wk.cost;
+  }
+  const RoutingDirectory directory = BuildTwoChoiceDirectory(
+      bucket_weights, num_shards, kDefaultShardSalt);
+  if (build_ns != nullptr) *build_ns = watch.ElapsedNanos();
+  return {uniform, directory.MaxMeanWeightRatio()};
+}
+
+RoutingBalanceReport MeasureRoutingBalance(const Args& args) {
+  RoutingBalanceReport report;
+  report.skew_keys = args.skew_keys;
+  const auto zipf =
+      GenerateZipfWeightedKeys(args.skew_keys, report.zipf_theta, 0x21BF);
+  std::tie(report.zipf_uniform_ratio, report.zipf_two_choice_ratio) =
+      MeasureRoutingRatios(zipf, args.shards, &report.directory_build_ns);
+  const auto hot = GenerateSingleHotKeySet(
+      std::max<size_t>(args.skew_keys / 10, 1), report.hot_fraction, 0x407);
+  report.hot_keys = hot.size();
+  std::tie(report.hot_uniform_ratio, report.hot_two_choice_ratio) =
+      MeasureRoutingRatios(hot, args.shards, nullptr);
+  return report;
+}
 
 /// Partition-memory comparison of the zero-copy sharded build against the
 /// old copying partition: exact logical byte counts plus per-build peak-RSS
@@ -166,7 +235,8 @@ size_t PeakRssDeltaInChild(const std::function<void()>& build) {
 
 void PrintResults(const std::vector<Result>& results, const Args& args,
                   size_t effective_threads, double speedup,
-                  const MemoryReport& memory, const OverlapReport& overlap) {
+                  const MemoryReport& memory, const OverlapReport& overlap,
+                  const RoutingBalanceReport& routing) {
   if (args.json) {
     std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
                 "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
@@ -199,9 +269,28 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         "  \"serve_during_rebuild\": {\n"
         "    \"rebuild_ns\": %llu,\n"
         "    \"queries_served\": %zu,\n"
-        "    \"queries_per_second_during_rebuild\": %.1f\n  }\n}\n",
+        "    \"queries_per_second_during_rebuild\": %.1f\n  },\n",
         static_cast<unsigned long long>(overlap.rebuild_ns),
         overlap.queries_served, overlap.queries_per_second);
+    std::printf(
+        "  \"routing_balance\": {\n"
+        "    \"skew_keys\": %zu,\n"
+        "    \"shards\": %zu,\n"
+        "    \"routing_buckets\": %zu,\n"
+        "    \"zipf_theta\": %.2f,\n"
+        "    \"zipf_uniform_max_mean_ratio\": %.4f,\n"
+        "    \"zipf_two_choice_max_mean_ratio\": %.4f,\n"
+        "    \"hot_keys\": %zu,\n"
+        "    \"hot_key_fraction\": %.2f,\n"
+        "    \"hot_uniform_max_mean_ratio\": %.4f,\n"
+        "    \"hot_two_choice_max_mean_ratio\": %.4f,\n"
+        "    \"directory_build_ns\": %llu\n  }\n}\n",
+        routing.skew_keys, args.shards, kDefaultRoutingBuckets,
+        routing.zipf_theta, routing.zipf_uniform_ratio,
+        routing.zipf_two_choice_ratio, routing.hot_keys,
+        routing.hot_fraction, routing.hot_uniform_ratio,
+        routing.hot_two_choice_ratio,
+        static_cast<unsigned long long>(routing.directory_build_ns));
     return;
   }
   std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
@@ -231,6 +320,17 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
       overlap.queries_served,
       static_cast<double>(overlap.rebuild_ns) / 1e6,
       overlap.queries_per_second);
+  std::printf(
+      "routing balance (%zu shards, %zu buckets): Zipf(%.1f) over %zu keys "
+      "max/mean %.3f uniform vs %.3f two-choice; single-hot-key(%.0f%%) "
+      "over %zu keys %.3f uniform vs %.3f two-choice; directory built in "
+      "%.2f ms\n",
+      args.shards, kDefaultRoutingBuckets, routing.zipf_theta,
+      routing.skew_keys, routing.zipf_uniform_ratio,
+      routing.zipf_two_choice_ratio, routing.hot_fraction * 100,
+      routing.hot_keys, routing.hot_uniform_ratio,
+      routing.hot_two_choice_ratio,
+      static_cast<double>(routing.directory_build_ns) / 1e6);
 }
 
 /// The PR-2 copying partition, kept as the memory-comparison reference: a
@@ -483,6 +583,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  PrintResults(results, args, effective_threads, speedup, memory, overlap);
+  // --- routing balance under skewed key weights ---------------------------
+  const RoutingBalanceReport routing = MeasureRoutingBalance(args);
+
+  PrintResults(results, args, effective_threads, speedup, memory, overlap,
+               routing);
   return 0;
 }

@@ -55,6 +55,11 @@ if [ "${mode}" = "tsan" ]; then
   TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
     -j "$(nproc)" \
     -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest'
+  # The skew-aware routing suite (two-choice directory, routing-mode
+  # differentials, SHR2/SHRD snapshot fuzz) runs under TSan too: the
+  # two-choice build shares the parallel shard pipeline.
+  TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
+    -j "$(nproc)" -L skew
   exit 0
 fi
 # Explicit parallelism: temp-path races between test cases only show up when
@@ -63,3 +68,10 @@ ctest --output-on-failure -j "$(nproc)"
 # The CLI suite writes real files; rerun it highly parallel and repeated so
 # a reintroduced shared-temp-path race fails here instead of flaking in CI.
 ctest --output-on-failure -j 8 --repeat until-fail:2 -R CliTest
+if [ "${mode}" = "sanitize" ]; then
+  # Explicit ASan/UBSan pass over the routing suite (including the snapshot
+  # fuzz drivers, which are exactly where a missed bounds check would turn
+  # into a heap overflow): redundant with the full matrix above, but the
+  # label keeps the skew surface covered even if the full run is trimmed.
+  ctest --output-on-failure -j "$(nproc)" -L skew
+fi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <numeric>
@@ -96,6 +97,9 @@ struct ShardedBuildPlan {
   uint64_t salt = kDefaultShardSalt;
   /// Resolved worker count (min(requested-or-hardware, num_shards), >= 1).
   size_t num_threads = 1;
+  /// Two-choice bucket→shard table (empty under uniform routing or a single
+  /// shard); the assembled filter routes queries through it.
+  RoutingDirectory directory;
   std::vector<std::string_view> grouped_pos;
   std::vector<WeightedKeyView> grouped_neg;
   std::vector<size_t> pos_offsets;
@@ -163,17 +167,54 @@ ShardedBuildPlan PrepareShardedBuild(size_t num_positives,
   const size_t num_shards = plan.num_shards;
   std::vector<uint32_t> pos_shard(num_positives);
   std::vector<uint32_t> neg_shard(num_negatives);
+  if (sharding.routing == RoutingMode::kTwoChoice) {
+    // Two-choice routing: hash every key to a bucket, accumulate each
+    // bucket's cumulative weight (1.0 per positive, Θ(e) per negative),
+    // balance buckets across shards heaviest-first, then resolve every
+    // key's shard through the finished directory. The directory is what
+    // queries on the assembled filter (and SHR2 loads) route through.
+    const size_t num_buckets =
+        std::min(std::max(sharding.num_routing_buckets, num_shards),
+                 kMaxRoutingBuckets);
+    std::vector<double> bucket_weights(num_buckets, 0.0);
+    for (size_t i = 0; i < num_positives; ++i) {
+      const size_t b = RoutingBucketOfKey(pos_at(i), plan.salt, num_buckets);
+      pos_shard[i] = static_cast<uint32_t>(b);
+      bucket_weights[b] += 1.0;
+    }
+    for (size_t i = 0; i < num_negatives; ++i) {
+      const WeightedKeyView wk = neg_at(i);
+      const size_t b = RoutingBucketOfKey(wk.key, plan.salt, num_buckets);
+      neg_shard[i] = static_cast<uint32_t>(b);
+      // A hostile negative cost (negative, NaN) must not poison the balance
+      // accounting; route it, but give it no weight.
+      if (std::isfinite(wk.cost) && wk.cost > 0.0) bucket_weights[b] += wk.cost;
+    }
+    plan.directory =
+        BuildTwoChoiceDirectory(bucket_weights, num_shards, plan.salt);
+    for (size_t i = 0; i < num_positives; ++i) {
+      pos_shard[i] = plan.directory.bucket_to_shard[pos_shard[i]];
+    }
+    for (size_t i = 0; i < num_negatives; ++i) {
+      neg_shard[i] = plan.directory.bucket_to_shard[neg_shard[i]];
+    }
+  } else {
+    for (size_t i = 0; i < num_positives; ++i) {
+      pos_shard[i] =
+          static_cast<uint32_t>(ShardOfKey(pos_at(i), plan.salt, num_shards));
+    }
+    for (size_t i = 0; i < num_negatives; ++i) {
+      neg_shard[i] = static_cast<uint32_t>(
+          ShardOfKey(neg_at(i).key, plan.salt, num_shards));
+    }
+  }
   plan.pos_offsets.assign(num_shards + 1, 0);
   plan.neg_offsets.assign(num_shards + 1, 0);
   for (size_t i = 0; i < num_positives; ++i) {
-    const size_t s = ShardOfKey(pos_at(i), plan.salt, num_shards);
-    pos_shard[i] = static_cast<uint32_t>(s);
-    ++plan.pos_offsets[s + 1];
+    ++plan.pos_offsets[pos_shard[i] + 1];
   }
   for (size_t i = 0; i < num_negatives; ++i) {
-    const size_t s = ShardOfKey(neg_at(i).key, plan.salt, num_shards);
-    neg_shard[i] = static_cast<uint32_t>(s);
-    ++plan.neg_offsets[s + 1];
+    ++plan.neg_offsets[neg_shard[i] + 1];
   }
   for (size_t s = 1; s <= num_shards; ++s) {
     plan.pos_offsets[s] += plan.pos_offsets[s - 1];
@@ -212,7 +253,7 @@ ShardedBuildPlan PrepareShardedBuild(size_t num_positives,
 
 /// Runs every shard of the plan on a fresh worker pool and assembles the
 /// filter — the synchronous tail shared by both BuildShardedHabf overloads.
-ShardedFilter<Habf> RunShardedBuild(const ShardedBuildPlan& plan) {
+ShardedFilter<Habf> RunShardedBuild(ShardedBuildPlan plan) {
   if (plan.num_shards == 1) {
     std::vector<Habf> shards;
     shards.push_back(BuildPlanShard(plan, 0));
@@ -239,7 +280,8 @@ ShardedFilter<Habf> RunShardedBuild(const ShardedBuildPlan& plan) {
     assert(shard.has_value());  // WaitAll would have thrown otherwise
     shards.push_back(std::move(*shard));
   }
-  return ShardedFilter<Habf>(std::move(shards), plan.salt);
+  return ShardedFilter<Habf>(std::move(shards), plan.salt,
+                             std::move(plan.directory));
 }
 
 }  // namespace
@@ -462,7 +504,8 @@ ShardedFilter<Habf> BuildHandle::TakeResult() {
   state_->plan.grouped_neg = {};
   if (state_->error) std::rethrow_exception(state_->error);
   if (state_->skipped > 0) throw BuildCancelledError();
-  return ShardedFilter<Habf>(std::move(shards), state_->plan.salt);
+  return ShardedFilter<Habf>(std::move(shards), state_->plan.salt,
+                             std::move(state_->plan.directory));
 }
 
 }  // namespace habf

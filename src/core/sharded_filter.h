@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -31,6 +32,7 @@
 #include "bloom/weighted_bloom.h"  // for WeightedKey
 #include "core/filter_interface.h"
 #include "core/habf.h"
+#include "core/routing_directory.h"
 #include "hashing/xxhash.h"
 #include "util/serde.h"
 #include "util/thread_pool.h"
@@ -41,12 +43,29 @@ namespace habf {
 /// shard filters so routing stays independent of their probe positions.
 constexpr uint64_t kDefaultShardSalt = 0x5348415244ULL;  // "SHARD"
 
-/// Sharded snapshot framing (magic + version + shard directory).
+/// Legacy sharded snapshot framing (magic + version + shard directory):
+/// uniform hash routing, no routing directory. Still written for
+/// uniform-routed filters and always accepted by Deserialize.
 constexpr uint32_t kShardedSnapshotMagic = 0x44524853;  // "SHRD"
 constexpr uint32_t kShardedSnapshotVersion = 1;
+/// Two-choice sharded snapshot framing: SHRD plus the persisted routing
+/// directory and per-shard routed weights (DESIGN.md §6).
+constexpr uint32_t kShardedSnapshotMagicV2 = 0x32524853;  // "SHR2"
+constexpr uint32_t kShardedSnapshotVersionV2 = 1;
 /// Upper bound on the shard count accepted from a snapshot header; anything
 /// larger is a corrupt or hostile file, not a real deployment.
 constexpr size_t kMaxSnapshotShards = 4096;
+
+/// How keys are mapped to shards, at build and query time alike.
+enum class RoutingMode : uint8_t {
+  /// shard = XxHash64(key, salt) % num_shards. Balances key *counts*; blind
+  /// to key weight (a skewed cost mass lands wherever the hash says).
+  kUniform = 0,
+  /// shard = directory[XxHash64(key, salt) % num_buckets], with the
+  /// directory balanced by cumulative key weight via power-of-two-choices
+  /// placement (core/routing_directory.h).
+  kTwoChoice = 1,
+};
 
 /// Shard of `key` under `salt`: a routing hash independent of the filters'
 /// probe hashing.
@@ -80,6 +99,13 @@ struct ShardedBuildOptions {
   /// Shard-routing salt; persisted in the snapshot so queries on a restored
   /// filter route identically.
   uint64_t salt = kDefaultShardSalt;
+  /// Key→shard placement policy. kTwoChoice builds a weight-balanced
+  /// routing directory (persisted in the SHR2 snapshot); with one shard the
+  /// mode is irrelevant and no directory is built.
+  RoutingMode routing = RoutingMode::kUniform;
+  /// Directory size for kTwoChoice (clamped to
+  /// [num_shards, kMaxRoutingBuckets]); ignored under kUniform.
+  size_t num_routing_buckets = kDefaultRoutingBuckets;
 };
 
 /// A filter hash-partitioned into independent per-shard filters. F must
@@ -89,14 +115,27 @@ struct ShardedBuildOptions {
 template <typename F>
 class ShardedFilter {
  public:
-  /// Assembles a sharded filter from already-built shards. The shard
-  /// assignment of every key queried later must match the partitioning the
-  /// shards were built with (same salt, same shard count).
+  /// Assembles a uniform-routed sharded filter from already-built shards.
+  /// The shard assignment of every key queried later must match the
+  /// partitioning the shards were built with (same salt, same shard count).
   ShardedFilter(std::vector<F> shards, uint64_t salt)
       : shards_(std::move(shards)), salt_(salt) {
     assert(!shards_.empty());
     assert(shards_.size() <= kMaxSnapshotShards);  // else Deserialize rejects
     name_ = std::string("sharded-") + shards_.front().Name();
+  }
+
+  /// Assembles a two-choice-routed sharded filter: `directory` maps routing
+  /// buckets to shards and must have been built against the same salt and
+  /// shard count the keys were partitioned with. An empty directory
+  /// degrades to uniform routing (the single-shard build path).
+  ShardedFilter(std::vector<F> shards, uint64_t salt,
+                RoutingDirectory directory)
+      : ShardedFilter(std::move(shards), salt) {
+    directory_ = std::move(directory);
+    assert(directory_.empty() ||
+           (directory_.num_shards() == shards_.size() &&
+            directory_.num_buckets() <= kMaxRoutingBuckets));
   }
 
   // Moves transfer the query-pool configuration as plain values. They are
@@ -110,6 +149,7 @@ class ShardedFilter {
   ShardedFilter(ShardedFilter&& other) noexcept
       : shards_(std::move(other.shards_)),
         salt_(other.salt_),
+        directory_(std::move(other.directory_)),
         name_(std::move(other.name_)),
         query_pool_(other.query_pool_.load(std::memory_order_relaxed)),
         parallel_query_threshold_(
@@ -118,6 +158,7 @@ class ShardedFilter {
     if (this == &other) return *this;
     shards_ = std::move(other.shards_);
     salt_ = other.salt_;
+    directory_ = std::move(other.directory_);
     name_ = std::move(other.name_);
     query_pool_.store(other.query_pool_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
@@ -131,8 +172,17 @@ class ShardedFilter {
   uint64_t salt() const { return salt_; }
   const F& shard(size_t i) const { return shards_[i]; }
 
+  RoutingMode routing() const {
+    return directory_.empty() ? RoutingMode::kUniform
+                              : RoutingMode::kTwoChoice;
+  }
+  /// The persisted routing directory (empty under uniform routing).
+  const RoutingDirectory& directory() const { return directory_; }
+
   size_t ShardOf(std::string_view key) const {
-    return ShardOfKey(key, salt_, shards_.size());
+    if (directory_.empty()) return ShardOfKey(key, salt_, shards_.size());
+    return directory_.bucket_to_shard[RoutingBucketOfKey(
+        key, salt_, directory_.num_buckets())];
   }
 
   /// Opt-in pooled query fan-out: batches of at least `min_parallel_keys`
@@ -267,13 +317,31 @@ class ShardedFilter {
   // --- persistence (versioned sharded snapshot) ---------------------------
 
   /// Appends the sharded snapshot: framing header plus one length-prefixed
-  /// sub-snapshot per shard (each produced by F::Serialize).
+  /// sub-snapshot per shard (each produced by F::Serialize). A uniform
+  /// filter writes the legacy SHRD framing — byte-identical to pre-routing
+  /// builds — while a two-choice filter writes SHR2, which additionally
+  /// persists the bucket directory and the per-shard routed weights.
   void Serialize(std::string* out) const {
     BinaryWriter writer(out);
-    writer.WriteU32(kShardedSnapshotMagic);
-    writer.WriteU32(kShardedSnapshotVersion);
-    writer.WriteU64(salt_);
-    writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+    if (directory_.empty()) {
+      writer.WriteU32(kShardedSnapshotMagic);
+      writer.WriteU32(kShardedSnapshotVersion);
+      writer.WriteU64(salt_);
+      writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+    } else {
+      writer.WriteU32(kShardedSnapshotMagicV2);
+      writer.WriteU32(kShardedSnapshotVersionV2);
+      writer.WriteU64(salt_);
+      writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+      writer.WriteU32(static_cast<uint32_t>(directory_.num_buckets()));
+      for (const uint16_t shard : directory_.bucket_to_shard) {
+        writer.WriteU8(static_cast<uint8_t>(shard & 0xFF));
+        writer.WriteU8(static_cast<uint8_t>(shard >> 8));
+      }
+      for (const double weight : directory_.shard_weights) {
+        writer.WriteDouble(weight);
+      }
+    }
     for (const F& shard : shards_) {
       std::string sub;
       shard.Serialize(&sub);
@@ -281,17 +349,50 @@ class ShardedFilter {
     }
   }
 
-  /// Restores a sharded filter. Returns nullopt on any framing error, an
-  /// out-of-range shard count, trailing garbage, or a sub-snapshot F
-  /// rejects.
+  /// Restores a sharded filter from either framing (legacy SHRD or SHR2).
+  /// Returns nullopt on any framing error, an out-of-range shard or bucket
+  /// count, a directory entry naming a nonexistent shard, a non-finite or
+  /// negative routed weight, trailing garbage, or a sub-snapshot F rejects.
+  /// Every header bound is checked *before* the corresponding allocation.
   static std::optional<ShardedFilter> Deserialize(std::string_view data) {
     BinaryReader reader(data);
-    if (reader.ReadU32() != kShardedSnapshotMagic) return std::nullopt;
-    if (reader.ReadU32() != kShardedSnapshotVersion) return std::nullopt;
+    const uint32_t magic = reader.ReadU32();
+    const bool two_choice = magic == kShardedSnapshotMagicV2;
+    if (!two_choice && magic != kShardedSnapshotMagic) return std::nullopt;
+    if (reader.ReadU32() !=
+        (two_choice ? kShardedSnapshotVersionV2 : kShardedSnapshotVersion)) {
+      return std::nullopt;
+    }
     const uint64_t salt = reader.ReadU64();
     const uint32_t num_shards = reader.ReadU32();
     if (!reader.ok() || num_shards == 0 || num_shards > kMaxSnapshotShards) {
       return std::nullopt;
+    }
+    RoutingDirectory directory;
+    if (two_choice) {
+      const uint32_t num_buckets = reader.ReadU32();
+      // A hostile bucket count must fail here, before the directory vectors
+      // are sized: bounded range AND the payload actually holds the entries.
+      if (!reader.ok() || num_buckets == 0 ||
+          num_buckets > kMaxRoutingBuckets ||
+          reader.remaining() < size_t{num_buckets} * 2 + num_shards * 8) {
+        return std::nullopt;
+      }
+      directory.bucket_to_shard.resize(num_buckets);
+      for (uint32_t b = 0; b < num_buckets; ++b) {
+        const uint16_t lo = reader.ReadU8();
+        const uint16_t hi = reader.ReadU8();
+        const uint16_t shard = static_cast<uint16_t>(lo | (hi << 8));
+        if (shard >= num_shards) return std::nullopt;
+        directory.bucket_to_shard[b] = shard;
+      }
+      directory.shard_weights.resize(num_shards);
+      for (uint32_t s = 0; s < num_shards; ++s) {
+        const double weight = reader.ReadDouble();
+        if (!std::isfinite(weight) || weight < 0.0) return std::nullopt;
+        directory.shard_weights[s] = weight;
+      }
+      if (!reader.ok()) return std::nullopt;
     }
     std::vector<F> shards;
     shards.reserve(num_shards);
@@ -303,7 +404,7 @@ class ShardedFilter {
       shards.push_back(std::move(*shard));
     }
     if (reader.remaining() != 0) return std::nullopt;
-    return ShardedFilter(std::move(shards), salt);
+    return ShardedFilter(std::move(shards), salt, std::move(directory));
   }
 
   bool SaveToFile(const std::string& path) const {
@@ -350,6 +451,8 @@ class ShardedFilter {
 
   std::vector<F> shards_;
   uint64_t salt_;
+  /// Two-choice bucket→shard table; empty = uniform hash routing.
+  RoutingDirectory directory_;
   std::string name_;
   /// Pooled fan-out configuration (SetQueryPool); nullptr = serial pass 3.
   /// Atomic so SetQueryPool is safe against in-flight ContainsBatch calls.

@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -26,6 +27,7 @@ constexpr char kUsage[] =
     "  build    --positives FILE --out FILTER [--negatives FILE]\n"
     "           [--bits-per-key N] [--delta D] [--k K] [--cell-bits C]\n"
     "           [--fast] [--shards N] [--threads T]\n"
+    "           [--routing uniform|two-choice] [--routing-buckets B]\n"
     "  query    --filter FILTER (--key KEY ... | --keys FILE)\n"
     "           [--parallel-batch] [--threads T]\n"
     "  stats    --filter FILTER\n"
@@ -209,6 +211,25 @@ int ParseBuildFlags(const Flags& flags, size_t num_positives,
       return 1;
     }
   }
+  if (const std::string* v = flags.GetOne("routing")) {
+    if (*v == "uniform") {
+      sharding->routing = RoutingMode::kUniform;
+    } else if (*v == "two-choice") {
+      sharding->routing = RoutingMode::kTwoChoice;
+    } else {
+      *err += BadFlag("routing", *v, "expected 'uniform' or 'two-choice'");
+      return 1;
+    }
+  }
+  if (const std::string* v = flags.GetOne("routing-buckets")) {
+    if (!ParseSize(*v, &sharding->num_routing_buckets) ||
+        sharding->num_routing_buckets == 0 ||
+        sharding->num_routing_buckets > kMaxRoutingBuckets) {
+      *err += BadFlag("routing-buckets", *v,
+                      "expected an integer in [1, 1048576]");
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -250,13 +271,16 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
       optimized += filter.shard(s).stats().optimized;
       collisions += filter.shard(s).stats().initial_collisions;
     }
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
-                  "built %s: %zu positives, %zu negatives, %zu shards, "
-                  "%zu/%zu collision keys optimized, %zu bytes\n",
+                  "built %s: %zu positives, %zu negatives, %zu shards "
+                  "(%s routing), %zu/%zu collision keys optimized, "
+                  "%zu bytes\n",
                   out_path->c_str(), positives.size(), negatives.size(),
-                  filter.num_shards(), optimized, collisions,
-                  filter.MemoryUsageBytes());
+                  filter.num_shards(),
+                  filter.routing() == RoutingMode::kTwoChoice ? "two-choice"
+                                                              : "uniform",
+                  optimized, collisions, filter.MemoryUsageBytes());
     *out += line;
     return 0;
   }
@@ -428,6 +452,33 @@ int CmdStats(const Flags& flags, std::string* out, std::string* err) {
       expressor_cells, expressor_inserted, filter->MemoryUsageBytes(),
       dynamic_insertions);
   *out += line;
+  // Routing-balance report (sharded snapshots only): which routing policy
+  // the snapshot was built with, and — for a two-choice directory — how
+  // evenly the build-time key weight landed across shards. max/mean 1.0 is
+  // perfect balance; uniform routing has no persisted weights to report.
+  if (filter->sharded.has_value()) {
+    const RoutingDirectory& directory = filter->sharded->directory();
+    if (directory.empty()) {
+      *out += "routing=uniform\n";
+    } else {
+      double min_weight = directory.shard_weights.front();
+      double max_weight = 0.0;
+      double total_weight = 0.0;
+      for (const double w : directory.shard_weights) {
+        min_weight = std::min(min_weight, w);
+        max_weight = std::max(max_weight, w);
+        total_weight += w;
+      }
+      char routing_line[256];
+      std::snprintf(routing_line, sizeof(routing_line),
+                    "routing=two-choice buckets=%zu routed_weight=%.1f "
+                    "shard_weight_min=%.1f shard_weight_max=%.1f "
+                    "max_mean_ratio=%.4f\n",
+                    directory.num_buckets(), total_weight, min_weight,
+                    max_weight, directory.MaxMeanWeightRatio());
+      *out += routing_line;
+    }
+  }
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "workload/dataset.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
 
@@ -125,6 +126,56 @@ void AssignZipfCosts(Dataset* dataset, double theta, uint64_t seed) {
   for (size_t i = 0; i < dataset->negatives.size(); ++i) {
     dataset->negatives[i].cost = costs[i];
   }
+}
+
+namespace {
+
+/// Distinct printable key: a seed-derived hex nonce (so different seeds give
+/// disjoint hash streams) plus the index (so keys never collide).
+std::string MakeSkewKey(const char* prefix, uint64_t nonce, size_t index) {
+  std::string key = prefix;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    key += kHexDigits[(nonce >> shift) & 0xF];
+  }
+  key += '-';
+  key += std::to_string(index);
+  return key;
+}
+
+}  // namespace
+
+std::vector<WeightedKey> GenerateZipfWeightedKeys(size_t count, double theta,
+                                                  uint64_t seed) {
+  const std::vector<double> weights = GenerateZipfCosts(count, theta, seed);
+  uint64_t sm = seed;
+  const uint64_t nonce = SplitMix64(&sm);
+  std::vector<WeightedKey> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(WeightedKey{MakeSkewKey("zipf-", nonce, i), weights[i]});
+  }
+  return keys;
+}
+
+std::vector<WeightedKey> GenerateSingleHotKeySet(size_t count,
+                                                 double hot_fraction,
+                                                 uint64_t seed) {
+  assert(hot_fraction >= 0.0 && hot_fraction < 1.0);
+  // Defensive clamp for NDEBUG builds: hot_fraction == 1.0 would divide by
+  // zero below and emit an inf-weight key that poisons every downstream
+  // balance ratio.
+  hot_fraction = std::min(std::max(hot_fraction, 0.0), 1.0 - 1e-9);
+  uint64_t sm = seed ^ 0x484F54ULL;  // "HOT"
+  const uint64_t nonce = SplitMix64(&sm);
+  std::vector<WeightedKey> keys;
+  keys.reserve(count + 1);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(WeightedKey{MakeSkewKey("hot-", nonce, i), 1.0});
+  }
+  const double hot_weight =
+      hot_fraction * static_cast<double>(count) / (1.0 - hot_fraction);
+  keys.push_back(WeightedKey{MakeSkewKey("hot-", ~nonce, count), hot_weight});
+  return keys;
 }
 
 }  // namespace habf

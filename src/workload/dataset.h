@@ -49,4 +49,30 @@ Dataset GenerateYcsbLike(const DatasetOptions& options);
 /// theta == 0 leaves costs uniform at 1.0.
 void AssignZipfCosts(Dataset* dataset, double theta, uint64_t seed);
 
+// --- skewed routing workloads (DESIGN.md §6) --------------------------------
+//
+// Weighted key sets whose *cost mass* is concentrated on few keys — the
+// regime where uniform shard routing degrades one shard's bits-per-key and
+// the two-choice routing directory is supposed to hold the balance. Both
+// generators produce distinct printable keys and are deterministic in the
+// seed.
+
+/// `count` distinct keys with Zipf(theta) weights: weight_i = (count/rank)^
+/// theta (minimum 1.0), ranks shuffled over keys. theta == 0 degenerates to
+/// all-1.0 weights. At theta = 1.1 the heaviest key carries ~count^1.1 /
+/// (count^1.1 * zeta(1.1)) ≈ 9% of the total mass — enough to unbalance
+/// uniform routing visibly at 8 shards.
+std::vector<WeightedKey> GenerateZipfWeightedKeys(size_t count, double theta,
+                                                  uint64_t seed);
+
+/// Adversarial single-hot-key set: `count` unit-weight keys plus one extra
+/// key whose weight is hot_fraction / (1 - hot_fraction) of the unit mass,
+/// i.e. the hot key carries exactly `hot_fraction` of the total. Requires
+/// 0 <= hot_fraction < 1. The hot key's placement dominates max/mean shard
+/// weight under uniform routing; a weight-aware router must pack the
+/// remaining mass around it.
+std::vector<WeightedKey> GenerateSingleHotKeySet(size_t count,
+                                                 double hot_fraction,
+                                                 uint64_t seed);
+
 }  // namespace habf

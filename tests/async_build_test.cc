@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/filter_interface.h"
+#include "core/filter_store.h"
 #include "core/habf.h"
 #include "eval/metrics.h"
 #include "util/thread_pool.h"
@@ -54,6 +55,12 @@ ShardedBuildOptions Sharding(size_t shards, size_t threads) {
   ShardedBuildOptions sharding;
   sharding.num_shards = shards;
   sharding.num_threads = threads;
+  return sharding;
+}
+
+ShardedBuildOptions TwoChoiceSharding(size_t shards, size_t threads) {
+  ShardedBuildOptions sharding = Sharding(shards, threads);
+  sharding.routing = RoutingMode::kTwoChoice;
   return sharding;
 }
 
@@ -309,6 +316,74 @@ TEST(AsyncBuildTest, PooledQueriesAndAsyncRebuildShareOnePoolSafely) {
                                      SharedData().negatives, rebuild_options,
                                      Sharding(6, 2));
   EXPECT_EQ(SnapshotBytes(rebuilt), SnapshotBytes(sync));
+}
+
+// The async/sync bit-identity contract must hold under two-choice routing
+// too: both paths share one plan, directory included, so the SHR2 bytes —
+// routing directory, routed weights, every shard sub-snapshot — match.
+TEST(AsyncBuildTest, AsyncTwoChoiceResultIsBitForBitIdenticalToSyncBuild) {
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{7}}) {
+    const auto sync = BuildShardedHabf(SharedData().positives,
+                                       SharedData().negatives, BaseOptions(),
+                                       TwoChoiceSharding(shards, 2));
+    BuildHandle handle =
+        BuildShardedHabfAsync(SharedData().positives, SharedData().negatives,
+                              BaseOptions(), TwoChoiceSharding(shards, 2));
+    const auto async = handle.TakeResult();
+    EXPECT_EQ(async.routing(), sync.routing());
+    EXPECT_EQ(SnapshotBytes(async), SnapshotBytes(sync)) << shards
+                                                         << " shards";
+  }
+}
+
+// The routing-mode differential through the full serve loop: while an async
+// rebuild runs, every batch answered from the pinned FilterStore snapshot
+// must agree key-for-key with scalar Contains on that same snapshot — under
+// uniform and two-choice routing alike, before and after the hot swap.
+TEST(AsyncBuildTest, BatchAgreesWithScalarDuringHotSwapUnderBothRoutings) {
+  for (const bool two_choice : {false, true}) {
+    const ShardedBuildOptions sharding =
+        two_choice ? TwoChoiceSharding(4, 2) : Sharding(4, 2);
+    FilterStore<ShardedFilter<Habf>> store(
+        BuildShardedHabf(SharedData().positives, SharedData().negatives,
+                         BaseOptions(), sharding));
+
+    std::vector<std::string_view> mixed;
+    for (size_t i = 0; i < 1500; ++i) {
+      mixed.push_back(i % 2 == 0
+                          ? std::string_view(SharedData().positives[i])
+                          : std::string_view(SharedData().negatives[i].key));
+    }
+
+    HabfOptions rebuild_options = BaseOptions();
+    rebuild_options.seed = 4242;  // the replacement is a different filter
+    BuildHandle handle =
+        BuildShardedHabfAsync(SharedData().positives, SharedData().negatives,
+                              rebuild_options, sharding);
+    auto check_batch_against_scalar = [&](uint64_t* version_seen) {
+      const auto snapshot = store.Acquire();
+      if (version_seen != nullptr) *version_seen = snapshot.version;
+      std::vector<uint8_t> out(mixed.size());
+      snapshot.filter->ContainsBatch(KeySpan(mixed.data(), mixed.size()),
+                                     out.data());
+      for (size_t i = 0; i < mixed.size(); ++i) {
+        ASSERT_EQ(out[i] != 0, snapshot.filter->MightContain(mixed[i]))
+            << (two_choice ? "two-choice" : "uniform") << " key " << i
+            << " snapshot v" << snapshot.version;
+      }
+    };
+    // At least one pre-swap round even if the rebuild wins every race.
+    uint64_t version_before = 0;
+    do {
+      check_batch_against_scalar(&version_before);
+    } while (!handle.Ready());
+    store.Publish(handle.TakeResult());
+    uint64_t version_after = 0;
+    check_batch_against_scalar(&version_after);
+    EXPECT_GT(version_after, version_before);
+    EXPECT_EQ(store.Acquire().filter->routing(),
+              two_choice ? RoutingMode::kTwoChoice : RoutingMode::kUniform);
+  }
 }
 
 // A task some other pool client escapes an exception from must surface in

@@ -205,6 +205,96 @@ TEST_F(CliTest, ShardedBuildQueryStatsEvalPipeline) {
   EXPECT_NE(out_.find("weighted_fpr="), std::string::npos);
 }
 
+TEST_F(CliTest, TwoChoiceRoutingBuildQueryStatsEvalPipeline) {
+  // The negatives carry a skewed cost column (30 keys at 500.0), so the
+  // two-choice directory has real weight mass to balance.
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--out", filter_path_, "--shards", "4",
+                 "--threads", "2", "--routing", "two-choice",
+                 "--routing-buckets", "512"}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("4 shards (two-choice routing)"), std::string::npos)
+      << out_;
+
+  // Zero false negatives through the SHR2 snapshot, per-key path.
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--keys",
+                 positives_path_}),
+            0)
+      << err_;
+  EXPECT_EQ(out_.find("not-in-set"), std::string::npos)
+      << "a positive key was rejected by the two-choice-routed filter";
+  const std::string per_key_out = out_;
+
+  // The pooled batch path must answer identically on the restored filter.
+  ASSERT_EQ(Run({"query", "--filter", filter_path_, "--keys",
+                 positives_path_, "--parallel-batch", "--threads", "2"}),
+            0)
+      << err_;
+  EXPECT_EQ(out_, per_key_out);
+
+  // Stats reports the routing-balance line for a SHR2 snapshot.
+  ASSERT_EQ(Run({"stats", "--filter", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("shards=4"), std::string::npos);
+  EXPECT_NE(out_.find("routing=two-choice buckets=512"), std::string::npos)
+      << out_;
+  EXPECT_NE(out_.find("max_mean_ratio="), std::string::npos) << out_;
+
+  ASSERT_EQ(Run({"eval", "--filter", filter_path_, "--negatives",
+                 negatives_path_}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("weighted_fpr="), std::string::npos);
+}
+
+TEST_F(CliTest, UniformRoutingStatsReportsPolicy) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "3", "--routing", "uniform"}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"stats", "--filter", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("routing=uniform"), std::string::npos) << out_;
+  // An unsharded snapshot has no routing policy to report.
+  const std::string single_path = dir_ + "/cli_single.habf";
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 single_path}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"stats", "--filter", single_path}), 0) << err_;
+  EXPECT_EQ(out_.find("routing="), std::string::npos) << out_;
+}
+
+TEST_F(CliTest, RoutingFlagsRejectBadValues) {
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "2", "--routing", "best-effort"}),
+            1);
+  EXPECT_NE(err_.find("--routing value 'best-effort'"), std::string::npos)
+      << err_;
+  EXPECT_FALSE(std::filesystem::exists(filter_path_))
+      << "a rejected build must not write a filter";
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "2", "--routing", "two-choice",
+                 "--routing-buckets", "0"}),
+            1);
+  EXPECT_NE(err_.find("--routing-buckets value '0'"), std::string::npos)
+      << err_;
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "2", "--routing", "two-choice",
+                 "--routing-buckets", "1048577"}),
+            1)
+      << "beyond the 2^20 snapshot bound";
+}
+
+TEST_F(CliTest, ServeSimServesThroughTwoChoiceRebuilds) {
+  ASSERT_EQ(Run({"serve-sim", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--shards", "3", "--threads", "2",
+                 "--routing", "two-choice", "--rebuilds", "2", "--batch",
+                 "256"}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("zero_false_negatives=ok"), std::string::npos) << out_;
+}
+
 TEST_F(CliTest, ShardedBuildRejectsBadArguments) {
   EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
                  filter_path_, "--shards", "0"}),

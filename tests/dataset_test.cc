@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <unordered_set>
 
 namespace habf {
@@ -94,6 +96,44 @@ TEST(DatasetTest, ZipfCostsAreAssignedAndSkewed) {
   }
   EXPECT_DOUBLE_EQ(min_cost, 1.0);
   EXPECT_GT(max_cost, 1000.0);
+}
+
+TEST(DatasetTest, ZipfWeightedKeysAreDistinctDeterministicAndSkewed) {
+  const auto keys = GenerateZipfWeightedKeys(5000, 1.1, 77);
+  ASSERT_EQ(keys.size(), 5000u);
+  std::set<std::string> seen;
+  double total = 0.0;
+  double max_weight = 0.0;
+  for (const auto& wk : keys) {
+    EXPECT_TRUE(seen.insert(wk.key).second) << "duplicate key " << wk.key;
+    EXPECT_GE(wk.cost, 1.0);
+    total += wk.cost;
+    max_weight = std::max(max_weight, wk.cost);
+  }
+  // The Zipf head carries a macroscopic share of the mass — that is the
+  // whole point of the skewed routing workload.
+  EXPECT_GT(max_weight / total, 0.05);
+  const auto again = GenerateZipfWeightedKeys(5000, 1.1, 77);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i].key, again[i].key);
+    EXPECT_DOUBLE_EQ(keys[i].cost, again[i].cost);
+  }
+  const auto reseeded = GenerateZipfWeightedKeys(5000, 1.1, 78);
+  EXPECT_NE(keys.front().key, reseeded.front().key)
+      << "different seeds must generate disjoint key streams";
+}
+
+TEST(DatasetTest, SingleHotKeySetCarriesTheRequestedFraction) {
+  const double hot_fraction = 0.10;
+  const auto keys = GenerateSingleHotKeySet(10000, hot_fraction, 3);
+  ASSERT_EQ(keys.size(), 10001u);
+  double total = 0.0;
+  for (const auto& wk : keys) total += wk.cost;
+  // Every key but the last is unit weight; the hot key's share is exact.
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    ASSERT_DOUBLE_EQ(keys[i].cost, 1.0);
+  }
+  EXPECT_NEAR(keys.back().cost / total, hot_fraction, 1e-12);
 }
 
 }  // namespace

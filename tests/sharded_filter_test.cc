@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -550,6 +551,198 @@ TEST(ShardedFilterTest, SetQueryPoolToggledUnderConcurrentReaders) {
   for (auto& reader : readers) reader.join();
   EXPECT_FALSE(mismatch.load())
       << "a batch observed a half-applied query-pool configuration";
+}
+
+// --- two-choice routing (DESIGN.md §6) --------------------------------------
+
+ShardedFilter<Habf> BuildTwoChoice(size_t shards, size_t threads) {
+  ShardedBuildOptions sharding;
+  sharding.num_shards = shards;
+  sharding.num_threads = threads;
+  sharding.routing = RoutingMode::kTwoChoice;
+  return BuildShardedHabf(SharedData().positives, SharedData().negatives,
+                          BaseOptions(), sharding);
+}
+
+uint32_t SnapshotMagic(const ShardedFilter<Habf>& filter) {
+  std::string bytes;
+  filter.Serialize(&bytes);
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic;
+}
+
+TEST(ShardedFilterTest, TwoChoiceZeroFalseNegativesAndBatchMatchesScalar) {
+  for (size_t shards : {size_t{2}, size_t{4}, size_t{7}}) {
+    const auto filter = BuildTwoChoice(shards, 2);
+    EXPECT_EQ(filter.routing(), RoutingMode::kTwoChoice);
+    EXPECT_EQ(CountFalseNegatives(filter, SharedData().positives), 0u)
+        << shards << " shards";
+    ExpectBatchMatchesScalar(filter);
+  }
+}
+
+TEST(ShardedFilterTest, TwoChoiceDirectoryInvariantsOnBuiltFilter) {
+  const auto filter = BuildTwoChoice(4, 2);
+  const RoutingDirectory& directory = filter.directory();
+  ASSERT_EQ(directory.num_buckets(), kDefaultRoutingBuckets);
+  ASSERT_EQ(directory.num_shards(), 4u);
+  for (const uint16_t shard : directory.bucket_to_shard) {
+    ASSERT_LT(shard, 4u);
+  }
+  // The routed weight must be exactly the build set's: 1.0 per positive
+  // plus every negative's cost (SharedData costs are all 1.0).
+  double total = 0.0;
+  for (const double w : directory.shard_weights) total += w;
+  EXPECT_NEAR(total, static_cast<double>(2 * kKeys), 1e-6 * kKeys);
+  // Every key must be served by the shard its bucket names — ShardOf and
+  // the build partition agree (zero false negatives already implies the
+  // build routed positives the same way; check the mapping directly too).
+  for (size_t i = 0; i < 200; ++i) {
+    const std::string& key = SharedData().positives[i];
+    EXPECT_EQ(filter.ShardOf(key),
+              directory.bucket_to_shard[RoutingBucketOfKey(
+                  key, filter.salt(), directory.num_buckets())]);
+  }
+}
+
+TEST(ShardedFilterTest, TwoChoicePooledBatchMatchesSerialBitForBit) {
+  auto filter = BuildTwoChoice(5, 2);
+  std::vector<std::string> everything;
+  for (const auto& key : SharedData().positives) everything.push_back(key);
+  for (const auto& wk : SharedData().negatives) everything.push_back(wk.key);
+  std::vector<std::string_view> keys(everything.begin(), everything.end());
+
+  std::vector<uint8_t> serial_out(keys.size());
+  const size_t serial_positives = filter.ContainsBatch(
+      KeySpan(keys.data(), keys.size()), serial_out.data());
+
+  ThreadPool pool(4);
+  filter.SetQueryPool(&pool, /*min_parallel_keys=*/1);
+  std::vector<uint8_t> pooled_out(keys.size());
+  const size_t pooled_positives = filter.ContainsBatch(
+      KeySpan(keys.data(), keys.size()), pooled_out.data());
+  filter.SetQueryPool(nullptr);
+
+  EXPECT_EQ(pooled_positives, serial_positives);
+  EXPECT_EQ(pooled_out, serial_out);
+}
+
+TEST(ShardedFilterTest, TwoChoiceThreadCountDoesNotChangeTheFilter) {
+  const auto serial = BuildTwoChoice(4, 1);
+  const auto parallel = BuildTwoChoice(4, 4);
+  std::string serial_bytes, parallel_bytes;
+  serial.Serialize(&serial_bytes);
+  parallel.Serialize(&parallel_bytes);
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+}
+
+TEST(ShardedFilterTest, TwoChoiceSnapshotRoundTripsBitIdentically) {
+  const auto original = BuildTwoChoice(4, 2);
+  EXPECT_EQ(SnapshotMagic(original), kShardedSnapshotMagicV2);
+
+  std::string bytes;
+  original.Serialize(&bytes);
+  const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->routing(), RoutingMode::kTwoChoice);
+  EXPECT_EQ(restored->directory().bucket_to_shard,
+            original.directory().bucket_to_shard);
+  EXPECT_EQ(restored->directory().shard_weights,
+            original.directory().shard_weights);
+
+  // Load → save must reproduce the exact bytes (no lossy field).
+  std::string reserialized;
+  restored->Serialize(&reserialized);
+  EXPECT_EQ(reserialized, bytes);
+
+  for (const auto& key : SharedData().positives) {
+    ASSERT_TRUE(restored->MightContain(key)) << key;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::string probe = "shr2-probe-" + std::to_string(i);
+    EXPECT_EQ(original.MightContain(probe), restored->MightContain(probe));
+  }
+}
+
+TEST(ShardedFilterTest, UniformSnapshotStaysLegacyShrdAndLoadsBitExactly) {
+  // Uniform-routed filters keep writing the pre-routing SHRD framing, and a
+  // legacy snapshot round-trips byte-for-byte — old snapshot files stay
+  // loadable and re-savable forever.
+  const auto uniform = BuildSharded(4, 2);
+  EXPECT_EQ(SnapshotMagic(uniform), kShardedSnapshotMagic);
+  std::string bytes;
+  uniform.Serialize(&bytes);
+  const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->routing(), RoutingMode::kUniform);
+  std::string reserialized;
+  restored->Serialize(&reserialized);
+  EXPECT_EQ(reserialized, bytes);
+}
+
+TEST(ShardedFilterTest, TwoChoiceMatchesUniformGuaranteesAtZeroSkew) {
+  // At zero skew (all SharedData costs are 1.0) the routing policy changes
+  // *which* shard serves a key, never the FPR-side guarantees: identical
+  // global bit budget, zero false negatives, and a weighted FPR in the same
+  // regime (shard membership shifts individual collisions, so bit-equality
+  // is not expected).
+  const auto uniform = BuildSharded(4, 2);
+  const auto two_choice = BuildTwoChoice(4, 2);
+  size_t uniform_bits = 0;
+  size_t two_choice_bits = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    uniform_bits += uniform.shard(s).options().total_bits;
+    two_choice_bits += two_choice.shard(s).options().total_bits;
+  }
+  EXPECT_EQ(uniform_bits, two_choice_bits);
+  EXPECT_EQ(CountFalseNegatives(uniform, SharedData().positives), 0u);
+  EXPECT_EQ(CountFalseNegatives(two_choice, SharedData().positives), 0u);
+  const double fpr_uniform =
+      MeasureWeightedFpr(uniform, SharedData().negatives);
+  const double fpr_two_choice =
+      MeasureWeightedFpr(two_choice, SharedData().negatives);
+  EXPECT_LE(fpr_two_choice, fpr_uniform * 3 + 0.02)
+      << "uniform=" << fpr_uniform << " two-choice=" << fpr_two_choice;
+  EXPECT_LE(fpr_uniform, fpr_two_choice * 3 + 0.02)
+      << "uniform=" << fpr_uniform << " two-choice=" << fpr_two_choice;
+}
+
+TEST(ShardedFilterTest, TwoChoiceSingleShardWritesLegacyFormat) {
+  // With one shard routing is irrelevant; no directory is built and the
+  // snapshot stays the legacy SHRD framing.
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 1;
+  sharding.num_threads = 1;
+  sharding.routing = RoutingMode::kTwoChoice;
+  const auto filter = BuildShardedHabf(
+      SharedData().positives, SharedData().negatives, BaseOptions(), sharding);
+  EXPECT_EQ(filter.routing(), RoutingMode::kUniform);
+  EXPECT_EQ(SnapshotMagic(filter), kShardedSnapshotMagic);
+}
+
+TEST(ShardedFilterTest, RoutingBucketCountClampedToShardCount) {
+  // Fewer buckets than shards would leave shards unreachable; the builder
+  // raises the bucket count to the shard count.
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 5;
+  sharding.num_threads = 1;
+  sharding.routing = RoutingMode::kTwoChoice;
+  sharding.num_routing_buckets = 2;
+  const auto filter = BuildShardedHabf(
+      SharedData().positives, SharedData().negatives, BaseOptions(), sharding);
+  EXPECT_EQ(filter.directory().num_buckets(), 5u);
+  EXPECT_EQ(CountFalseNegatives(filter, SharedData().positives), 0u);
+  ExpectBatchMatchesScalar(filter);
+}
+
+TEST(ShardedFilterTest, MoveCarriesRoutingDirectory) {
+  auto filter = BuildTwoChoice(3, 1);
+  const std::vector<uint16_t> expected = filter.directory().bucket_to_shard;
+  const ShardedFilter<Habf> moved = std::move(filter);
+  EXPECT_EQ(moved.routing(), RoutingMode::kTwoChoice);
+  EXPECT_EQ(moved.directory().bucket_to_shard, expected);
+  EXPECT_EQ(CountFalseNegatives(moved, SharedData().positives), 0u);
 }
 
 TEST(ShardedFilterTest, MoveCarriesQueryPoolConfiguration) {

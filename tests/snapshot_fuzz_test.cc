@@ -29,6 +29,14 @@ constexpr size_t kOffTotalBits = 8;
 constexpr size_t kOffDelta = 16;
 constexpr size_t kOffK = 24;
 
+// SHR2 sharded snapshot header offsets (ShardedFilter::Serialize, two-choice
+// framing): magic u32, version u32, salt u64, num_shards u32, num_buckets
+// u32, then num_buckets x u16 directory entries, num_shards x f64 routed
+// weights, and the per-shard sub-snapshots.
+constexpr size_t kOffShardCount = 16;
+constexpr size_t kOffBucketCount = 20;
+constexpr size_t kOffDirectory = 24;
+
 const Dataset& SharedData() {
   static const Dataset data = [] {
     DatasetOptions options;
@@ -56,6 +64,25 @@ std::string ShardedSnapshot() {
   ShardedBuildOptions sharding;
   sharding.num_shards = 3;
   sharding.num_threads = 1;
+  const auto filter = BuildShardedHabf(SharedData().positives,
+                                       SharedData().negatives, options,
+                                       sharding);
+  std::string bytes;
+  filter.Serialize(&bytes);
+  return bytes;
+}
+
+/// A two-choice (SHR2) snapshot: same build sets, small directory so the
+/// truncation fuzz spends iterations on every region (header, directory,
+/// weights, sub-snapshots).
+std::string TwoChoiceSnapshot() {
+  HabfOptions options;
+  options.total_bits = 2000 * 10;
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 3;
+  sharding.num_threads = 1;
+  sharding.routing = RoutingMode::kTwoChoice;
+  sharding.num_routing_buckets = 64;
   const auto filter = BuildShardedHabf(SharedData().positives,
                                        SharedData().negatives, options,
                                        sharding);
@@ -133,6 +160,14 @@ TEST(SnapshotFuzzTest, ShardedBitFlipsNeverCrash) {
   FuzzBitFlips(ShardedSnapshot(), ShardedFilter<Habf>::Deserialize);
 }
 
+TEST(SnapshotFuzzTest, TwoChoiceTruncationsNeverCrash) {
+  FuzzTruncations(TwoChoiceSnapshot(), ShardedFilter<Habf>::Deserialize);
+}
+
+TEST(SnapshotFuzzTest, TwoChoiceBitFlipsNeverCrash) {
+  FuzzBitFlips(TwoChoiceSnapshot(), ShardedFilter<Habf>::Deserialize);
+}
+
 TEST(SnapshotFuzzTest, NonFiniteDeltaRejected) {
   for (double hostile : {std::nan(""), HUGE_VAL, -HUGE_VAL, 1e300}) {
     std::string bytes = HabfSnapshot();
@@ -176,6 +211,9 @@ TEST(SnapshotFuzzTest, TrailingGarbageRejected) {
   const std::string sharded_bytes = ShardedSnapshot();
   EXPECT_FALSE(
       ShardedFilter<Habf>::Deserialize(sharded_bytes + "x").has_value());
+  const std::string two_choice_bytes = TwoChoiceSnapshot();
+  EXPECT_FALSE(
+      ShardedFilter<Habf>::Deserialize(two_choice_bytes + "x").has_value());
 }
 
 TEST(SnapshotFuzzTest, EmptyAndTinyInputsRejected) {
@@ -183,6 +221,74 @@ TEST(SnapshotFuzzTest, EmptyAndTinyInputsRejected) {
   EXPECT_FALSE(Habf::Deserialize("H").has_value());
   EXPECT_FALSE(ShardedFilter<Habf>::Deserialize("").has_value());
   EXPECT_FALSE(ShardedFilter<Habf>::Deserialize("SHRD").has_value());
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize("SHR2").has_value());
+}
+
+TEST(SnapshotFuzzTest, OutOfRangeDirectoryShardIdRejected) {
+  // The snapshot was built with 3 shards; every directory entry naming
+  // shard >= 3 must be rejected before any shard sub-snapshot is parsed.
+  std::string bytes = TwoChoiceSnapshot();
+  for (uint16_t hostile : {uint16_t{3}, uint16_t{255}, uint16_t{0xFFFF}}) {
+    std::string mutated = bytes;
+    std::memcpy(mutated.data() + kOffDirectory + 10 * 2, &hostile, 2);
+    EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(mutated).has_value())
+        << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, HostileBucketCountsRejectedBeforeAllocation) {
+  // Zero, beyond-bound, and payload-starved bucket counts must all fail in
+  // the header check — a 4-billion-bucket claim over a few-KiB payload
+  // cannot be allowed to size the directory vector first.
+  std::string bytes = TwoChoiceSnapshot();
+  for (uint32_t hostile :
+       {uint32_t{0}, static_cast<uint32_t>(kMaxRoutingBuckets + 1),
+        uint32_t{1} << 24, ~uint32_t{0}}) {
+    std::string mutated = bytes;
+    std::memcpy(mutated.data() + kOffBucketCount, &hostile, 4);
+    EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(mutated).has_value())
+        << hostile;
+  }
+  // An in-range count the payload cannot actually hold is just as hostile.
+  std::string starved = bytes;
+  const uint32_t too_many = 1u << 19;  // within kMaxRoutingBuckets
+  std::memcpy(starved.data() + kOffBucketCount, &too_many, 4);
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(starved).has_value());
+}
+
+TEST(SnapshotFuzzTest, HostileShardCountInShr2Rejected) {
+  std::string bytes = TwoChoiceSnapshot();
+  for (uint32_t hostile : {uint32_t{0}, uint32_t{4097}, ~uint32_t{0}}) {
+    std::string mutated = bytes;
+    std::memcpy(mutated.data() + kOffShardCount, &hostile, 4);
+    EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(mutated).has_value())
+        << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, NonFiniteRoutedWeightRejected) {
+  // The per-shard routed weights sit right after the 64-entry directory.
+  std::string bytes = TwoChoiceSnapshot();
+  const size_t weights_offset = kOffDirectory + 64 * 2;
+  for (double hostile : {std::nan(""), HUGE_VAL, -1.0}) {
+    std::string mutated = bytes;
+    PatchDouble(&mutated, weights_offset, hostile);
+    EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(mutated).has_value())
+        << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, LegacyShrdSnapshotStillLoadsBitExactly) {
+  // Backward compatibility is part of the SHR2 contract: the legacy framing
+  // must keep loading, and a load → save round trip must reproduce the
+  // exact legacy bytes (no silent format upgrade).
+  const std::string bytes = ShardedSnapshot();
+  const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_shards(), 3u);
+  std::string reserialized;
+  restored->Serialize(&reserialized);
+  EXPECT_EQ(reserialized, bytes);
 }
 
 }  // namespace
