@@ -19,12 +19,19 @@
 // on a single-hot-key adversarial set (routing-only — no filter builds — so
 // it runs at full acceptance scale, 1M keys, in milliseconds).
 //
+// The dynamic section exercises the mutable tier (DESIGN.md §7): sustained
+// mixed insert/delete/query throughput against DynamicShardedHabf while
+// dirty-shard compactions run on a background thread, plus a sweep that
+// aims mutations at exactly k shards and compacts, showing rebuild cost
+// scaling with the dirty-shard count rather than the filter size.
+//
 // Usage: bench_sharded_build [--keys N] [--shards S] [--threads T]
 //                            [--repeats R] [--skew-keys N] [--json]
 // Defaults: 200k keys, S = 8, T = hardware threads, 3 repeats, 1M skew
 // keys, table output.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -42,6 +49,7 @@
 #include <malloc.h>  // malloc_trim
 #endif
 
+#include "core/dynamic_filter.h"
 #include "core/filter_interface.h"
 #include "core/filter_store.h"
 #include "core/habf.h"
@@ -185,6 +193,122 @@ RoutingBalanceReport MeasureRoutingBalance(const Args& args) {
   return report;
 }
 
+/// One compaction pass of the dynamic-tier scaling sweep: mutations were
+/// aimed at exactly `dirty_shards` shards (rejection-sampled via ShardOf),
+/// so rebuild cost should scale with the dirty-shard count, not the filter
+/// size — the incremental-compaction claim of DESIGN.md §7.
+struct DynamicCompactionSample {
+  size_t dirty_shards = 0;
+  size_t shards_rebuilt = 0;
+  size_t keys_drained = 0;
+  uint64_t rebuild_ns = 0;
+};
+
+/// The dynamic mixed-workload measurement (DESIGN.md §7): sustained
+/// insert/delete/query throughput against DynamicShardedHabf across
+/// background compactions, plus the per-compaction cost sweep.
+struct DynamicWorkloadReport {
+  size_t keys = 0;
+  size_t shards = 0;
+  double mutate_rate = 0.10;
+  size_t total_ops = 0;
+  uint64_t workload_ns = 0;
+  double ops_per_second = 0.0;
+  size_t workload_compactions = 0;
+  std::vector<DynamicCompactionSample> sweep;
+};
+
+DynamicWorkloadReport MeasureDynamicWorkload(const Dataset& data,
+                                             const Args& args,
+                                             size_t effective_threads) {
+  DynamicWorkloadReport report;
+  // A quarter of the build-bench scale keeps the section's several shard
+  // rebuilds proportionate to the rest of the bench's runtime.
+  report.keys = std::min(std::max<size_t>(args.keys / 4, 1000),
+                         data.positives.size());
+  report.shards = args.shards;
+  std::vector<std::string> positives(data.positives.begin(),
+                                     data.positives.begin() + report.keys);
+  HabfOptions options;
+  options.total_bits = report.keys * 10;
+  ShardedBuildOptions sharding;
+  sharding.num_shards = args.shards;
+  sharding.num_threads = effective_threads;
+  DynamicOptions dynamic;
+  dynamic.dirty_fraction_threshold = 0.0;
+  dynamic.compaction_threads = effective_threads;
+  DynamicShardedHabf filter(positives, {}, options, sharding, dynamic);
+
+  // --- sustained mixed workload across compactions -------------------------
+  // Rounds of (mutate_rate * batch) mutations + batched queries, with one
+  // dirty-shard compaction per round running on a background thread while
+  // the queries keep flowing — the serve-sim loop, measured.
+  constexpr size_t kBatch = 1024;
+  constexpr size_t kRounds = 3;
+  std::vector<std::string_view> views(positives.begin(), positives.end());
+  std::vector<uint8_t> out(kBatch);
+  size_t cursor = 0;
+  size_t serial = 0;
+  Stopwatch workload_watch;
+  for (size_t round = 0; round < kRounds; ++round) {
+    const size_t mutations =
+        static_cast<size_t>(report.mutate_rate * kBatch);
+    for (size_t m = 0; m < mutations; ++m) {
+      if (m % 2 == 0) {
+        filter.Insert("bench-dyn-" + std::to_string(serial++));
+      } else {
+        filter.Remove(positives[(round * mutations + m) % positives.size()]);
+      }
+    }
+    std::atomic<bool> done{false};
+    std::thread compactor([&] {
+      filter.CompactDirtyShards();
+      done.store(true, std::memory_order_release);
+    });
+    do {
+      const size_t count = std::min(kBatch, views.size() - cursor);
+      filter.ContainsBatch(KeySpan(views.data() + cursor, count), out.data());
+      cursor = (cursor + count) % views.size();
+      report.total_ops += count;
+    } while (!done.load(std::memory_order_acquire));
+    compactor.join();
+    report.total_ops += mutations;
+  }
+  report.workload_ns = workload_watch.ElapsedNanos();
+  report.ops_per_second =
+      static_cast<double>(report.total_ops) /
+      (static_cast<double>(std::max<uint64_t>(report.workload_ns, 1)) * 1e-9);
+  report.workload_compactions = filter.stats().compactions;
+
+  // --- per-compaction cost vs dirty-shard count ----------------------------
+  // Aim a fixed per-shard mutation dose at exactly k shards and compact:
+  // rebuild_ns should grow ~linearly in k (only dirty shards rebuild).
+  const size_t per_shard_dose =
+      std::max<size_t>(report.keys / (20 * args.shards), 8);
+  for (size_t k = 1; k <= args.shards; k *= 2) {
+    for (size_t target = 0; target < k; ++target) {
+      size_t planted = 0;
+      for (size_t i = 0; planted < per_shard_dose; ++i) {
+        const std::string key = "sweep-" + std::to_string(k) + "-" +
+                                std::to_string(target) + "-" +
+                                std::to_string(i);
+        if (filter.ShardOf(key) == target) {
+          filter.Insert(key);
+          ++planted;
+        }
+      }
+    }
+    const CompactionReport pass = filter.CompactDirtyShards();
+    DynamicCompactionSample sample;
+    sample.dirty_shards = k;
+    sample.shards_rebuilt = pass.shards_rebuilt;
+    sample.keys_drained = pass.keys_drained;
+    sample.rebuild_ns = pass.rebuild_ns;
+    report.sweep.push_back(sample);
+  }
+  return report;
+}
+
 /// Partition-memory comparison of the zero-copy sharded build against the
 /// old copying partition: exact logical byte counts plus per-build peak-RSS
 /// deltas measured in forked children.
@@ -236,7 +360,8 @@ size_t PeakRssDeltaInChild(const std::function<void()>& build) {
 void PrintResults(const std::vector<Result>& results, const Args& args,
                   size_t effective_threads, double speedup,
                   const MemoryReport& memory, const OverlapReport& overlap,
-                  const RoutingBalanceReport& routing) {
+                  const RoutingBalanceReport& routing,
+                  const DynamicWorkloadReport& dynamic) {
   if (args.json) {
     std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
                 "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
@@ -284,13 +409,36 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         "    \"hot_key_fraction\": %.2f,\n"
         "    \"hot_uniform_max_mean_ratio\": %.4f,\n"
         "    \"hot_two_choice_max_mean_ratio\": %.4f,\n"
-        "    \"directory_build_ns\": %llu\n  }\n}\n",
+        "    \"directory_build_ns\": %llu\n  },\n",
         routing.skew_keys, args.shards, kDefaultRoutingBuckets,
         routing.zipf_theta, routing.zipf_uniform_ratio,
         routing.zipf_two_choice_ratio, routing.hot_keys,
         routing.hot_fraction, routing.hot_uniform_ratio,
         routing.hot_two_choice_ratio,
         static_cast<unsigned long long>(routing.directory_build_ns));
+    std::printf(
+        "  \"dynamic_mixed_workload\": {\n"
+        "    \"keys\": %zu,\n"
+        "    \"shards\": %zu,\n"
+        "    \"mutate_rate\": %.2f,\n"
+        "    \"total_ops\": %zu,\n"
+        "    \"workload_ns\": %llu,\n"
+        "    \"sustained_ops_per_second\": %.1f,\n"
+        "    \"compactions_during_workload\": %zu,\n"
+        "    \"per_compaction\": [\n",
+        dynamic.keys, dynamic.shards, dynamic.mutate_rate, dynamic.total_ops,
+        static_cast<unsigned long long>(dynamic.workload_ns),
+        dynamic.ops_per_second, dynamic.workload_compactions);
+    for (size_t i = 0; i < dynamic.sweep.size(); ++i) {
+      const DynamicCompactionSample& s = dynamic.sweep[i];
+      std::printf(
+          "      {\"dirty_shards\": %zu, \"shards_rebuilt\": %zu, "
+          "\"keys_drained\": %zu, \"rebuild_ns\": %llu}%s\n",
+          s.dirty_shards, s.shards_rebuilt, s.keys_drained,
+          static_cast<unsigned long long>(s.rebuild_ns),
+          i + 1 < dynamic.sweep.size() ? "," : "");
+    }
+    std::printf("    ]\n  }\n}\n");
     return;
   }
   std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
@@ -331,6 +479,18 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
       routing.hot_keys, routing.hot_uniform_ratio,
       routing.hot_two_choice_ratio,
       static_cast<double>(routing.directory_build_ns) / 1e6);
+  std::printf(
+      "dynamic mixed workload (%zu keys, %zu shards, %.0f%% mutations): "
+      "%.0f ops/s sustained across %zu compactions\n",
+      dynamic.keys, dynamic.shards, dynamic.mutate_rate * 100,
+      dynamic.ops_per_second, dynamic.workload_compactions);
+  for (const DynamicCompactionSample& s : dynamic.sweep) {
+    std::printf(
+        "  compaction with %zu dirty shard(s): rebuilt %zu/%zu in %.1f ms "
+        "(%zu keys drained)\n",
+        s.dirty_shards, s.shards_rebuilt, dynamic.shards,
+        static_cast<double>(s.rebuild_ns) / 1e6, s.keys_drained);
+  }
 }
 
 /// The PR-2 copying partition, kept as the memory-comparison reference: a
@@ -586,7 +746,20 @@ int main(int argc, char** argv) {
   // --- routing balance under skewed key weights ---------------------------
   const RoutingBalanceReport routing = MeasureRoutingBalance(args);
 
+  // --- dynamic tier: mixed workload + dirty-shard compaction sweep --------
+  const DynamicWorkloadReport dynamic_workload =
+      MeasureDynamicWorkload(data, args, effective_threads);
+  for (const DynamicCompactionSample& sample : dynamic_workload.sweep) {
+    if (sample.shards_rebuilt != sample.dirty_shards) {
+      std::fprintf(stderr,
+                   "FATAL: compaction rebuilt %zu shards but only %zu were "
+                   "dirty\n",
+                   sample.shards_rebuilt, sample.dirty_shards);
+      return 1;
+    }
+  }
+
   PrintResults(results, args, effective_threads, speedup, memory, overlap,
-               routing);
+               routing, dynamic_workload);
   return 0;
 }

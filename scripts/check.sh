@@ -54,12 +54,17 @@ if [ "${mode}" = "tsan" ]; then
   # lock-order findings.
   TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
     -j "$(nproc)" \
-    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest'
+    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest|DynamicFilter'
   # The skew-aware routing suite (two-choice directory, routing-mode
   # differentials, SHR2/SHRD snapshot fuzz) runs under TSan too: the
   # two-choice build shares the parallel shard pipeline.
   TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
     -j "$(nproc)" -L skew
+  # The dynamic (mutable-path) suite is the richest concurrency surface in
+  # the repo: delta-tier readers racing dirty-shard compactions across the
+  # FilterStore hot swap. Run the whole label under TSan.
+  TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
+    -j "$(nproc)" -L dynamic
   exit 0
 fi
 # Explicit parallelism: temp-path races between test cases only show up when
@@ -74,4 +79,8 @@ if [ "${mode}" = "sanitize" ]; then
   # into a heap overflow): redundant with the full matrix above, but the
   # label keeps the skew surface covered even if the full run is trimmed.
   ctest --output-on-failure -j "$(nproc)" -L skew
+  # Same for the dynamic label: the counting-bloom clamp and the delta-tier
+  # compaction paths are exactly where an off-by-one would become a
+  # container-overflow or use-after-publish finding.
+  ctest --output-on-failure -j "$(nproc)" -L dynamic
 fi

@@ -27,7 +27,10 @@ void CountingBloomFilter::Remove(std::string_view key) {
     const size_t pos = Position(key, i);
     const uint64_t c = CounterAt(pos);
     // Saturated counters must stay (we no longer know the true count);
-    // decrementing them could introduce false negatives elsewhere.
+    // decrementing them could introduce false negatives elsewhere. Zero
+    // counters must stay too: the 4-bit field would wrap 0→15, fabricating
+    // membership for every key that aliases the position (see the Remove
+    // contract in counting_bloom.h).
     if (c > 0 && c < kCounterMax) SetCounter(pos, c - 1);
   }
 }

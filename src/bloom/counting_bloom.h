@@ -32,9 +32,18 @@ class CountingBloomFilter {
   /// Increments the key's k counters (saturating).
   void Add(std::string_view key);
 
-  /// Decrements the key's k counters, skipping saturated ones. Removing a
-  /// key that was never added corrupts the structure (standard counting-BF
-  /// caveat); callers own that invariant.
+  /// Decrements the key's k counters, skipping saturated ones AND zero
+  /// ones. The zero clamp is contractual: removing a key that was never
+  /// added (or was already removed) leaves every zero counter untouched
+  /// rather than wrapping 0→15 — wraparound would resurrect phantom
+  /// membership on every key aliasing those counters and break the
+  /// one-sided guarantee for keys still present. The cost of such a
+  /// spurious Remove is only that *other* keys sharing a non-zero,
+  /// non-saturated counter may be driven toward a false negative, the
+  /// standard counting-BF caveat — so callers should still only remove
+  /// keys they added, but a stray Remove degrades accuracy instead of
+  /// corrupting the structure (tests/counting_bloom_test.cc,
+  /// RemoveOfAbsentKey*).
   void Remove(std::string_view key);
 
   /// True when every counter of the key is non-zero.

@@ -1,0 +1,456 @@
+#include "core/dynamic_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "hashing/hash_function.h"  // Fmix64
+
+namespace habf {
+namespace {
+
+/// Seed tweak separating the counting-bloom front's hash stream from the
+/// base filters' probe hashing and the shard-routing salt.
+constexpr uint64_t kDeltaSeedTag = 0x44454C5441ULL;  // "DELTA"
+
+const DynamicOptions& ValidateDynamicOptions(const DynamicOptions& dynamic) {
+  if (!(std::isfinite(dynamic.dirty_fraction_threshold) &&
+        dynamic.dirty_fraction_threshold >= 0.0)) {
+    throw std::invalid_argument(
+        "DynamicOptions::dirty_fraction_threshold must be a finite value "
+        ">= 0");
+  }
+  if (dynamic.delta_counters == 0 || dynamic.delta_hashes == 0) {
+    throw std::invalid_argument(
+        "DynamicOptions delta sizing must be non-zero (delta_counters and "
+        "delta_hashes)");
+  }
+  return dynamic;
+}
+
+size_t ComputeCompactionThreads(const DynamicOptions& dynamic,
+                                size_t num_shards) {
+  if (dynamic.compaction_threads > 0) return dynamic.compaction_threads;
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::max<size_t>(1, std::min(hw, std::max<size_t>(1, num_shards)));
+}
+
+/// Byte-level clone of a finished shard (Habf owns a unique_ptr provider, so
+/// there is no copy constructor; the snapshot round-trip is the supported
+/// clone path and restores a query-identical filter).
+Habf CloneShard(const Habf& shard) {
+  std::string bytes;
+  shard.Serialize(&bytes);
+  std::optional<Habf> clone = Habf::Deserialize(bytes);
+  assert(clone.has_value() && "own Serialize output must deserialize");
+  return std::move(*clone);
+}
+
+}  // namespace
+
+DynamicShardedHabf::DynamicShardedHabf(std::vector<std::string> positives,
+                                       std::vector<WeightedKey> negatives,
+                                       const HabfOptions& options,
+                                       const ShardedBuildOptions& sharding,
+                                       const DynamicOptions& dynamic)
+    : base_options_(options),
+      dynamic_options_(ValidateDynamicOptions(dynamic)),
+      delta_filter_(dynamic_options_.delta_counters,
+                    dynamic_options_.delta_hashes,
+                    Fmix64(options.seed ^ kDeltaSeedTag)),
+      compaction_pool_(
+          ComputeCompactionThreads(dynamic_options_, sharding.num_shards)) {
+  ShardedFilter<Habf> filter =
+      BuildShardedHabf(positives, negatives, options, sharding);
+  num_shards_ = filter.num_shards();
+  salt_ = filter.salt();
+  directory_ = filter.directory();
+  bits_per_key_ = positives.empty()
+                      ? static_cast<double>(options.total_bits)
+                      : static_cast<double>(options.total_bits) /
+                            static_cast<double>(positives.size());
+
+  shard_keys_.resize(num_shards_);
+  shard_negatives_.resize(num_shards_);
+  dirty_.assign(num_shards_, 0);
+  for (std::string& key : positives) {
+    const size_t s = ShardOf(key);
+    shard_keys_[s].insert(std::move(key));
+  }
+  for (WeightedKey& wk : negatives) {
+    const size_t s = ShardOf(wk.key);
+    shard_negatives_[s].push_back(std::move(wk));
+  }
+
+  if (dynamic_options_.query_pool != nullptr) {
+    filter.SetQueryPool(dynamic_options_.query_pool,
+                        dynamic_options_.query_pool_threshold);
+  }
+  base_.Publish(std::move(filter));
+}
+
+DynamicShardedHabf::~DynamicShardedHabf() { StopBackgroundCompaction(); }
+
+size_t DynamicShardedHabf::ShardOf(std::string_view key) const {
+  if (directory_.empty()) return ShardOfKey(key, salt_, num_shards_);
+  return directory_.bucket_to_shard[RoutingBucketOfKey(
+      key, salt_, directory_.num_buckets())];
+}
+
+size_t DynamicShardedHabf::ShardOfLocked(std::string_view key) const {
+  // Routing state is immutable after construction; no lock actually needed.
+  return ShardOf(key);
+}
+
+void DynamicShardedHabf::Insert(std::string_view key) {
+  const size_t shard = ShardOf(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(delta_mutex_);
+    auto it = delta_.find(std::string(key));
+    if (it != delta_.end()) {
+      it->second.inserted = true;
+    } else {
+      delta_.emplace(std::string(key),
+                     DeltaEntry{static_cast<uint32_t>(shard), true});
+      delta_filter_.Add(key);
+      ++dirty_[shard];
+    }
+    ++stats_.inserts;
+    NotifyCompactorIfDirtyLocked(shard);
+  }
+}
+
+void DynamicShardedHabf::Remove(std::string_view key) {
+  const size_t shard = ShardOf(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(delta_mutex_);
+    auto it = delta_.find(std::string(key));
+    if (it != delta_.end()) {
+      it->second.inserted = false;
+    } else {
+      delta_.emplace(std::string(key),
+                     DeltaEntry{static_cast<uint32_t>(shard), false});
+      delta_filter_.Add(key);
+      ++dirty_[shard];
+    }
+    ++stats_.removes;
+    NotifyCompactorIfDirtyLocked(shard);
+  }
+}
+
+bool DynamicShardedHabf::MightContain(std::string_view key) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+    // The counting-bloom front admits no false negatives over the delta's
+    // resident keys, so a miss here proves the key is unmutated and the
+    // base answer below is authoritative. (A front false positive merely
+    // costs the exact-map lookup.)
+    if (delta_filter_.MightContain(key)) {
+      auto it = delta_.find(std::string(key));
+      if (it != delta_.end()) return it->second.inserted;
+    }
+  }
+  // Taken *after* releasing the delta lock. If a compaction drained this
+  // key between our delta miss and this Acquire, the drain happened under
+  // the writer lock — i.e. after the base holding the key was published —
+  // so the snapshot we acquire here already contains it (DESIGN.md §7).
+  const auto snap = base_.Acquire();
+  return snap.filter->MightContain(key);
+}
+
+size_t DynamicShardedHabf::ContainsBatch(KeySpan keys, uint8_t* out) const {
+  const size_t n = keys.size();
+  if (n == 0) return 0;
+
+  // Per-thread scratch mirroring ShardedFilter::ContainsBatch — steady-state
+  // batches allocate nothing.
+  struct Scratch {
+    std::vector<std::string_view> unresolved;
+    std::vector<uint32_t> origin;
+    std::vector<uint8_t> sub_out;
+  };
+  static thread_local Scratch scratch;
+  scratch.unresolved.clear();
+  scratch.origin.clear();
+
+  size_t positives = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+    for (size_t i = 0; i < n; ++i) {
+      if (delta_filter_.MightContain(keys[i])) {
+        auto it = delta_.find(std::string(keys[i]));
+        if (it != delta_.end()) {
+          out[i] = it->second.inserted ? 1 : 0;
+          positives += out[i];
+          continue;
+        }
+      }
+      scratch.unresolved.push_back(keys[i]);
+      scratch.origin.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (scratch.unresolved.empty()) return positives;
+
+  // Same ordering argument as MightContain: the base acquired after a delta
+  // miss is at least as new as any compaction that drained these keys.
+  scratch.sub_out.resize(scratch.unresolved.size());
+  const auto snap = base_.Acquire();
+  positives += snap.filter->ContainsBatch(
+      KeySpan(scratch.unresolved.data(), scratch.unresolved.size()),
+      scratch.sub_out.data());
+  for (size_t j = 0; j < scratch.unresolved.size(); ++j) {
+    out[scratch.origin[j]] = scratch.sub_out[j];
+  }
+  return positives;
+}
+
+size_t DynamicShardedHabf::MemoryUsageBytes() const {
+  size_t total = 0;
+  {
+    const auto snap = base_.Acquire();
+    total += snap.filter->MemoryUsageBytes();
+  }
+  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  total += delta_filter_.MemoryUsageBytes();
+  for (const auto& [key, entry] : delta_) {
+    total += key.size() + sizeof(entry);
+  }
+  return total;
+}
+
+size_t DynamicShardedHabf::delta_size() const {
+  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  return delta_.size();
+}
+
+size_t DynamicShardedHabf::dirty_keys(size_t shard) const {
+  assert(shard < num_shards_);
+  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  return dirty_[shard];
+}
+
+double DynamicShardedHabf::dirty_fraction(size_t shard) const {
+  assert(shard < num_shards_);
+  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  const size_t denom = std::max<size_t>(1, shard_keys_[shard].size());
+  return static_cast<double>(dirty_[shard]) / static_cast<double>(denom);
+}
+
+DynamicStats DynamicShardedHabf::stats() const {
+  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  return stats_;
+}
+
+CompactionReport DynamicShardedHabf::CompactDirtyShards() {
+  std::lock_guard<std::mutex> compaction_lock(compaction_mutex_);
+  CompactionReport report;
+
+  // --- Phase 1: capture. Snapshot the dirty shards' delta entries under a
+  // shared lock; mutations keep flowing, and anything that lands after this
+  // point simply stays in the delta for a later pass.
+  struct ShardRebuild {
+    size_t shard = 0;
+    std::vector<std::pair<std::string, bool>> entries;  // (key, inserted)
+    std::unordered_set<std::string> new_key_set;
+    std::vector<std::string> keys;           // owning build storage
+    std::vector<WeightedKey> negatives;      // owning build storage
+    HabfOptions opts;
+    BuildHandle handle;
+  };
+  std::vector<ShardRebuild> rebuilds;
+  {
+    std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+    std::vector<uint8_t> dirty_shard(num_shards_, 0);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const size_t denom = std::max<size_t>(1, shard_keys_[s].size());
+      const double fraction =
+          static_cast<double>(dirty_[s]) / static_cast<double>(denom);
+      report.max_dirty_fraction = std::max(report.max_dirty_fraction, fraction);
+      if (dirty_[s] > 0 &&
+          fraction > dynamic_options_.dirty_fraction_threshold) {
+        dirty_shard[s] = 1;
+      }
+    }
+    std::vector<size_t> rebuild_index(num_shards_, SIZE_MAX);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (!dirty_shard[s]) continue;
+      rebuild_index[s] = rebuilds.size();
+      rebuilds.emplace_back();
+      rebuilds.back().shard = s;
+    }
+    for (const auto& [key, entry] : delta_) {
+      const size_t idx = rebuild_index[entry.shard];
+      if (idx != SIZE_MAX) {
+        rebuilds[idx].entries.emplace_back(key, entry.inserted);
+      }
+    }
+  }
+  if (rebuilds.empty()) return report;
+
+  // --- Phase 2: rebuild the dirty shards, readers undisturbed. Each shard's
+  // new key set is the authoritative set with the captured delta folded in;
+  // construction-time negatives are re-applied minus any that have since
+  // become positives. One single-shard async build per dirty shard, fanned
+  // out on the shared compaction pool with a fresh per-epoch seed (so a
+  // rebuilt shard never reuses probe positions an adversary has observed).
+  const auto t0 = std::chrono::steady_clock::now();
+  ++compaction_epoch_;
+  for (ShardRebuild& rb : rebuilds) {
+    rb.new_key_set = shard_keys_[rb.shard];
+    for (const auto& [key, inserted] : rb.entries) {
+      if (inserted) {
+        rb.new_key_set.insert(key);
+      } else {
+        rb.new_key_set.erase(key);
+      }
+    }
+    rb.keys.reserve(rb.new_key_set.size());
+    for (const std::string& key : rb.new_key_set) rb.keys.push_back(key);
+    for (const WeightedKey& wk : shard_negatives_[rb.shard]) {
+      if (rb.new_key_set.find(wk.key) == rb.new_key_set.end()) {
+        rb.negatives.push_back(wk);
+      }
+    }
+    rb.opts = base_options_;
+    rb.opts.total_bits = std::max<size_t>(
+        64, static_cast<size_t>(bits_per_key_ *
+                                static_cast<double>(rb.keys.size())));
+    rb.opts.seed = Fmix64(base_options_.seed ^
+                          (0x9E3779B97F4A7C15ULL *
+                           (compaction_epoch_ * num_shards_ + rb.shard + 1)));
+  }
+  // Launch after every ShardRebuild is in place: the async spans view the
+  // keys/negatives vectors above, which no longer move.
+  for (ShardRebuild& rb : rebuilds) {
+    ShardedBuildOptions single;
+    single.num_shards = 1;
+    single.num_threads = 1;
+    single.salt = salt_;
+    rb.handle = BuildShardedHabfAsync(rb.keys, rb.negatives, rb.opts, single,
+                                      &compaction_pool_);
+  }
+
+  // Assemble the next base: rebuilt shards from the handles, clean shards
+  // cloned byte-for-byte from the current snapshot.
+  std::vector<Habf> new_shards;
+  new_shards.reserve(rebuilds.size());
+  for (ShardRebuild& rb : rebuilds) {
+    std::vector<Habf> built = std::move(rb.handle).TakeResult().TakeShards();
+    assert(built.size() == 1);
+    new_shards.push_back(std::move(built.front()));
+  }
+  std::vector<Habf> shards;
+  shards.reserve(num_shards_);
+  {
+    const auto snap = base_.Acquire();
+    size_t next_rebuilt = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (next_rebuilt < rebuilds.size() &&
+          rebuilds[next_rebuilt].shard == s) {
+        shards.push_back(std::move(new_shards[next_rebuilt]));
+        ++next_rebuilt;
+      } else {
+        shards.push_back(CloneShard(snap.filter->shard(s)));
+      }
+    }
+  }
+  ShardedFilter<Habf> next(std::move(shards), salt_, directory_);
+  if (dynamic_options_.query_pool != nullptr) {
+    next.SetQueryPool(dynamic_options_.query_pool,
+                      dynamic_options_.query_pool_threshold);
+  }
+
+  // --- Phase 3: publish, then drain, inside ONE writer critical section.
+  // Ordering is the zero-false-negative crux: once a captured entry leaves
+  // the delta, any reader that misses it in the delta acquired the shared
+  // lock after this block — hence after Publish — so its base snapshot is
+  // the one just built with the key folded in. An entry whose state changed
+  // while the rebuild ran is NOT drained: its current state still overrides
+  // the new base, exactly as intended.
+  size_t drained = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(delta_mutex_);
+    report.published_version = base_.Publish(std::move(next));
+    for (ShardRebuild& rb : rebuilds) {
+      for (const auto& [key, inserted] : rb.entries) {
+        auto it = delta_.find(key);
+        if (it != delta_.end() && it->second.inserted == inserted) {
+          delta_.erase(it);
+          delta_filter_.Remove(key);
+          assert(dirty_[rb.shard] > 0);
+          --dirty_[rb.shard];
+          ++drained;
+        }
+      }
+      shard_keys_[rb.shard] = std::move(rb.new_key_set);
+    }
+    ++stats_.compactions;
+    stats_.shards_rebuilt += rebuilds.size();
+    stats_.keys_drained += drained;
+  }
+
+  report.shards_rebuilt = rebuilds.size();
+  report.keys_drained = drained;
+  report.rebuild_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return report;
+}
+
+void DynamicShardedHabf::NotifyCompactorIfDirtyLocked(size_t shard) {
+  if (!background_running_.load(std::memory_order_relaxed)) return;
+  const double denom =
+      static_cast<double>(std::max<size_t>(1, shard_keys_[shard].size()));
+  if (static_cast<double>(dirty_[shard]) >
+      dynamic_options_.dirty_fraction_threshold * denom) {
+    {
+      std::lock_guard<std::mutex> bg(background_mutex_);
+      background_kick_ = true;
+    }
+    background_cv_.notify_one();
+  }
+}
+
+void DynamicShardedHabf::StartBackgroundCompaction(
+    std::chrono::milliseconds interval) {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  if (background_thread_.joinable()) return;
+  background_stop_ = false;
+  background_kick_ = false;
+  background_running_.store(true, std::memory_order_relaxed);
+  background_thread_ =
+      std::thread(&DynamicShardedHabf::BackgroundLoop, this, interval);
+}
+
+void DynamicShardedHabf::StopBackgroundCompaction() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    if (!background_thread_.joinable()) return;
+    background_stop_ = true;
+    background_running_.store(false, std::memory_order_relaxed);
+    worker = std::move(background_thread_);
+  }
+  background_cv_.notify_all();
+  worker.join();
+}
+
+void DynamicShardedHabf::BackgroundLoop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(background_mutex_);
+  while (!background_stop_) {
+    background_cv_.wait_for(lock, interval, [this] {
+      return background_stop_ || background_kick_;
+    });
+    if (background_stop_) break;
+    background_kick_ = false;
+    lock.unlock();
+    CompactDirtyShards();
+    lock.lock();
+  }
+}
+
+}  // namespace habf

@@ -1,0 +1,279 @@
+// Dynamic HABF (DESIGN.md §7): a mutable delta tier layered over the
+// immutable sharded HABF base, so the build-once filter of the paper can
+// serve the continuous insert/delete stream of its motivating deployment
+// (LSM engines — the memtable→run merge discipline of src/sim/lsm).
+//
+// Layering, youngest tier first (the vinyl/LevelDB memtable shape):
+//   * delta  — an exact table of every key mutated since the last
+//     compaction of its shard (inserted keys and deletion tombstones),
+//     fronted by a CountingBloomFilter over the mutated keys so the common
+//     case — a key nobody has touched — costs one bloom probe before
+//     falling through to the base;
+//   * base   — the usual immutable ShardedFilter<Habf>, served through a
+//     FilterStore so compaction can hot-swap it under live readers.
+//
+// Query: delta-overlay-then-base. An inserted key answers true from the
+// delta (exact — zero false negatives); a deleted key is masked by its
+// exact tombstone (false, never a false negative for anyone else, so
+// HABF's one-sided error is preserved); an untouched key falls through to
+// the base snapshot. The counting-bloom front can only send extra keys to
+// the exact table (false positives), never hide a mutated key, so it is
+// pure fast path.
+//
+// Compaction rebuilds **only the dirty shards** — those whose mutated-key
+// fraction exceeds DynamicOptions::dirty_fraction_threshold — through the
+// existing BuildShardedHabfAsync machinery (one single-shard async build
+// per dirty shard, fanned out on a worker pool), clones the clean shards
+// byte-for-byte from the current snapshot, and publishes the assembled
+// filter through FilterStore. The publish and the delta drain happen under
+// one writer-side critical section, so a reader either still resolves a
+// mutated key from the delta (pre-drain) or acquires a base snapshot that
+// already contains it (post-publish) — a key is never invisible mid-swap
+// (the zero-false-negative argument, DESIGN.md §7).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/counting_bloom.h"
+#include "core/filter_store.h"
+#include "core/sharded_filter.h"
+
+namespace habf {
+
+/// Tuning knobs of the dynamic tier.
+struct DynamicOptions {
+  /// A shard is compacted when mutated_keys / max(1, shard_keys) exceeds
+  /// this. 0.0 means "any mutation makes the shard dirty".
+  double dirty_fraction_threshold = 0.05;
+  /// Counting-bloom front sizing. Undersizing is safe — saturated counters
+  /// degrade the fast path toward "always consult the exact table", never
+  /// correctness — but ~8 counters per expected resident delta key keeps
+  /// the untouched-key path at one bloom probe.
+  size_t delta_counters = size_t{1} << 16;
+  size_t delta_hashes = 4;
+  /// Workers for the per-dirty-shard rebuild fan-out; 0 = one per hardware
+  /// thread, capped at the shard count.
+  size_t compaction_threads = 0;
+  /// Optional pooled query fan-out applied to every published base filter
+  /// (initial build included), i.e. ShardedFilter::SetQueryPool. The pool
+  /// must outlive this DynamicShardedHabf.
+  ThreadPool* query_pool = nullptr;
+  size_t query_pool_threshold = kDefaultParallelQueryThreshold;
+};
+
+/// What one compaction pass did (returned by CompactDirtyShards and
+/// accumulated into DynamicStats).
+struct CompactionReport {
+  /// Shards whose dirty fraction exceeded the threshold and were rebuilt.
+  size_t shards_rebuilt = 0;
+  /// Delta entries folded into the new base and drained.
+  size_t keys_drained = 0;
+  /// Largest per-shard dirty fraction observed when the pass started.
+  double max_dirty_fraction = 0.0;
+  /// Wall time of the rebuild+assemble+publish phase (0 if nothing dirty).
+  uint64_t rebuild_ns = 0;
+  /// FilterStore version of the published base (0 if nothing was published).
+  uint64_t published_version = 0;
+};
+
+/// Cumulative counters (monotonic; snapshot via stats()).
+struct DynamicStats {
+  uint64_t inserts = 0;
+  uint64_t removes = 0;
+  uint64_t compactions = 0;       // passes that rebuilt at least one shard
+  uint64_t shards_rebuilt = 0;    // total across all compactions
+  uint64_t keys_drained = 0;      // total delta entries folded into bases
+};
+
+/// A sharded HABF that accepts Insert/Remove after construction and models
+/// the Filter concept (MightContain/ContainsBatch/MemoryUsageBytes/Name),
+/// so every measurement template in eval/metrics.h applies unchanged.
+///
+/// Thread-safety: any number of concurrent readers (MightContain,
+/// ContainsBatch, stats/introspection) against any number of writers
+/// (Insert, Remove) and at most one compaction pass at a time —
+/// CompactDirtyShards serializes internally, and the optional background
+/// thread is just a caller of it. Readers never block on a rebuild: the
+/// TPJO work runs outside the delta lock, which is held only for the
+/// final publish+drain step.
+///
+/// Ownership: unlike the build-once entry points, the dynamic filter is
+/// the authoritative owner of its positive key set (per shard) — rebuilding
+/// a shard requires the keys, which the compact filter structures do not
+/// retain. Negatives from construction are kept per shard and re-applied
+/// on every rebuild (minus any that have since been inserted as positives).
+class DynamicShardedHabf {
+ public:
+  /// Builds the initial base with BuildShardedHabf(options, sharding) and
+  /// takes ownership of the authoritative key sets. Throws
+  /// std::invalid_argument if dynamic.dirty_fraction_threshold is not a
+  /// finite value >= 0 or the delta sizing is zero.
+  DynamicShardedHabf(std::vector<std::string> positives,
+                     std::vector<WeightedKey> negatives,
+                     const HabfOptions& options,
+                     const ShardedBuildOptions& sharding,
+                     const DynamicOptions& dynamic = {});
+
+  /// Stops the background compactor (if running) and joins it.
+  ~DynamicShardedHabf();
+
+  DynamicShardedHabf(const DynamicShardedHabf&) = delete;
+  DynamicShardedHabf& operator=(const DynamicShardedHabf&) = delete;
+
+  // --- mutations ----------------------------------------------------------
+
+  /// Makes `key` a member, visible to every query that starts after this
+  /// returns. Inserting a key that is already a member is a harmless no-op
+  /// at the membership level (the delta entry is folded away on the next
+  /// compaction of its shard).
+  void Insert(std::string_view key);
+
+  /// Makes `key` a non-member via an exact tombstone: queries for it answer
+  /// false until a compaction rebuilds its shard without the key (after
+  /// which it behaves like any other non-member, i.e. the usual one-sided
+  /// false-positive probability applies). Removing a non-member is allowed
+  /// — the tombstone then merely masks a potential base false positive.
+  void Remove(std::string_view key);
+
+  // --- Filter concept -----------------------------------------------------
+
+  /// Delta-overlay-then-base membership test. Zero false negatives for the
+  /// construction set plus every inserted (and not since removed) key.
+  bool MightContain(std::string_view key) const;
+
+  /// Batched counterpart: resolves the whole batch against the delta under
+  /// one shared lock, then sends the unresolved keys through the base
+  /// snapshot's native grouped ContainsBatch. Answers are identical to
+  /// per-key MightContain calls at the same point in the mutation order.
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const;
+
+  /// Resident bytes: current base snapshot + counting-bloom front + exact
+  /// delta table (entries + key payload). The authoritative key sets are
+  /// deliberately excluded — they are the data the filter summarizes, not
+  /// the filter.
+  size_t MemoryUsageBytes() const;
+
+  const char* Name() const { return "dynamic-sharded-habf"; }
+
+  // --- compaction ---------------------------------------------------------
+
+  /// Rebuilds every shard whose dirty fraction exceeds the threshold (all
+  /// mutated shards when the threshold is 0), folds the captured delta
+  /// entries into the new base, publishes it, and drains exactly those
+  /// entries. Safe to call from any thread; concurrent calls serialize.
+  /// Mutations that land while the rebuild runs stay in the delta and are
+  /// picked up by a later pass. Returns what the pass did.
+  CompactionReport CompactDirtyShards();
+
+  /// Starts a background thread that runs CompactDirtyShards whenever a
+  /// shard crosses the dirty threshold (checked on every mutation) or
+  /// `interval` elapses, whichever comes first. Idempotent.
+  void StartBackgroundCompaction(std::chrono::milliseconds interval);
+
+  /// Stops and joins the background thread (no-op if not running). Any
+  /// in-flight pass completes first.
+  void StopBackgroundCompaction();
+
+  // --- introspection ------------------------------------------------------
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard `key` routes to (same salt + directory as the base).
+  size_t ShardOf(std::string_view key) const;
+
+  /// Mutated-key entries currently resident in the delta.
+  size_t delta_size() const;
+
+  /// Mutated-key entries pending for `shard`.
+  size_t dirty_keys(size_t shard) const;
+
+  /// dirty_keys(shard) / max(1, authoritative keys of shard).
+  double dirty_fraction(size_t shard) const;
+
+  /// Pins the current base snapshot (version grows by one per publish).
+  FilterStore<ShardedFilter<Habf>>::VersionedSnapshot AcquireBase() const {
+    return base_.Acquire();
+  }
+
+  DynamicStats stats() const;
+
+ private:
+  /// Exact state of a mutated key: inserted (member) or tombstoned
+  /// (non-member), plus the shard it routes to.
+  struct DeltaEntry {
+    uint32_t shard = 0;
+    bool inserted = false;
+  };
+
+  /// One dirty shard's captured work: the keys and their states as of the
+  /// capture, used both to build the new shard and to drain precisely those
+  /// entries whose state did not change while the build ran.
+  struct CapturedShard {
+    size_t shard = 0;
+    std::vector<std::pair<std::string, bool>> entries;  // (key, inserted)
+  };
+
+  size_t ShardOfLocked(std::string_view key) const;
+  void NotifyCompactorIfDirtyLocked(size_t shard);
+  void BackgroundLoop(std::chrono::milliseconds interval);
+
+  // Routing state, fixed at construction (the directory never changes —
+  // compaction reuses it so inserted keys keep routing to the shard that
+  // was rebuilt with them).
+  size_t num_shards_ = 1;
+  uint64_t salt_ = kDefaultShardSalt;
+  RoutingDirectory directory_;
+
+  // Build configuration for rebuilds.
+  HabfOptions base_options_;
+  double bits_per_key_ = 10.0;
+  DynamicOptions dynamic_options_;
+
+  // Authoritative per-shard key sets and advisory negatives. Owned by the
+  // compaction path: read and replaced only under compaction_mutex_ (plus
+  // delta_mutex_ for the replacement step, so readers of dirty_fraction see
+  // a consistent pair).
+  std::vector<std::unordered_set<std::string>> shard_keys_;
+  std::vector<std::vector<WeightedKey>> shard_negatives_;
+
+  // The delta tier. delta_mutex_ guards delta_, delta_filter_, dirty_ and
+  // stats_; readers take it shared, mutations and the publish+drain step
+  // take it exclusive.
+  mutable std::shared_mutex delta_mutex_;
+  std::unordered_map<std::string, DeltaEntry> delta_;
+  CountingBloomFilter delta_filter_;
+  std::vector<size_t> dirty_;
+  DynamicStats stats_;
+
+  // The immutable base, hot-swapped by compaction.
+  FilterStore<ShardedFilter<Habf>> base_;
+
+  // Compaction serialization + the shared rebuild pool.
+  std::mutex compaction_mutex_;
+  uint64_t compaction_epoch_ = 0;
+  ThreadPool compaction_pool_;
+
+  // Background compactor.
+  std::mutex background_mutex_;
+  std::condition_variable background_cv_;
+  std::thread background_thread_;
+  bool background_stop_ = false;
+  bool background_kick_ = false;
+  std::atomic<bool> background_running_{false};
+};
+
+}  // namespace habf

@@ -172,6 +172,13 @@ class ShardedFilter {
   uint64_t salt() const { return salt_; }
   const F& shard(size_t i) const { return shards_[i]; }
 
+  /// Consumes the filter and returns its shards — the inverse of the
+  /// shard-vector constructors. Lets the dynamic tier's per-shard rebuild
+  /// (a num_shards==1 async build) extract the finished shard for
+  /// reassembly into a full filter. Like any move, not safe against
+  /// concurrent queries on *this.
+  std::vector<F> TakeShards() && { return std::move(shards_); }
+
   RoutingMode routing() const {
     return directory_.empty() ? RoutingMode::kUniform
                               : RoutingMode::kTwoChoice;

@@ -1,6 +1,7 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -8,7 +9,9 @@
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
+#include "core/dynamic_filter.h"
 #include "core/filter_interface.h"
 #include "core/filter_store.h"
 #include "core/habf.h"
@@ -35,7 +38,7 @@ constexpr char kUsage[] =
     "  generate --dataset shalla|ycsb --positives FILE --negatives FILE\n"
     "           [--count N] [--zipf THETA] [--seed S]\n"
     "  serve-sim --positives FILE [--negatives FILE] [build flags]\n"
-    "           [--rebuilds R] [--batch B]\n";
+    "           [--rebuilds R] [--batch B] [--mutate-rate R]\n";
 
 /// Parsed flags: --name value pairs, repeated flags collected, bare --fast
 /// style booleans mapped to "1".
@@ -89,6 +92,14 @@ bool ParseSize(const std::string& text, size_t* out) {
   return result.ec == std::errc() && result.ptr == text.data() + text.size();
 }
 
+/// Strict fraction parse for rate-style flags (--mutate-rate): everything
+/// ParseDouble rejects (partial consumption, nan, inf) plus anything
+/// outside [0, 1]. Rates above 1.0 are as nonsensical as negative ones —
+/// both silently saturate downstream loops if let through.
+bool ParseFraction(const std::string& text, double* out) {
+  return ParseDouble(text, out) && *out >= 0.0 && *out <= 1.0;
+}
+
 /// "bad --flag value 'text' (expectation)" — every numeric-flag rejection
 /// names the offending value so the error is actionable.
 std::string BadFlag(const char* flag, const std::string& text,
@@ -132,8 +143,14 @@ bool ReadWeightedLines(const std::string& path,
       keys->push_back({line, 1.0});
     } else {
       double cost = 1.0;
-      if (!ParseDouble(line.substr(tab + 1), &cost)) {
-        *err += "bad cost in line: " + line + "\n";
+      const std::string cost_text = line.substr(tab + 1);
+      // Same hardening as the numeric flags: nan/inf are rejected by
+      // ParseDouble, and a negative cost would silently subtract from the
+      // weighted-FPR denominator (and every routing weight), so name the
+      // offending value instead of ingesting it.
+      if (!ParseDouble(cost_text, &cost) || cost < 0.0) {
+        *err += "bad cost '" + cost_text + "' in line: " + line +
+                " (expected a finite number >= 0)\n";
         return false;
       }
       keys->push_back({line.substr(0, tab), cost});
@@ -575,6 +592,133 @@ int CmdGenerate(const Flags& flags, std::string* out, std::string* err) {
   return 0;
 }
 
+/// The --mutate-rate path of serve-sim (DESIGN.md §7): a mixed
+/// insert/delete/query workload against the dynamic delta tier, with one
+/// dirty-shard compaction per round running on a background thread while
+/// the main loop keeps serving query batches. Each round mutates
+/// ceil(mutate_rate * batch) keys (alternating fresh-key inserts and
+/// removals of existing members), then checks every query batch against a
+/// reference membership set — any false negative, including one caught
+/// mid-hot-swap, fails the run.
+int RunDynamicServeSim(std::vector<std::string> positives,
+                       std::vector<WeightedKey> negatives,
+                       const HabfOptions& options,
+                       const ShardedBuildOptions& sharding, double mutate_rate,
+                       size_t rounds, size_t batch, std::string* out,
+                       std::string* err) {
+  // Query pool: every key ever known, members or not (removed keys stay —
+  // querying them exercises the tombstone path; they just aren't asserted).
+  std::vector<std::string> all_keys = positives;
+  std::unordered_set<std::string> members(positives.begin(), positives.end());
+
+  DynamicOptions dynamic;
+  // Threshold 0: any mutated shard compacts, so every round with mutations
+  // publishes — deterministic round/compaction accounting for the report.
+  dynamic.dirty_fraction_threshold = 0.0;
+  DynamicShardedHabf filter(std::move(positives), std::move(negatives),
+                            options, sharding, dynamic);
+
+  std::vector<uint8_t> answers(batch);
+  std::vector<std::string_view> views;
+  size_t inserted_serial = 0;
+  size_t remove_cursor = 0;
+  size_t cursor = 0;
+  size_t total_mutations = 0;
+  size_t total_queries = 0;
+
+  for (size_t round = 1; round <= rounds; ++round) {
+    const size_t mutations =
+        static_cast<size_t>(std::ceil(mutate_rate * static_cast<double>(batch)));
+    for (size_t m = 0; m < mutations; ++m) {
+      if (m % 2 == 0) {
+        std::string key =
+            "dyn-" + std::to_string(round) + "-" + std::to_string(inserted_serial++);
+        filter.Insert(key);
+        members.insert(key);
+        all_keys.push_back(std::move(key));
+      } else {
+        const std::string& victim = all_keys[remove_cursor++ % all_keys.size()];
+        filter.Remove(victim);
+        members.erase(victim);
+      }
+    }
+    total_mutations += mutations;
+
+    // Rebuild the views each round (all_keys may have grown).
+    views.assign(all_keys.begin(), all_keys.end());
+
+    // Compact on a background thread; keep serving query batches until it
+    // lands. The do/while guarantees at least one batch per round even if
+    // the compaction wins every race.
+    CompactionReport report;
+    std::atomic<bool> compaction_done{false};
+    std::thread compactor([&] {
+      report = filter.CompactDirtyShards();
+      compaction_done.store(true, std::memory_order_release);
+    });
+    size_t round_queries = 0;
+    bool false_negative = false;
+    std::string fn_key;
+    do {
+      const size_t count = std::min(batch, views.size() - cursor);
+      filter.ContainsBatch(KeySpan(views.data() + cursor, count),
+                           answers.data());
+      for (size_t i = 0; i < count; ++i) {
+        if (!answers[i] && members.count(all_keys[cursor + i]) > 0) {
+          false_negative = true;
+          fn_key = all_keys[cursor + i];
+        }
+      }
+      cursor = (cursor + count) % views.size();
+      round_queries += count;
+    } while (!compaction_done.load(std::memory_order_acquire) &&
+             !false_negative);
+    compactor.join();
+    if (false_negative) {
+      *err += "serve-sim: false negative for member key '" + fn_key +
+              "' during compaction\n";
+      return 2;
+    }
+    total_queries += round_queries;
+    char line[240];
+    std::snprintf(line, sizeof(line),
+                  "round %zu: mutations=%zu shards_rebuilt=%zu/%zu "
+                  "keys_drained=%zu queries_during_compaction=%zu "
+                  "published_version=%llu\n",
+                  round, mutations, report.shards_rebuilt, filter.num_shards(),
+                  report.keys_drained, round_queries,
+                  static_cast<unsigned long long>(report.published_version));
+    *out += line;
+  }
+
+  // Final sweep: every current member must still answer true.
+  views.assign(all_keys.begin(), all_keys.end());
+  for (size_t base = 0; base < views.size(); base += batch) {
+    const size_t count = std::min(batch, views.size() - base);
+    filter.ContainsBatch(KeySpan(views.data() + base, count), answers.data());
+    for (size_t i = 0; i < count; ++i) {
+      if (!answers[i] && members.count(all_keys[base + i]) > 0) {
+        *err += "serve-sim: final sweep dropped member key '" +
+                all_keys[base + i] + "'\n";
+        return 2;
+      }
+    }
+  }
+  const DynamicStats stats = filter.stats();
+  char line[240];
+  std::snprintf(line, sizeof(line),
+                "serve-sim dynamic: rounds=%zu mutations=%zu queries=%zu "
+                "compactions=%llu shards_rebuilt=%llu keys_drained=%llu "
+                "delta_resident=%zu zero_false_negatives=ok\n",
+                rounds, total_mutations, total_queries,
+                static_cast<unsigned long long>(stats.compactions),
+                static_cast<unsigned long long>(stats.shards_rebuilt),
+                static_cast<unsigned long long>(stats.keys_drained),
+                filter.delta_size());
+  *out += line;
+  return 0;
+}
+
 /// Demonstrates the async-rebuild + hot-swap serving loop (DESIGN.md §5)
 /// end to end: build an initial sharded filter into a FilterStore, then for
 /// each of --rebuilds rounds start BuildShardedHabfAsync (a fresh seed per
@@ -619,6 +763,17 @@ int CmdServeSim(const Flags& flags, std::string* out, std::string* err) {
       *err += BadFlag("batch", *v, "expected an integer > 0");
       return 1;
     }
+  }
+  if (const std::string* v = flags.GetOne("mutate-rate")) {
+    double mutate_rate = 0.0;
+    if (!ParseFraction(*v, &mutate_rate)) {
+      *err += BadFlag("mutate-rate", *v,
+                      "expected a finite fraction in [0, 1]");
+      return 1;
+    }
+    return RunDynamicServeSim(std::move(positives), std::move(negatives),
+                              options, sharding, mutate_rate, rebuilds, batch,
+                              out, err);
   }
 
   FilterStore<ShardedFilter<Habf>> store(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "util/rng.h"
@@ -160,11 +161,15 @@ std::vector<WeightedKey> GenerateZipfWeightedKeys(size_t count, double theta,
 std::vector<WeightedKey> GenerateSingleHotKeySet(size_t count,
                                                  double hot_fraction,
                                                  uint64_t seed) {
-  assert(hot_fraction >= 0.0 && hot_fraction < 1.0);
-  // Defensive clamp for NDEBUG builds: hot_fraction == 1.0 would divide by
-  // zero below and emit an inf-weight key that poisons every downstream
-  // balance ratio.
-  hot_fraction = std::min(std::max(hot_fraction, 0.0), 1.0 - 1e-9);
+  // First-class validation in every build mode: hot_fraction == 1.0 would
+  // divide by zero below and emit an inf-weight key that poisons every
+  // downstream balance ratio, and NaN would sail through a clamp. The
+  // negated comparison rejects NaN too.
+  if (!(hot_fraction >= 0.0 && hot_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "GenerateSingleHotKeySet: hot_fraction must be in [0, 1), got " +
+        std::to_string(hot_fraction));
+  }
   uint64_t sm = seed ^ 0x484F54ULL;  // "HOT"
   const uint64_t nonce = SplitMix64(&sm);
   std::vector<WeightedKey> keys;

@@ -67,10 +67,12 @@ std::vector<WeightedKey> GenerateZipfWeightedKeys(size_t count, double theta,
 
 /// Adversarial single-hot-key set: `count` unit-weight keys plus one extra
 /// key whose weight is hot_fraction / (1 - hot_fraction) of the unit mass,
-/// i.e. the hot key carries exactly `hot_fraction` of the total. Requires
-/// 0 <= hot_fraction < 1. The hot key's placement dominates max/mean shard
-/// weight under uniform routing; a weight-aware router must pack the
-/// remaining mass around it.
+/// i.e. the hot key carries exactly `hot_fraction` of the total. Throws
+/// std::invalid_argument unless 0 <= hot_fraction < 1 (NaN and 1.0 — which
+/// would demand an infinite-weight key — are rejected in every build mode,
+/// not just debug). The hot key's placement dominates max/mean shard weight
+/// under uniform routing; a weight-aware router must pack the remaining
+/// mass around it.
 std::vector<WeightedKey> GenerateSingleHotKeySet(size_t count,
                                                  double hot_fraction,
                                                  uint64_t seed);

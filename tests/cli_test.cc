@@ -455,6 +455,55 @@ TEST_F(CliTest, ServeSimRejectsBadArguments) {
       << "serve-sim shares build's numeric hardening";
 }
 
+TEST_F(CliTest, ServeSimMutateRateRunsMixedWorkloadAcrossCompactions) {
+  ASSERT_EQ(Run({"serve-sim", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--shards", "4", "--threads", "2",
+                 "--rebuilds", "3", "--batch", "256", "--mutate-rate",
+                 "0.25"}),
+            0)
+      << err_;
+  // One line per round reporting the dirty-shard compaction, then the
+  // zero-false-negative summary with the delta fully drained.
+  EXPECT_NE(out_.find("round 1: mutations=64"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("round 3:"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("compactions=3"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("delta_resident=0"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("zero_false_negatives=ok"), std::string::npos) << out_;
+}
+
+TEST_F(CliTest, ServeSimRejectsBadMutateRate) {
+  // The fraction parser must reject everything outside [0, 1] — and name
+  // the offending value — in both directions, plus nan/inf.
+  for (const char* bad : {"-0.1", "1.5", "nan", "inf", "-inf", "0.5x", ""}) {
+    EXPECT_EQ(Run({"serve-sim", "--positives", positives_path_,
+                   "--mutate-rate", bad}),
+              1)
+        << "value: " << bad;
+    EXPECT_NE(err_.find(std::string("bad --mutate-rate value '") + bad + "'"),
+              std::string::npos)
+        << err_;
+  }
+}
+
+TEST_F(CliTest, WeightedNegativesRejectBadCosts) {
+  // ReadWeightedLines shares the numeric hardening: nan/inf costs were
+  // already rejected via ParseDouble; negative costs must be too (they
+  // silently deflate the weighted-FPR denominator and routing weights),
+  // with the offending value named.
+  const std::string bad_path = dir_ + "/bad_negatives.txt";
+  ASSERT_TRUE(WriteFileBytes(bad_path, "outsider-a\t2.0\noutsider-b\t-3.5\n"));
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 bad_path, "--out", filter_path_}),
+            2);
+  EXPECT_NE(err_.find("bad cost '-3.5'"), std::string::npos) << err_;
+  const std::string nan_path = dir_ + "/nan_negatives.txt";
+  ASSERT_TRUE(WriteFileBytes(nan_path, "outsider-c\tnan\n"));
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
+                 nan_path, "--out", filter_path_}),
+            2);
+  EXPECT_NE(err_.find("bad cost 'nan'"), std::string::npos) << err_;
+}
+
 TEST_F(CliTest, HighCostNegativesOptimizedAway) {
   ASSERT_EQ(Run({"build", "--positives", positives_path_, "--negatives",
                  negatives_path_, "--out", filter_path_, "--bits-per-key",

@@ -77,6 +77,52 @@ TEST(CountingBloomTest, FillRatioTracksChurn) {
       << "removing everything should drain nearly all counters";
 }
 
+// --- Remove-at-zero clamp contract (counting_bloom.h) -----------------------
+//
+// A naive 4-bit decrement of a zero counter wraps 0→15, which would (a)
+// fabricate membership for the never-inserted key itself and (b) poison
+// every other key aliasing the wrapped counter. The clamp must leave zero
+// counters untouched.
+
+TEST(CountingBloomTest, RemoveOfAbsentKeyLeavesFilterEmpty) {
+  CountingBloomFilter filter(1 << 12, 4);
+  filter.Remove("never-inserted");
+  EXPECT_FALSE(filter.MightContain("never-inserted"))
+      << "0→15 wraparound would resurrect the removed key";
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0)
+      << "removing from an empty filter must not set any counter";
+}
+
+TEST(CountingBloomTest, RemoveOfAbsentKeysNeverFabricatesMembership) {
+  // A storm of spurious removes against an EMPTY filter: with 0→15
+  // wraparound every removed key would set its own counters and then test
+  // positive, and FillRatio would climb toward 1. The clamp keeps the
+  // filter identically empty. (Spurious removes against a *loaded* filter
+  // may still drive other keys toward false negatives by draining shared
+  // counters — that is the documented caveat the clamp does not, and
+  // cannot, remove.)
+  CountingBloomFilter filter(1 << 10, 4);
+  const auto absent = Keys("absent-", 500);
+  for (const auto& key : absent) filter.Remove(key);
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0)
+      << "spurious removes may only drain counters, never set them";
+  for (const auto& key : absent) {
+    EXPECT_FALSE(filter.MightContain(key)) << key;
+  }
+}
+
+TEST(CountingBloomTest, DoubleRemoveIsClampedAtZero) {
+  CountingBloomFilter filter(1 << 12, 4);
+  filter.Add("once");
+  filter.Remove("once");
+  ASSERT_FALSE(filter.MightContain("once"));
+  // The second remove hits counters already at zero; the clamp must leave
+  // them there instead of wrapping to 15.
+  filter.Remove("once");
+  EXPECT_FALSE(filter.MightContain("once"));
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0);
+}
+
 TEST(CountingBloomTest, MemoryIsFourBitsPerCounter) {
   CountingBloomFilter filter(1024, 4);
   EXPECT_EQ(filter.MemoryUsageBytes(), 1024 * 4 / 8u);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace habf {
@@ -134,6 +136,29 @@ TEST(DatasetTest, SingleHotKeySetCarriesTheRequestedFraction) {
     ASSERT_DOUBLE_EQ(keys[i].cost, 1.0);
   }
   EXPECT_NEAR(keys.back().cost / total, hot_fraction, 1e-12);
+}
+
+TEST(DatasetTest, SingleHotKeySetZeroFractionIsUniform) {
+  // The lower boundary is valid: hot_fraction == 0 degenerates to a
+  // unit-weight extra key (weight 0 hot key carries none of the mass).
+  const auto keys = GenerateSingleHotKeySet(100, 0.0, 9);
+  ASSERT_EQ(keys.size(), 101u);
+  EXPECT_DOUBLE_EQ(keys.back().cost, 0.0);
+}
+
+TEST(DatasetTest, SingleHotKeySetRejectsDegenerateFractions) {
+  // hot_fraction == 1.0 would demand an infinite-weight key; the old code
+  // silently clamped it in NDEBUG builds only. Now every build mode rejects
+  // the whole invalid range — including NaN, which a clamp lets through.
+  EXPECT_THROW(GenerateSingleHotKeySet(100, 1.0, 9), std::invalid_argument);
+  EXPECT_THROW(GenerateSingleHotKeySet(100, 1.5, 9), std::invalid_argument);
+  EXPECT_THROW(GenerateSingleHotKeySet(100, -0.1, 9), std::invalid_argument);
+  EXPECT_THROW(
+      GenerateSingleHotKeySet(100, std::numeric_limits<double>::quiet_NaN(), 9),
+      std::invalid_argument);
+  EXPECT_THROW(
+      GenerateSingleHotKeySet(100, std::numeric_limits<double>::infinity(), 9),
+      std::invalid_argument);
 }
 
 }  // namespace
