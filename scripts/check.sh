@@ -2,7 +2,7 @@
 # Local mirror of the tier-1 verify (and of .github/workflows/ci.yml):
 # configure + build + ctest.
 #
-# Usage: scripts/check.sh [Release|Debug] [--sanitize|--tsan]
+# Usage: scripts/check.sh [Release|Debug] [--sanitize|--tsan|--thread-safety|--tidy]
 #   --sanitize builds into build-sanitize/ with ASan+UBSan
 #   (-DHABF_SANITIZE=ON), which races/overflow-checks the concurrent
 #   sharded build and pooled query fan-out paths.
@@ -10,43 +10,116 @@
 #   and runs the concurrency suites (thread pool, sharded build/query,
 #   async build handles, FilterStore hot swaps, concurrent readers) under
 #   it. The two sanitizers are mutually exclusive per build tree.
+#   --thread-safety builds into build-clang/ with clang++ and
+#   -DHABF_THREAD_SAFETY=ON (-Werror on -Wthread-safety[-beta]), then runs
+#   the `static_analysis` ctest label (wrapper runtime suite + the
+#   negative-compile matrix of tests/static_analysis/). Requires clang++.
+#   --tidy additionally runs clang-tidy (the curated .clang-tidy baseline)
+#   over every src/ TU via the build tree's compile_commands.json.
+#   Requires clang-tidy.
+#
+# Every mode also greps src/ for raw std synchronization primitives: all
+# locking goes through util/annotated_sync.h (DESIGN.md §9) so the Clang
+# thread-safety analysis sees every acquisition. The grep keeps GCC-only
+# environments honest, where the annotations themselves compile to nothing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# --- annotated-sync policy gate (DESIGN.md §9) -------------------------------
+# Raw primitives hide acquisitions from the analysis, so they are banned in
+# src/ outside the wrapper header itself. Runs first: it needs no toolchain
+# and catches the violation whatever mode follows.
+raw_sync_pattern='std::(mutex|shared_mutex|timed_mutex|recursive_mutex|condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)'
+if raw_hits=$(grep -rnE "${raw_sync_pattern}" src/ \
+                --include='*.h' --include='*.cc' \
+              | grep -v '^src/util/annotated_sync\.h:'); then
+  echo "error: raw std synchronization primitives in src/ — use the" >&2
+  echo "annotated wrappers from util/annotated_sync.h (DESIGN.md §9):" >&2
+  echo "${raw_hits}" >&2
+  exit 1
+fi
+
 build_type="Release"
 build_dir="build"
 mode="default"
-sanitize_flags=()
+run_tidy=0
+extra_flags=()
 for arg in "$@"; do
   case "$arg" in
     --sanitize)
       if [ "${mode}" != "default" ]; then
-        echo "--sanitize and --tsan are mutually exclusive" >&2; exit 1
+        echo "--sanitize/--tsan/--thread-safety are mutually exclusive" >&2
+        exit 1
       fi
       build_dir="build-sanitize"
       build_type="Debug"
       mode="sanitize"
-      sanitize_flags=(-DHABF_SANITIZE=ON)
+      extra_flags=(-DHABF_SANITIZE=ON)
       ;;
     --tsan)
       if [ "${mode}" != "default" ]; then
-        echo "--sanitize and --tsan are mutually exclusive" >&2; exit 1
+        echo "--sanitize/--tsan/--thread-safety are mutually exclusive" >&2
+        exit 1
       fi
       build_dir="build-tsan"
       build_type="Debug"
       mode="tsan"
-      sanitize_flags=(-DHABF_TSAN=ON)
+      extra_flags=(-DHABF_TSAN=ON)
       ;;
+    --thread-safety)
+      if [ "${mode}" != "default" ]; then
+        echo "--sanitize/--tsan/--thread-safety are mutually exclusive" >&2
+        exit 1
+      fi
+      build_dir="build-clang"
+      mode="thread-safety"
+      extra_flags=(-DHABF_THREAD_SAFETY=ON)
+      ;;
+    --tidy) run_tidy=1 ;;
     Release|Debug) build_type="$arg" ;;
-    *) echo "usage: $0 [Release|Debug] [--sanitize|--tsan]" >&2; exit 1 ;;
+    *)
+      echo "usage: $0 [Release|Debug] [--sanitize|--tsan|--thread-safety] [--tidy]" >&2
+      exit 1
+      ;;
   esac
 done
 
+if [ "${mode}" = "thread-safety" ]; then
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "error: --thread-safety needs clang++ on PATH (thread-safety" >&2
+    echo "analysis is a Clang extension; CI's static-analysis job runs it)" >&2
+    exit 1
+  fi
+  export CC=clang CXX=clang++
+fi
+if [ "${run_tidy}" = 1 ] && ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: --tidy needs clang-tidy on PATH (CI's static-analysis job" >&2
+  echo "runs it over compile_commands.json)" >&2
+  exit 1
+fi
+
 # The +-expansion keeps `set -u` happy on bash < 4.4 when the array is empty.
 cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}" \
-  ${sanitize_flags[@]+"${sanitize_flags[@]}"}
+  ${extra_flags[@]+"${extra_flags[@]}"}
 cmake --build "${build_dir}" -j "$(nproc)"
+
+if [ "${run_tidy}" = 1 ]; then
+  # The curated .clang-tidy baseline (bugprone/performance/concurrency/
+  # readability-container-size-empty, warnings as errors) over every src/
+  # TU. compile_commands.json is always exported (CMakeLists.txt).
+  mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+  clang-tidy -p "${build_dir}" --quiet "${tidy_sources[@]}"
+fi
+
 cd "${build_dir}"
+if [ "${mode}" = "thread-safety" ]; then
+  # The build above already proved src/ clean under -Werror=thread-safety;
+  # the label adds the wrapper runtime suite and the negative-compile
+  # matrix proving the analysis still rejects violations.
+  ctest --output-on-failure -j "$(nproc)" -L static_analysis
+  exit 0
+fi
 if [ "${mode}" = "tsan" ]; then
   # TSan is ~5-20x slower, so this tree runs the suites that exercise the
   # concurrency surface instead of the full matrix (the default and ASan
@@ -54,7 +127,7 @@ if [ "${mode}" = "tsan" ]; then
   # lock-order findings.
   TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
     -j "$(nproc)" \
-    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest|DynamicFilter'
+    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest|DynamicFilter|AnnotatedSync'
   # The skew-aware routing suite (two-choice directory, routing-mode
   # differentials, SHR2/SHRD snapshot fuzz) runs under TSan too: the
   # two-choice build shares the parallel shard pipeline.
@@ -83,4 +156,7 @@ if [ "${mode}" = "sanitize" ]; then
   # compaction paths are exactly where an off-by-one would become a
   # container-overflow or use-after-publish finding.
   ctest --output-on-failure -j "$(nproc)" -L dynamic
+  # The annotated-wrapper suite under ASan: RAII release on exception
+  # unwinds, condvar timed waits, shared/exclusive handoff.
+  ctest --output-on-failure -j "$(nproc)" -L static_analysis
 fi

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/annotated_sync.h"
+
 #include "hashing/hash_function.h"  // Fmix64
 
 namespace habf {
@@ -36,6 +38,16 @@ size_t ComputeCompactionThreads(const DynamicOptions& dynamic,
   size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   return std::max<size_t>(1, std::min(hw, std::max<size_t>(1, num_shards)));
+}
+
+/// Heterogeneous-lookup stand-in for the C++17 unordered_map (which can
+/// only look up by key_type): one thread-local buffer, reused, so the
+/// bloom-positive probe of a query does not heap-allocate a temporary
+/// std::string per key. Surfaced by the clang-tidy/perf sweep of PR 7.
+const std::string& LookupKey(std::string_view key) {
+  static thread_local std::string buffer;
+  buffer.assign(key.data(), key.size());
+  return buffer;
 }
 
 /// Byte-level clone of a finished shard (Habf owns a unique_ptr provider, so
@@ -108,13 +120,16 @@ size_t DynamicShardedHabf::ShardOfLocked(std::string_view key) const {
 void DynamicShardedHabf::Insert(std::string_view key) {
   const size_t shard = ShardOf(key);
   {
-    std::unique_lock<std::shared_mutex> lock(delta_mutex_);
-    auto it = delta_.find(std::string(key));
-    if (it != delta_.end()) {
+    WriterLock lock(delta_mutex_);
+    // try_emplace: one hash walk and one string construction, instead of
+    // the find(std::string(key)) + emplace(std::string(key), ...) double
+    // lookup this used to do (PR-7 perf sweep; semantics pinned by
+    // DynamicFilterTest.RemutatedKeyKeepsOneDeltaEntry).
+    auto [it, added] = delta_.try_emplace(
+        std::string(key), DeltaEntry{static_cast<uint32_t>(shard), true});
+    if (!added) {
       it->second.inserted = true;
     } else {
-      delta_.emplace(std::string(key),
-                     DeltaEntry{static_cast<uint32_t>(shard), true});
       delta_filter_.Add(key);
       ++dirty_[shard];
     }
@@ -126,13 +141,12 @@ void DynamicShardedHabf::Insert(std::string_view key) {
 void DynamicShardedHabf::Remove(std::string_view key) {
   const size_t shard = ShardOf(key);
   {
-    std::unique_lock<std::shared_mutex> lock(delta_mutex_);
-    auto it = delta_.find(std::string(key));
-    if (it != delta_.end()) {
+    WriterLock lock(delta_mutex_);
+    auto [it, added] = delta_.try_emplace(
+        std::string(key), DeltaEntry{static_cast<uint32_t>(shard), false});
+    if (!added) {
       it->second.inserted = false;
     } else {
-      delta_.emplace(std::string(key),
-                     DeltaEntry{static_cast<uint32_t>(shard), false});
       delta_filter_.Add(key);
       ++dirty_[shard];
     }
@@ -143,20 +157,24 @@ void DynamicShardedHabf::Remove(std::string_view key) {
 
 bool DynamicShardedHabf::MightContain(std::string_view key) const {
   {
-    std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+    ReaderLock lock(delta_mutex_);
     // The counting-bloom front admits no false negatives over the delta's
     // resident keys, so a miss here proves the key is unmutated and the
     // base answer below is authoritative. (A front false positive merely
     // costs the exact-map lookup.)
     if (delta_filter_.MightContain(key)) {
-      auto it = delta_.find(std::string(key));
+      auto it = delta_.find(LookupKey(key));
       if (it != delta_.end()) return it->second.inserted;
     }
   }
-  // Taken *after* releasing the delta lock. If a compaction drained this
+  // Pinned *after* releasing the delta lock. If a compaction drained this
   // key between our delta miss and this Acquire, the drain happened under
   // the writer lock — i.e. after the base holding the key was published —
   // so the snapshot we acquire here already contains it (DESIGN.md §7).
+  // The TokenLock makes the order compiler-checked: delta_mutex_ is
+  // declared ACQUIRED_BEFORE(base_acquire_order_), so a reader holding
+  // this pin token could not (re)take the delta lock.
+  TokenLock base_order(base_acquire_order_);
   const auto snap = base_.Acquire();
   return snap.filter->MightContain(key);
 }
@@ -178,10 +196,10 @@ size_t DynamicShardedHabf::ContainsBatch(KeySpan keys, uint8_t* out) const {
 
   size_t positives = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+    ReaderLock lock(delta_mutex_);
     for (size_t i = 0; i < n; ++i) {
       if (delta_filter_.MightContain(keys[i])) {
-        auto it = delta_.find(std::string(keys[i]));
+        auto it = delta_.find(LookupKey(keys[i]));
         if (it != delta_.end()) {
           out[i] = it->second.inserted ? 1 : 0;
           positives += out[i];
@@ -197,6 +215,7 @@ size_t DynamicShardedHabf::ContainsBatch(KeySpan keys, uint8_t* out) const {
   // Same ordering argument as MightContain: the base acquired after a delta
   // miss is at least as new as any compaction that drained these keys.
   scratch.sub_out.resize(scratch.unresolved.size());
+  TokenLock base_order(base_acquire_order_);
   const auto snap = base_.Acquire();
   positives += snap.filter->ContainsBatch(
       KeySpan(scratch.unresolved.data(), scratch.unresolved.size()),
@@ -210,10 +229,11 @@ size_t DynamicShardedHabf::ContainsBatch(KeySpan keys, uint8_t* out) const {
 size_t DynamicShardedHabf::MemoryUsageBytes() const {
   size_t total = 0;
   {
+    TokenLock base_order(base_acquire_order_);
     const auto snap = base_.Acquire();
     total += snap.filter->MemoryUsageBytes();
   }
-  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  ReaderLock lock(delta_mutex_);
   total += delta_filter_.MemoryUsageBytes();
   for (const auto& [key, entry] : delta_) {
     total += key.size() + sizeof(entry);
@@ -222,30 +242,30 @@ size_t DynamicShardedHabf::MemoryUsageBytes() const {
 }
 
 size_t DynamicShardedHabf::delta_size() const {
-  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  ReaderLock lock(delta_mutex_);
   return delta_.size();
 }
 
 size_t DynamicShardedHabf::dirty_keys(size_t shard) const {
   assert(shard < num_shards_);
-  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  ReaderLock lock(delta_mutex_);
   return dirty_[shard];
 }
 
 double DynamicShardedHabf::dirty_fraction(size_t shard) const {
   assert(shard < num_shards_);
-  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  ReaderLock lock(delta_mutex_);
   const size_t denom = std::max<size_t>(1, shard_keys_[shard].size());
   return static_cast<double>(dirty_[shard]) / static_cast<double>(denom);
 }
 
 DynamicStats DynamicShardedHabf::stats() const {
-  std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  ReaderLock lock(delta_mutex_);
   return stats_;
 }
 
 CompactionReport DynamicShardedHabf::CompactDirtyShards() {
-  std::lock_guard<std::mutex> compaction_lock(compaction_mutex_);
+  MutexLock compaction_lock(compaction_mutex_);
   CompactionReport report;
 
   // --- Phase 1: capture. Snapshot the dirty shards' delta entries under a
@@ -262,7 +282,7 @@ CompactionReport DynamicShardedHabf::CompactDirtyShards() {
   };
   std::vector<ShardRebuild> rebuilds;
   {
-    std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+    ReaderLock lock(delta_mutex_);
     std::vector<uint8_t> dirty_shard(num_shards_, 0);
     for (size_t s = 0; s < num_shards_; ++s) {
       const size_t denom = std::max<size_t>(1, shard_keys_[s].size());
@@ -299,7 +319,7 @@ CompactionReport DynamicShardedHabf::CompactDirtyShards() {
   const auto t0 = std::chrono::steady_clock::now();
   ++compaction_epoch_;
   for (ShardRebuild& rb : rebuilds) {
-    rb.new_key_set = shard_keys_[rb.shard];
+    rb.new_key_set = ShardKeysUnderCompaction(rb.shard);
     for (const auto& [key, inserted] : rb.entries) {
       if (inserted) {
         rb.new_key_set.insert(key);
@@ -309,7 +329,7 @@ CompactionReport DynamicShardedHabf::CompactDirtyShards() {
     }
     rb.keys.reserve(rb.new_key_set.size());
     for (const std::string& key : rb.new_key_set) rb.keys.push_back(key);
-    for (const WeightedKey& wk : shard_negatives_[rb.shard]) {
+    for (const WeightedKey& wk : ShardNegativesUnderCompaction(rb.shard)) {
       if (rb.new_key_set.find(wk.key) == rb.new_key_set.end()) {
         rb.negatives.push_back(wk);
       }
@@ -345,6 +365,10 @@ CompactionReport DynamicShardedHabf::CompactDirtyShards() {
   std::vector<Habf> shards;
   shards.reserve(num_shards_);
   {
+    // The token scope proves at compile time that this FilterStore pin is
+    // released before the publish+drain writer section below — a pin is
+    // never held under the delta writer lock (DESIGN.md §9).
+    TokenLock base_order(base_acquire_order_);
     const auto snap = base_.Acquire();
     size_t next_rebuilt = 0;
     for (size_t s = 0; s < num_shards_; ++s) {
@@ -372,7 +396,7 @@ CompactionReport DynamicShardedHabf::CompactDirtyShards() {
   // the new base, exactly as intended.
   size_t drained = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(delta_mutex_);
+    WriterLock lock(delta_mutex_);
     report.published_version = base_.Publish(std::move(next));
     for (ShardRebuild& rb : rebuilds) {
       for (const auto& [key, inserted] : rb.entries) {
@@ -408,48 +432,64 @@ void DynamicShardedHabf::NotifyCompactorIfDirtyLocked(size_t shard) {
   if (static_cast<double>(dirty_[shard]) >
       dynamic_options_.dirty_fraction_threshold * denom) {
     {
-      std::lock_guard<std::mutex> bg(background_mutex_);
+      MutexLock bg(background_mutex_);
       background_kick_ = true;
     }
-    background_cv_.notify_one();
+    background_cv_.NotifyOne();
   }
 }
 
 void DynamicShardedHabf::StartBackgroundCompaction(
     std::chrono::milliseconds interval) {
-  std::lock_guard<std::mutex> lock(background_mutex_);
-  if (background_thread_.joinable()) return;
-  background_stop_ = false;
-  background_kick_ = false;
+  MutexLock lifecycle(lifecycle_mutex_);
+  if (background_thread_.joinable()) return;  // already running — idempotent
+  {
+    MutexLock lock(background_mutex_);
+    background_stop_ = false;
+    background_kick_ = false;
+  }
   background_running_.store(true, std::memory_order_relaxed);
   background_thread_ =
       std::thread(&DynamicShardedHabf::BackgroundLoop, this, interval);
 }
 
 void DynamicShardedHabf::StopBackgroundCompaction() {
-  std::thread worker;
+  // lifecycle_mutex_ is held across the join, so a concurrent Start cannot
+  // interleave with the teardown. The previous protocol (thread moved out
+  // under the condvar lock, joined outside it) had a real hang: a Start
+  // racing a finishing Stop would reset background_stop_ before the old
+  // loop observed it, and Stop's join() then waited forever on a loop with
+  // no stop request (regression:
+  // DynamicFilterTest.BackgroundCompactionStartStopRace).
+  MutexLock lifecycle(lifecycle_mutex_);
+  if (!background_thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(background_mutex_);
-    if (!background_thread_.joinable()) return;
+    MutexLock lock(background_mutex_);
     background_stop_ = true;
-    background_running_.store(false, std::memory_order_relaxed);
-    worker = std::move(background_thread_);
   }
-  background_cv_.notify_all();
-  worker.join();
+  background_running_.store(false, std::memory_order_relaxed);
+  background_cv_.NotifyAll();
+  background_thread_.join();
+  background_thread_ = std::thread();
 }
 
 void DynamicShardedHabf::BackgroundLoop(std::chrono::milliseconds interval) {
-  std::unique_lock<std::mutex> lock(background_mutex_);
-  while (!background_stop_) {
-    background_cv_.wait_for(lock, interval, [this] {
-      return background_stop_ || background_kick_;
-    });
-    if (background_stop_) break;
-    background_kick_ = false;
-    lock.unlock();
+  for (;;) {
+    {
+      MutexLock lock(background_mutex_);
+      // Manual deadline loop instead of wait_for + predicate lambda: the
+      // guarded reads of background_stop_/background_kick_ stay in a scope
+      // the thread-safety analysis can see holds background_mutex_.
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      bool timed_out = false;
+      while (!background_stop_ && !background_kick_ && !timed_out) {
+        timed_out = !background_cv_.WaitUntil(background_mutex_, deadline);
+      }
+      if (background_stop_) return;
+      background_kick_ = false;
+    }
+    // An elapsed interval compacts too (threshold kicks just arrive early).
     CompactDirtyShards();
-    lock.lock();
   }
 }
 

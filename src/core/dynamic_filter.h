@@ -35,12 +35,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -51,6 +48,7 @@
 #include "bloom/counting_bloom.h"
 #include "core/filter_store.h"
 #include "core/sharded_filter.h"
+#include "util/annotated_sync.h"
 
 namespace habf {
 
@@ -111,6 +109,15 @@ struct DynamicStats {
 /// TPJO work runs outside the delta lock, which is held only for the
 /// final publish+drain step.
 ///
+/// The lock discipline is compiler-enforced (util/annotated_sync.h,
+/// DESIGN.md §9): delta state is HABF_GUARDED_BY(delta_mutex_), compaction
+/// state by compaction_mutex_, and the §7 zero-false-negative reader order
+/// — consult the delta BEFORE pinning a base snapshot — is encoded as
+/// delta_mutex_ HABF_ACQUIRED_BEFORE(base_acquire_order_), so a reader
+/// that pins the base first and then takes the delta lock fails to compile
+/// under Clang -Wthread-safety-beta (regression-tested by the
+/// negative-compile matrix in tests/static_analysis/).
+///
 /// Ownership: unlike the build-once entry points, the dynamic filter is
 /// the authoritative owner of its positive key set (per shard) — rebuilding
 /// a shard requires the keys, which the compact filter structures do not
@@ -140,32 +147,33 @@ class DynamicShardedHabf {
   /// returns. Inserting a key that is already a member is a harmless no-op
   /// at the membership level (the delta entry is folded away on the next
   /// compaction of its shard).
-  void Insert(std::string_view key);
+  void Insert(std::string_view key) HABF_EXCLUDES(delta_mutex_);
 
   /// Makes `key` a non-member via an exact tombstone: queries for it answer
   /// false until a compaction rebuilds its shard without the key (after
   /// which it behaves like any other non-member, i.e. the usual one-sided
   /// false-positive probability applies). Removing a non-member is allowed
   /// — the tombstone then merely masks a potential base false positive.
-  void Remove(std::string_view key);
+  void Remove(std::string_view key) HABF_EXCLUDES(delta_mutex_);
 
   // --- Filter concept -----------------------------------------------------
 
   /// Delta-overlay-then-base membership test. Zero false negatives for the
   /// construction set plus every inserted (and not since removed) key.
-  bool MightContain(std::string_view key) const;
+  bool MightContain(std::string_view key) const HABF_EXCLUDES(delta_mutex_);
 
   /// Batched counterpart: resolves the whole batch against the delta under
   /// one shared lock, then sends the unresolved keys through the base
   /// snapshot's native grouped ContainsBatch. Answers are identical to
   /// per-key MightContain calls at the same point in the mutation order.
-  size_t ContainsBatch(KeySpan keys, uint8_t* out) const;
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const
+      HABF_EXCLUDES(delta_mutex_);
 
   /// Resident bytes: current base snapshot + counting-bloom front + exact
   /// delta table (entries + key payload). The authoritative key sets are
   /// deliberately excluded — they are the data the filter summarizes, not
   /// the filter.
-  size_t MemoryUsageBytes() const;
+  size_t MemoryUsageBytes() const HABF_EXCLUDES(delta_mutex_);
 
   const char* Name() const { return "dynamic-sharded-habf"; }
 
@@ -177,16 +185,19 @@ class DynamicShardedHabf {
   /// entries. Safe to call from any thread; concurrent calls serialize.
   /// Mutations that land while the rebuild runs stay in the delta and are
   /// picked up by a later pass. Returns what the pass did.
-  CompactionReport CompactDirtyShards();
+  CompactionReport CompactDirtyShards()
+      HABF_EXCLUDES(compaction_mutex_, delta_mutex_);
 
   /// Starts a background thread that runs CompactDirtyShards whenever a
   /// shard crosses the dirty threshold (checked on every mutation) or
   /// `interval` elapses, whichever comes first. Idempotent.
-  void StartBackgroundCompaction(std::chrono::milliseconds interval);
+  void StartBackgroundCompaction(std::chrono::milliseconds interval)
+      HABF_EXCLUDES(lifecycle_mutex_, background_mutex_);
 
   /// Stops and joins the background thread (no-op if not running). Any
   /// in-flight pass completes first.
-  void StopBackgroundCompaction();
+  void StopBackgroundCompaction()
+      HABF_EXCLUDES(lifecycle_mutex_, background_mutex_);
 
   // --- introspection ------------------------------------------------------
 
@@ -196,20 +207,20 @@ class DynamicShardedHabf {
   size_t ShardOf(std::string_view key) const;
 
   /// Mutated-key entries currently resident in the delta.
-  size_t delta_size() const;
+  size_t delta_size() const HABF_EXCLUDES(delta_mutex_);
 
   /// Mutated-key entries pending for `shard`.
-  size_t dirty_keys(size_t shard) const;
+  size_t dirty_keys(size_t shard) const HABF_EXCLUDES(delta_mutex_);
 
   /// dirty_keys(shard) / max(1, authoritative keys of shard).
-  double dirty_fraction(size_t shard) const;
+  double dirty_fraction(size_t shard) const HABF_EXCLUDES(delta_mutex_);
 
   /// Pins the current base snapshot (version grows by one per publish).
   FilterStore<ShardedFilter<Habf>>::VersionedSnapshot AcquireBase() const {
     return base_.Acquire();
   }
 
-  DynamicStats stats() const;
+  DynamicStats stats() const HABF_EXCLUDES(delta_mutex_);
 
  private:
   /// Exact state of a mutated key: inserted (member) or tombstoned
@@ -228,8 +239,28 @@ class DynamicShardedHabf {
   };
 
   size_t ShardOfLocked(std::string_view key) const;
-  void NotifyCompactorIfDirtyLocked(size_t shard);
-  void BackgroundLoop(std::chrono::milliseconds interval);
+  void NotifyCompactorIfDirtyLocked(size_t shard)
+      HABF_REQUIRES(delta_mutex_) HABF_EXCLUDES(background_mutex_);
+  void BackgroundLoop(std::chrono::milliseconds interval)
+      HABF_EXCLUDES(background_mutex_);
+
+  /// Compaction-path reads of the authoritative key sets (§9 escape E1).
+  /// Safe without delta_mutex_ because the compactor is the only writer of
+  /// shard_keys_/shard_negatives_ and every write takes BOTH
+  /// compaction_mutex_ and the delta writer lock; holding either is
+  /// therefore enough to read. The analysis can express only one guard per
+  /// field (delta_mutex_, the one readers use), so these REQUIRES-checked
+  /// accessors carry the compactor side of the protocol.
+  const std::unordered_set<std::string>& ShardKeysUnderCompaction(
+      size_t shard) const HABF_REQUIRES(compaction_mutex_)
+      HABF_NO_THREAD_SAFETY_ANALYSIS {
+    return shard_keys_[shard];
+  }
+  const std::vector<WeightedKey>& ShardNegativesUnderCompaction(
+      size_t shard) const HABF_REQUIRES(compaction_mutex_)
+      HABF_NO_THREAD_SAFETY_ANALYSIS {
+    return shard_negatives_[shard];
+  }
 
   // Routing state, fixed at construction (the directory never changes —
   // compaction reuses it so inserted keys keep routing to the shard that
@@ -243,36 +274,55 @@ class DynamicShardedHabf {
   double bits_per_key_ = 10.0;
   DynamicOptions dynamic_options_;
 
-  // Authoritative per-shard key sets and advisory negatives. Owned by the
-  // compaction path: read and replaced only under compaction_mutex_ (plus
-  // delta_mutex_ for the replacement step, so readers of dirty_fraction see
-  // a consistent pair).
-  std::vector<std::unordered_set<std::string>> shard_keys_;
-  std::vector<std::vector<WeightedKey>> shard_negatives_;
+  // Authoritative per-shard key sets and advisory negatives. Written only
+  // by the compactor, which holds compaction_mutex_ AND the delta writer
+  // lock for every replacement; readable under either (introspection reads
+  // take delta_mutex_ — the declared guard — and the compactor's phase-2
+  // reads go through the ShardKeysUnderCompaction accessors above).
+  std::vector<std::unordered_set<std::string>> shard_keys_
+      HABF_GUARDED_BY(delta_mutex_);
+  std::vector<std::vector<WeightedKey>> shard_negatives_
+      HABF_GUARDED_BY(delta_mutex_);
 
   // The delta tier. delta_mutex_ guards delta_, delta_filter_, dirty_ and
   // stats_; readers take it shared, mutations and the publish+drain step
-  // take it exclusive.
-  mutable std::shared_mutex delta_mutex_;
-  std::unordered_map<std::string, DeltaEntry> delta_;
-  CountingBloomFilter delta_filter_;
-  std::vector<size_t> dirty_;
-  DynamicStats stats_;
+  // take it exclusive. The ACQUIRED_BEFORE edges encode the lock-order
+  // table of DESIGN.md §9: the compactor acquires compaction_mutex_ →
+  // delta writer lock; readers acquire delta → base pin (the §7 proof);
+  // mutators acquire delta → background_mutex_ (the compactor kick).
+  mutable SharedMutex delta_mutex_
+      HABF_ACQUIRED_AFTER(compaction_mutex_)
+      HABF_ACQUIRED_BEFORE(base_acquire_order_, background_mutex_);
+  std::unordered_map<std::string, DeltaEntry> delta_
+      HABF_GUARDED_BY(delta_mutex_);
+  CountingBloomFilter delta_filter_ HABF_GUARDED_BY(delta_mutex_);
+  std::vector<size_t> dirty_ HABF_GUARDED_BY(delta_mutex_);
+  DynamicStats stats_ HABF_GUARDED_BY(delta_mutex_);
 
-  // The immutable base, hot-swapped by compaction.
+  // The immutable base, hot-swapped by compaction. Pinning a snapshot is a
+  // lock-free atomic load; base_acquire_order_ is the annotation-only
+  // stand-in for that pin, so the delta-before-base reader order above is
+  // enforced at compile time even though no real lock is taken.
   FilterStore<ShardedFilter<Habf>> base_;
+  mutable OrderingToken base_acquire_order_;
 
   // Compaction serialization + the shared rebuild pool.
-  std::mutex compaction_mutex_;
-  uint64_t compaction_epoch_ = 0;
+  Mutex compaction_mutex_;
+  uint64_t compaction_epoch_ HABF_GUARDED_BY(compaction_mutex_) = 0;
   ThreadPool compaction_pool_;
 
-  // Background compactor.
-  std::mutex background_mutex_;
-  std::condition_variable background_cv_;
-  std::thread background_thread_;
-  bool background_stop_ = false;
-  bool background_kick_ = false;
+  // Background compactor. lifecycle_mutex_ serializes whole Start/Stop
+  // calls (including the join), closing the race where a Start interleaved
+  // with a finishing Stop reset background_stop_ and left Stop joining a
+  // loop that would never exit. background_mutex_ is the condvar lock the
+  // loop itself uses; Start/Stop take it only briefly, never across the
+  // join.
+  Mutex lifecycle_mutex_ HABF_ACQUIRED_BEFORE(background_mutex_);
+  Mutex background_mutex_;
+  CondVar background_cv_;
+  std::thread background_thread_ HABF_GUARDED_BY(lifecycle_mutex_);
+  bool background_stop_ HABF_GUARDED_BY(background_mutex_) = false;
+  bool background_kick_ HABF_GUARDED_BY(background_mutex_) = false;
   std::atomic<bool> background_running_{false};
 };
 

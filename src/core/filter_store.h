@@ -22,6 +22,14 @@
 // Version numbers: Publish() tags each installed snapshot with the next
 // version (1, 2, ...), readable via Acquire()'s VersionedSnapshot. version()
 // reports the latest published version (0 = nothing published yet).
+//
+// Lock discipline (DESIGN.md §9): the store itself is lock-free, but a pin
+// participates in the system-wide acquisition order. Callers that overlay a
+// delta tier must release the delta lock *before* Acquire() and must never
+// hold a pin while taking the delta writer lock — DynamicShardedHabf makes
+// this compiler-checked by scoping every Acquire() inside a TokenLock on an
+// OrderingToken declared ACQUIRED_AFTER the delta lock
+// (util/annotated_sync.h).
 
 #pragma once
 

@@ -545,6 +545,11 @@ BuildHandle BuildShardedHabfAsync(const std::vector<std::string>& positives,
 
 /// Future-like handle to an in-flight sharded build. Movable, not copyable.
 ///
+/// Internals are a Mutex/CondVar-protected State (sharded_filter.cc) whose
+/// fields carry HABF_GUARDED_BY annotations — the handle's progress counters
+/// and result slots are compiler-checked against unguarded access
+/// (util/annotated_sync.h, DESIGN.md §9).
+///
 /// Lifecycle: exactly one of TakeResult() (returns the filter or throws) or
 /// destruction (cancels + joins) consumes the build. Cancellation is
 /// cooperative and *best-effort*: Cancel() flips a CancellationToken that

@@ -1,7 +1,6 @@
 #include "tools/cli.h"
 
 #include <algorithm>
-#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -17,6 +16,7 @@
 #include "core/habf.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
+#include "util/annotated_sync.h"
 #include "util/serde.h"
 #include "util/thread_pool.h"
 #include "workload/dataset.h"
@@ -649,13 +649,25 @@ int RunDynamicServeSim(std::vector<std::string> positives,
 
     // Compact on a background thread; keep serving query batches until it
     // lands. The do/while guarantees at least one batch per round even if
-    // the compaction wins every race.
-    CompactionReport report;
-    std::atomic<bool> compaction_done{false};
+    // the compaction wins every race. The report and the done flag cross
+    // threads under an annotated Mutex (util/annotated_sync.h), so the
+    // handoff protocol is compiler-checked instead of resting on a bare
+    // atomic flag plus a release/acquire comment.
+    struct CompactorState {
+      Mutex mu;
+      CompactionReport report HABF_GUARDED_BY(mu);
+      bool done HABF_GUARDED_BY(mu) = false;
+    } compaction;
     std::thread compactor([&] {
-      report = filter.CompactDirtyShards();
-      compaction_done.store(true, std::memory_order_release);
+      CompactionReport r = filter.CompactDirtyShards();
+      MutexLock lock(compaction.mu);
+      compaction.report = r;
+      compaction.done = true;
     });
+    const auto compaction_done = [&compaction] {
+      MutexLock lock(compaction.mu);
+      return compaction.done;
+    };
     size_t round_queries = 0;
     bool false_negative = false;
     std::string fn_key;
@@ -671,9 +683,13 @@ int RunDynamicServeSim(std::vector<std::string> positives,
       }
       cursor = (cursor + count) % views.size();
       round_queries += count;
-    } while (!compaction_done.load(std::memory_order_acquire) &&
-             !false_negative);
+    } while (!compaction_done() && !false_negative);
     compactor.join();
+    CompactionReport report;
+    {
+      MutexLock lock(compaction.mu);
+      report = compaction.report;
+    }
     if (false_negative) {
       *err += "serve-sim: false negative for member key '" + fn_key +
               "' during compaction\n";

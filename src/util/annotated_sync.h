@@ -1,0 +1,311 @@
+// Annotated synchronization primitives: drop-in Mutex / SharedMutex /
+// CondVar wrappers plus RAII guards carrying Clang Thread Safety Analysis
+// capability attributes (DESIGN.md §9).
+//
+// Why: the repo's lock discipline — the delta-before-base reader order of
+// DESIGN.md §7, "FilterStore pins are never taken under the compaction
+// writer lock", the ThreadPool queue/condvar protocol — used to be prose
+// plus whatever orderings TSan happened to execute. Routing every lock
+// through these wrappers and tagging the data each lock guards
+// (HABF_GUARDED_BY) turns those invariants into *compile errors* on every
+// Clang build with -Wthread-safety (the HABF_THREAD_SAFETY CMake option,
+// on by default for Clang and enforced by the static-analysis CI job).
+//
+// On non-Clang toolchains every macro below compiles to nothing, so GCC
+// builds are byte-for-byte unaffected. The analysis itself is
+// regression-tested by the negative-compile matrix in
+// tests/static_analysis/ (ctest label `static_analysis`), which asserts
+// that representative violations — an unguarded field access, a reversed
+// delta/base acquisition, a leaked Lock() — *fail* to compile under Clang.
+//
+// Policy (DESIGN.md §9): new code takes synchronization from this header,
+// never from <mutex>/<shared_mutex>/<condition_variable> directly —
+// scripts/check.sh greps src/ and fails on raw std primitives outside this
+// file. HABF_NO_THREAD_SAFETY_ANALYSIS is the single, greppable escape
+// hatch; every use must cite the invariant that makes it safe.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// --- attribute layer --------------------------------------------------------
+//
+// Clang-only: GCC would emit -Wattributes noise for the unknown names, so
+// the macros expand to nothing there (and under SWIG-style tooling that
+// defines HABF_NO_THREAD_SAFETY_ATTRIBUTES).
+
+#if defined(__clang__) && !defined(HABF_NO_THREAD_SAFETY_ATTRIBUTES)
+#define HABF_TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HABF_TS_ATTRIBUTE__(x)  // no-op on non-Clang toolchains
+#endif
+
+/// Marks a type as a capability (lock-like). `x` names the capability kind
+/// in diagnostics, e.g. "mutex".
+#define HABF_CAPABILITY(x) HABF_TS_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability.
+#define HABF_SCOPED_CAPABILITY HABF_TS_ATTRIBUTE__(scoped_lockable)
+
+/// Field may only be accessed with `x` held (shared for reads, exclusive
+/// for writes).
+#define HABF_GUARDED_BY(x) HABF_TS_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x`.
+#define HABF_PT_GUARDED_BY(x) HABF_TS_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declares lock-order: this capability must be acquired before the listed
+/// ones. Checked under -Wthread-safety-beta; encodes e.g. the §7
+/// delta-before-base reader order.
+#define HABF_ACQUIRED_BEFORE(...) \
+  HABF_TS_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+/// Declares lock-order: this capability must be acquired after the listed
+/// ones.
+#define HABF_ACQUIRED_AFTER(...) \
+  HABF_TS_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities held exclusively on entry (and
+/// does not release them).
+#define HABF_REQUIRES(...) HABF_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities held at least shared on entry.
+#define HABF_REQUIRES_SHARED(...) \
+  HABF_TS_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities exclusively (no argument =
+/// `this` for capability types).
+#define HABF_ACQUIRE(...) HABF_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities shared.
+#define HABF_ACQUIRE_SHARED(...) \
+  HABF_TS_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (exclusive hold).
+#define HABF_RELEASE(...) HABF_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (shared hold).
+#define HABF_RELEASE_SHARED(...) \
+  HABF_TS_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities whatever the hold mode — the
+/// right destructor annotation for scoped guards that may hold either.
+#define HABF_RELEASE_GENERIC(...) \
+  HABF_TS_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire exclusively; first argument is the return
+/// value meaning success.
+#define HABF_TRY_ACQUIRE(...) \
+  HABF_TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Shared counterpart of HABF_TRY_ACQUIRE.
+#define HABF_TRY_ACQUIRE_SHARED(...) \
+  HABF_TS_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (anti-deadlock /
+/// anti-recursion contract on public entry points).
+#define HABF_EXCLUDES(...) HABF_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; informs the analysis
+/// without acquiring anything.
+#define HABF_ASSERT_CAPABILITY(x) HABF_TS_ATTRIBUTE__(assert_capability(x))
+
+/// Shared counterpart of HABF_ASSERT_CAPABILITY.
+#define HABF_ASSERT_SHARED_CAPABILITY(x) \
+  HABF_TS_ATTRIBUTE__(assert_shared_capability(x))
+
+/// Function returns a reference to the capability `x` (getter functions).
+#define HABF_RETURN_CAPABILITY(x) HABF_TS_ATTRIBUTE__(lock_returned(x))
+
+/// THE escape hatch: disables analysis of the annotated function's body
+/// (call-site contracts such as HABF_REQUIRES on its declaration still
+/// apply). Every use must carry a comment citing the protocol that makes
+/// the unanalyzed access safe — see DESIGN.md §9 for the policy and the
+/// currently sanctioned escapes.
+#define HABF_NO_THREAD_SAFETY_ANALYSIS \
+  HABF_TS_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace habf {
+
+class CondVar;
+
+// --- capabilities -----------------------------------------------------------
+
+/// std::mutex with the capability attribute set. Prefer the scoped
+/// MutexLock guard; the raw Lock/Unlock surface exists for the guards, for
+/// CondVar, and for call sites that hand a hold across an annotated
+/// boundary.
+class HABF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HABF_ACQUIRE() { mu_.lock(); }
+  void Unlock() HABF_RELEASE() { mu_.unlock(); }
+  bool TryLock() HABF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait re-locks through the raw handle
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability attribute set: exclusive
+/// (writer) and shared (reader) modes. Prefer the WriterLock / ReaderLock
+/// guards.
+class HABF_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HABF_ACQUIRE() { mu_.lock(); }
+  void Unlock() HABF_RELEASE() { mu_.unlock(); }
+  bool TryLock() HABF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() HABF_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() HABF_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() HABF_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// A zero-cost, annotation-only capability: Acquire/Release are empty at
+/// runtime. It exists to let the analysis order or exclude operations that
+/// are lock-free at runtime — the canonical use is
+/// DynamicShardedHabf::base_acquire_order_, which stands for "pinning a
+/// base snapshot" so HABF_ACQUIRED_BEFORE can encode the §7 proof's
+/// delta-lock-before-base-acquisition reader order even though the pin
+/// itself is an atomic shared_ptr load, not a lock.
+class HABF_CAPABILITY("ordering") OrderingToken {
+ public:
+  OrderingToken() = default;
+  OrderingToken(const OrderingToken&) = delete;
+  OrderingToken& operator=(const OrderingToken&) = delete;
+
+  void Acquire() HABF_ACQUIRE() {}
+  void Release() HABF_RELEASE() {}
+};
+
+// --- RAII guards ------------------------------------------------------------
+
+/// Scoped exclusive hold of a Mutex.
+class HABF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HABF_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() HABF_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive (writer) hold of a SharedMutex.
+class HABF_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) HABF_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() HABF_RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) hold of a SharedMutex.
+class HABF_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) HABF_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  // Generic release: the analysis knows this scope holds `mu_` shared.
+  ~ReaderLock() HABF_RELEASE() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped hold of an OrderingToken (no runtime effect; pure analysis).
+class HABF_SCOPED_CAPABILITY TokenLock {
+ public:
+  explicit TokenLock(OrderingToken& token) HABF_ACQUIRE(token)
+      : token_(token) {
+    token_.Acquire();
+  }
+  ~TokenLock() HABF_RELEASE() { token_.Release(); }
+  TokenLock(const TokenLock&) = delete;
+  TokenLock& operator=(const TokenLock&) = delete;
+
+ private:
+  OrderingToken& token_;
+};
+
+// --- condition variable -----------------------------------------------------
+
+/// Condition variable bound to the annotated Mutex. All waits REQUIRE the
+/// mutex held; the analysis treats the hold as continuous across the wait
+/// (which matches the protocol: the waiter owns the mutex again before it
+/// re-reads any guarded state).
+///
+/// Prefer *manual wait loops* over predicate lambdas —
+/// `while (!cond) cv.Wait(mu);` — because guarded reads inside a lambda
+/// are opaque to the analysis (a lambda body does not inherit the caller's
+/// hold set), whereas the manual loop's reads sit in a scope the analysis
+/// can see holds `mu`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously
+  /// woken), and re-acquires `mu` before returning.
+  void Wait(Mutex& mu) HABF_REQUIRES(mu) {
+    // Adopt the caller's hold so the underlying condvar can release and
+    // re-acquire it; release ownership back before the guard dies. The
+    // net hold set is unchanged, which is exactly what REQUIRES asserts.
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();
+  }
+
+  /// Wait with a deadline: returns false if the deadline passed without a
+  /// notification (the mutex is re-held either way).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      HABF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(relock, deadline);
+    relock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Wait with a timeout: returns false on timeout (mutex re-held either
+  /// way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      HABF_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace habf

@@ -8,6 +8,9 @@
 //
 // Thread-safety: Submit and WaitAll may be called from multiple threads;
 // tasks run on the worker threads (or inline when the pool has no workers).
+// The queue/stop/error protocol is compiler-enforced: every field is
+// HABF_GUARDED_BY(mu_) (util/annotated_sync.h, DESIGN.md §9), so an access
+// outside the lock fails to compile under Clang -Wthread-safety.
 //
 // Exception contract: a task that throws does NOT terminate the process.
 // The first escaped exception is captured and rethrown by the next WaitAll()
@@ -21,16 +24,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/annotated_sync.h"
 
 namespace habf {
 
@@ -79,10 +82,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
-    wake_workers_.notify_all();
+    wake_workers_.NotifyAll();
     for (auto& worker : workers_) worker.join();
   }
 
@@ -96,17 +99,17 @@ class ThreadPool {
       try {
         task();
       } catch (...) {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!first_error_) first_error_ = std::current_exception();
       }
       return;
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.push_back(std::move(task));
       ++unfinished_;
     }
-    wake_workers_.notify_one();
+    wake_workers_.NotifyOne();
   }
 
   /// Blocks until every task submitted so far (and any tasks those tasks
@@ -114,13 +117,15 @@ class ThreadPool {
   /// escaped with (see the exception contract above). The pool is reusable
   /// afterwards whether or not it throws.
   void WaitAll() {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return unfinished_ == 0; });
-    if (first_error_) {
-      std::exception_ptr error = std::exchange(first_error_, nullptr);
-      lock.unlock();
-      std::rethrow_exception(error);
+    std::exception_ptr error;
+    {
+      MutexLock lock(mu_);
+      // Manual wait loop (not a predicate lambda): the guarded read of
+      // unfinished_ stays in a scope the analysis can see holds mu_.
+      while (unfinished_ != 0) all_done_.Wait(mu_);
+      error = std::exchange(first_error_, nullptr);
     }
+    if (error) std::rethrow_exception(error);
   }
 
   size_t num_threads() const { return workers_.size(); }
@@ -130,9 +135,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_workers_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && queue_.empty()) wake_workers_.Wait(mu_);
         if (queue_.empty()) return;  // stopping_ and nothing left to run
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -144,21 +148,23 @@ class ThreadPool {
         error = std::current_exception();
       }
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (error && !first_error_) first_error_ = std::move(error);
-        if (--unfinished_ == 0) all_done_.notify_all();
+        if (--unfinished_ == 0) all_done_.NotifyAll();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_workers_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar wake_workers_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ HABF_GUARDED_BY(mu_);
   /// First exception escaped by a task since the last WaitAll rethrow.
-  std::exception_ptr first_error_;
-  size_t unfinished_ = 0;
-  bool stopping_ = false;
+  std::exception_ptr first_error_ HABF_GUARDED_BY(mu_);
+  size_t unfinished_ HABF_GUARDED_BY(mu_) = 0;
+  bool stopping_ HABF_GUARDED_BY(mu_) = false;
+  /// Started in the constructor, joined in the destructor, otherwise
+  /// immutable — no guard needed (Submit only reads the size).
   std::vector<std::thread> workers_;
 };
 

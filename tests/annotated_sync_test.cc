@@ -1,0 +1,237 @@
+// Runtime suite for the annotated synchronization wrappers
+// (util/annotated_sync.h, DESIGN.md §9). Labeled `static_analysis` in CMake
+// and rerun in the ASan/UBSan and TSan trees, so the wrappers are exercised
+// under both sanitizers on every CI run — the *compile-time* half of the
+// contract (guarded access, lock order, leaked acquires rejected) is covered
+// by the negative-compile matrix in tests/static_analysis/.
+//
+// The test code itself is written to be clean under -Werror=thread-safety:
+// try-lock probes unlock on the success branch, condvar waits are manual
+// loops, and every guarded field is touched under its lock.
+
+#include "util/annotated_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace habf {
+namespace {
+
+/// Probes whether `mu` can be acquired exclusively right now, releasing
+/// immediately on success so the analysis sees a balanced hold.
+bool ExclusiveAvailable(Mutex& mu) {
+  if (mu.TryLock()) {
+    mu.Unlock();
+    return true;
+  }
+  return false;
+}
+
+bool ExclusiveAvailable(SharedMutex& mu) {
+  if (mu.TryLock()) {
+    mu.Unlock();
+    return true;
+  }
+  return false;
+}
+
+bool SharedAvailable(SharedMutex& mu) {
+  if (mu.TryLockShared()) {
+    mu.UnlockShared();
+    return true;
+  }
+  return false;
+}
+
+struct GuardedCounter {
+  Mutex mu;
+  int value HABF_GUARDED_BY(mu) = 0;
+};
+
+TEST(AnnotatedSyncTest, MutexLockProvidesMutualExclusion) {
+  GuardedCounter counter;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(counter.mu);
+        ++counter.value;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  MutexLock lock(counter.mu);
+  EXPECT_EQ(counter.value, kThreads * kIncrements);
+}
+
+TEST(AnnotatedSyncTest, MutexLockReleasesOnException) {
+  GuardedCounter counter;
+  const auto mutate_then_throw = [&counter] {
+    MutexLock lock(counter.mu);
+    counter.value = 42;
+    throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(mutate_then_throw(), std::runtime_error);
+  // The stack unwind must have run ~MutexLock: the mutex is free again and
+  // the mutation that happened before the throw is visible.
+  EXPECT_TRUE(ExclusiveAvailable(counter.mu));
+  MutexLock lock(counter.mu);
+  EXPECT_EQ(counter.value, 42);
+}
+
+TEST(AnnotatedSyncTest, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  std::atomic<bool> probed{false};
+  bool probe_result = true;
+  {
+    MutexLock lock(mu);
+    // Probe from another thread: TryLock on a mutex this thread holds is
+    // UB for std::mutex, and the contended path is the one worth testing.
+    std::thread prober([&] {
+      probe_result = ExclusiveAvailable(mu);
+      probed.store(true, std::memory_order_release);
+    });
+    prober.join();
+  }
+  ASSERT_TRUE(probed.load(std::memory_order_acquire));
+  EXPECT_FALSE(probe_result);
+  EXPECT_TRUE(ExclusiveAvailable(mu));  // released with the guard scope
+}
+
+TEST(AnnotatedSyncTest, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  ReaderLock outer(mu);
+  // A second reader must get in while the first is held (join would
+  // deadlock otherwise), while a writer must be refused.
+  std::atomic<bool> second_reader_entered{false};
+  bool writer_refused = false;
+  bool reader_admitted = false;
+  std::thread peer([&] {
+    ReaderLock inner(mu);
+    second_reader_entered.store(true, std::memory_order_release);
+    writer_refused = !ExclusiveAvailable(mu);
+    reader_admitted = SharedAvailable(mu);
+  });
+  peer.join();
+  EXPECT_TRUE(second_reader_entered.load(std::memory_order_acquire));
+  EXPECT_TRUE(writer_refused);
+  EXPECT_TRUE(reader_admitted);
+}
+
+TEST(AnnotatedSyncTest, WriterLockExcludesReadersAndWriters) {
+  SharedMutex mu;
+  bool reader_refused = false;
+  bool writer_refused = false;
+  {
+    WriterLock lock(mu);
+    std::thread prober([&] {
+      reader_refused = !SharedAvailable(mu);
+      writer_refused = !ExclusiveAvailable(mu);
+    });
+    prober.join();
+  }
+  EXPECT_TRUE(reader_refused);
+  EXPECT_TRUE(writer_refused);
+  EXPECT_TRUE(ExclusiveAvailable(mu));
+  EXPECT_TRUE(SharedAvailable(mu));
+}
+
+struct Signal {
+  Mutex mu;
+  CondVar cv;
+  bool ready HABF_GUARDED_BY(mu) = false;
+};
+
+TEST(AnnotatedSyncTest, CondVarNotifyWakesManualWaitLoop) {
+  Signal signal;
+  std::thread producer([&signal] {
+    MutexLock lock(signal.mu);
+    signal.ready = true;
+    signal.cv.NotifyOne();
+  });
+  {
+    MutexLock lock(signal.mu);
+    while (!signal.ready) signal.cv.Wait(signal.mu);
+    EXPECT_TRUE(signal.ready);
+  }
+  producer.join();
+}
+
+TEST(AnnotatedSyncTest, CondVarWaitUntilTimesOut) {
+  Signal signal;  // nobody ever notifies
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  MutexLock lock(signal.mu);
+  // Spurious wakeups return true before the deadline; the loop must still
+  // terminate with false once the deadline passes, mutex re-held.
+  while (!signal.ready && signal.cv.WaitUntil(signal.mu, deadline)) {
+  }
+  EXPECT_FALSE(signal.ready);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(AnnotatedSyncTest, CondVarWaitForPastTimeoutReturnsFalse) {
+  Signal signal;
+  MutexLock lock(signal.mu);
+  EXPECT_FALSE(signal.cv.WaitFor(signal.mu, std::chrono::milliseconds(-1)));
+  signal.ready = true;  // mutex is re-held after the timed-out wait
+  EXPECT_TRUE(signal.ready);
+}
+
+TEST(AnnotatedSyncTest, OrderingTokenIsZeroCostAndScoped) {
+  // Pure-annotation capability: acquiring it has no runtime effect, so
+  // nesting and repetition are always safe. Its value is compile-time only
+  // (the reversed_lock_order negative-compile case proves misordering
+  // against an ACQUIRED_BEFORE token fails analysis).
+  OrderingToken token;
+  for (int i = 0; i < 3; ++i) {
+    TokenLock pin(token);
+  }
+  token.Acquire();
+  token.Release();
+  SUCCEED();
+}
+
+TEST(AnnotatedSyncTest, GuardHandoffAcrossThreadsUnderLoad) {
+  // Mixed readers/writers over one guarded value: TSan-visible stress on
+  // the SharedMutex guards. Writers publish monotonically increasing
+  // values; readers must never observe a decrease.
+  struct Shared {
+    SharedMutex mu;
+    int published HABF_GUARDED_BY(mu) = 0;
+  } shared;
+  std::atomic<bool> regression{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&shared] {
+      for (int i = 0; i < 2000; ++i) {
+        WriterLock lock(shared.mu);
+        ++shared.published;
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&shared, &regression] {
+      int last = 0;
+      for (int i = 0; i < 2000; ++i) {
+        ReaderLock lock(shared.mu);
+        if (shared.published < last) regression.store(true);
+        last = shared.published;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(regression.load());
+  ReaderLock lock(shared.mu);
+  EXPECT_EQ(shared.published, 4000);
+}
+
+}  // namespace
+}  // namespace habf

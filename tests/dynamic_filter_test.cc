@@ -480,5 +480,72 @@ TEST(DynamicFilterTest, ConcurrentWritersRouteAndCount) {
   }
 }
 
+TEST(DynamicFilterTest, RemutatedKeyKeepsOneDeltaEntry) {
+  // Pins the semantics the single-lookup try_emplace rewrite of
+  // Insert/Remove must preserve: re-mutating a key that is already resident
+  // in the delta flips its tombstone state in place — one delta entry, one
+  // dirty count, latest mutation wins.
+  const auto positives = MakeKeys("base-", 200);
+  DynamicShardedHabf filter(positives, {}, SmallOptions(), FourShards(),
+                            EagerCompaction());
+  filter.Insert("churn-key");
+  filter.Remove("churn-key");
+  filter.Insert("churn-key");
+  EXPECT_EQ(filter.delta_size(), 1u);
+  size_t dirty_total = 0;
+  for (size_t s = 0; s < filter.num_shards(); ++s) {
+    dirty_total += filter.dirty_keys(s);
+  }
+  EXPECT_EQ(dirty_total, 1u);
+  EXPECT_TRUE(filter.MightContain("churn-key"));
+  EXPECT_EQ(filter.stats().inserts, 2u);
+  EXPECT_EQ(filter.stats().removes, 1u);
+
+  filter.Remove("churn-key");
+  EXPECT_EQ(filter.delta_size(), 1u);
+  EXPECT_FALSE(filter.MightContain("churn-key"));
+  filter.CompactDirtyShards();
+  EXPECT_EQ(filter.delta_size(), 0u);
+  EXPECT_FALSE(filter.MightContain("churn-key"));
+}
+
+TEST(DynamicFilterTest, BackgroundCompactionStartStopRace) {
+  // Regression for the PR-7 lifecycle fix: Stop used to move the worker
+  // thread out under the condvar mutex and join it outside the lock, so a
+  // Start racing the tail of a Stop could clear background_stop_ before
+  // the old loop observed it — Stop then join()ed a loop with no stop
+  // request pending and hung forever. Start/Stop are now serialized
+  // end-to-end (join included) by a dedicated lifecycle mutex; if the race
+  // is ever reintroduced this test hangs and trips the ctest timeout.
+  const auto positives = MakeKeys("base-", 300);
+  DynamicShardedHabf filter(positives, {}, SmallOptions(), FourShards(),
+                            EagerCompaction());
+  std::atomic<bool> go{false};
+  std::vector<std::thread> togglers;
+  for (int t = 0; t < 2; ++t) {
+    togglers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < 40; ++i) {
+        filter.StartBackgroundCompaction(std::chrono::milliseconds(1));
+        filter.StopBackgroundCompaction();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : togglers) t.join();
+  // Each toggler's final op is a Stop and lifecycle ops are serialized, so
+  // the last lifecycle transition system-wide is a Stop: no background
+  // thread may survive the storm. A fresh mutation therefore stays in the
+  // delta until an explicit compaction drains it.
+  filter.Insert("race-probe");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(filter.delta_size(), 1u);
+  filter.CompactDirtyShards();
+  EXPECT_EQ(filter.delta_size(), 0u);
+  EXPECT_TRUE(filter.MightContain("race-probe"));
+}
+
 }  // namespace
 }  // namespace habf

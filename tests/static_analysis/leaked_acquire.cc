@@ -1,0 +1,19 @@
+// Negative-compile case: a raw Lock() with no Unlock() in a function whose
+// signature does not announce the acquisition (no HABF_ACQUIRE). Expected
+// Clang diagnostic (matched by ctest):
+//   mutex 'mu' is still held at the end of function
+// See tests/static_analysis/README.md.
+
+#include "util/annotated_sync.h"
+
+namespace {
+
+void LeakTheLock(habf::Mutex& mu) {
+  mu.Lock();
+  // VIOLATION: returns while still holding mu, with no HABF_ACQUIRE(mu)
+  // on the signature to hand the hold to the caller.
+}
+
+void Use(habf::Mutex& mu) { LeakTheLock(mu); }
+
+}  // namespace

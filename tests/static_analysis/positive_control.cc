@@ -1,0 +1,78 @@
+// Positive control for the negative-compile matrix: the corrected version
+// of every violation case. Must compile *clean* under
+//   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta
+//          -Werror=thread-safety -Werror=thread-safety-beta
+// so the matrix distinguishes "the analysis rejects violations" from "the
+// analysis rejects everything". See tests/static_analysis/README.md.
+
+#include "util/annotated_sync.h"
+
+namespace {
+
+// unguarded_access.cc, corrected: take the lock around the guarded read.
+struct Account {
+  habf::Mutex mu;
+  int balance HABF_GUARDED_BY(mu) = 0;
+};
+
+int ReadWithLock(Account& account) {
+  habf::MutexLock lock(account.mu);
+  return account.balance;
+}
+
+// reversed_lock_order.cc, corrected: delta lock first, released before the
+// base pin — the §7 reader order.
+struct DeltaOverBase {
+  habf::SharedMutex delta_mutex HABF_ACQUIRED_BEFORE(base_acquire_order);
+  habf::OrderingToken base_acquire_order;
+  int delta HABF_GUARDED_BY(delta_mutex) = 0;
+};
+
+int OrderedReader(DeltaOverBase& filter) {
+  {
+    habf::ReaderLock lock(filter.delta_mutex);
+    if (filter.delta != 0) return filter.delta;
+  }
+  habf::TokenLock pin(filter.base_acquire_order);
+  return 0;
+}
+
+// leaked_acquire.cc, corrected two ways: balance the hold, or announce it.
+void BalancedLock(habf::Mutex& mu) {
+  mu.Lock();
+  mu.Unlock();
+}
+
+void HandsHoldToCaller(habf::Mutex& mu) HABF_ACQUIRE(mu) { mu.Lock(); }
+
+void ReleasesCallerHold(habf::Mutex& mu) HABF_RELEASE(mu) { mu.Unlock(); }
+
+// shared_write_misuse.cc, corrected: exclusive hold for the write, shared
+// hold for reads.
+struct Stats {
+  habf::SharedMutex mu;
+  int hits HABF_GUARDED_BY(mu) = 0;
+};
+
+void WriteUnderWriterLock(Stats& stats) {
+  habf::WriterLock lock(stats.mu);
+  stats.hits = 1;
+}
+
+int ReadUnderReaderLock(Stats& stats) {
+  habf::ReaderLock lock(stats.mu);
+  return stats.hits;
+}
+
+// Keep everything referenced so -Wunused-function stays quiet.
+int UseAll(Account& account, DeltaOverBase& filter, Stats& stats,
+           habf::Mutex& mu) {
+  BalancedLock(mu);
+  HandsHoldToCaller(mu);
+  ReleasesCallerHold(mu);
+  WriteUnderWriterLock(stats);
+  return ReadWithLock(account) + OrderedReader(filter) +
+         ReadUnderReaderLock(stats);
+}
+
+}  // namespace

@@ -1,0 +1,28 @@
+// Negative-compile case: the DESIGN.md §7 reader order, reversed. The delta
+// lock is declared ACQUIRED_BEFORE the base-pin ordering token (exactly as
+// in core/dynamic_filter.h); a reader that pins the base first and then
+// takes the delta lock could miss a key drained between the two steps, so
+// it must not compile. Expected Clang diagnostic (needs
+// -Wthread-safety-beta; matched by ctest):
+//   mutex 'delta_mutex' must be acquired before 'base_acquire_order'
+// See tests/static_analysis/README.md.
+
+#include "util/annotated_sync.h"
+
+namespace {
+
+struct DeltaOverBase {
+  habf::SharedMutex delta_mutex HABF_ACQUIRED_BEFORE(base_acquire_order);
+  habf::OrderingToken base_acquire_order;
+  int delta HABF_GUARDED_BY(delta_mutex) = 0;
+};
+
+int ReversedReader(DeltaOverBase& filter) {
+  habf::TokenLock pin(filter.base_acquire_order);  // base pinned first...
+  habf::ReaderLock lock(filter.delta_mutex);  // VIOLATION: ...then delta
+  return filter.delta;
+}
+
+int Use(DeltaOverBase& filter) { return ReversedReader(filter); }
+
+}  // namespace

@@ -1,0 +1,23 @@
+// Negative-compile case: writing a guarded field while holding its
+// SharedMutex only in shared (reader) mode. Expected Clang diagnostic
+// (matched by ctest):
+//   writing variable 'hits' requires holding shared_mutex 'mu' exclusively
+// See tests/static_analysis/README.md.
+
+#include "util/annotated_sync.h"
+
+namespace {
+
+struct Stats {
+  habf::SharedMutex mu;
+  int hits HABF_GUARDED_BY(mu) = 0;
+};
+
+void WriteUnderReaderLock(Stats& stats) {
+  habf::ReaderLock lock(stats.mu);
+  stats.hits = 1;  // VIOLATION: shared hold, exclusive write
+}
+
+void Use(Stats& stats) { WriteUnderReaderLock(stats); }
+
+}  // namespace

@@ -1,0 +1,21 @@
+// Negative-compile case: accessing a HABF_GUARDED_BY field without holding
+// its mutex. Expected Clang diagnostic (matched by ctest):
+//   reading variable 'balance' requires holding mutex 'mu'
+// See tests/static_analysis/README.md.
+
+#include "util/annotated_sync.h"
+
+namespace {
+
+struct Account {
+  habf::Mutex mu;
+  int balance HABF_GUARDED_BY(mu) = 0;
+};
+
+int ReadWithoutLock(Account& account) {
+  return account.balance;  // VIOLATION: mu not held
+}
+
+int Use(Account& account) { return ReadWithoutLock(account); }
+
+}  // namespace
