@@ -42,13 +42,17 @@
 #include <utility>
 #include <vector>
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #if defined(__GLIBC__)
 #include <malloc.h>  // malloc_trim
 #endif
 
+#include "core/delta_wal.h"
 #include "core/dynamic_filter.h"
 #include "core/filter_interface.h"
 #include "core/filter_store.h"
@@ -309,6 +313,146 @@ DynamicWorkloadReport MeasureDynamicWorkload(const Dataset& data,
   return report;
 }
 
+/// WAL durability cost (DESIGN.md §10): what an acknowledged mutation pays
+/// for the fsynced delta log, how group commit amortizes that fsync across
+/// concurrent committers, and what a crash-recovery Open costs (snapshot
+/// parse + WAL replay + the collapsing checkpoint).
+struct WalDurabilityReport {
+  bool measured = false;  // false when the temp WAL dir is unusable
+  size_t appends = 0;     // per serial run
+  uint64_t fsync_append_ns = 0;    // serial Append loop, fsync per commit
+  double fsync_appends_per_second = 0.0;
+  uint64_t nofsync_append_ns = 0;  // same loop without fsync (framing cost)
+  double nofsync_appends_per_second = 0.0;
+  size_t group_threads = 0;
+  size_t group_appends = 0;        // total across the committer threads
+  uint64_t group_commit_ns = 0;
+  double group_appends_per_second = 0.0;
+  size_t recovery_base_keys = 0;
+  size_t recovery_wal_records = 0;  // pending mutations Open had to replay
+  uint64_t recovery_open_ns = 0;
+  bool recovery_zero_fn = false;    // every replayed insert answered true
+};
+
+WalDurabilityReport MeasureWalDurability(const Dataset& data, const Args& args,
+                                         size_t effective_threads) {
+  WalDurabilityReport report;
+  const std::string dir =
+      "/tmp/habf_bench_wal_" + std::to_string(static_cast<long>(getpid()));
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) return report;
+
+  // --- serial append cost, fsync on vs off --------------------------------
+  // Append = Enqueue + SyncTo, exactly what an acknowledged Insert/Remove
+  // pays. The fsync run is the durability price; the no-fsync run isolates
+  // the framing + buffering cost around it.
+  report.appends =
+      std::min<size_t>(std::max<size_t>(args.keys / 100, 256), 2048);
+  auto serial_run = [&](bool do_fsync) -> uint64_t {
+    auto wal = DeltaWalWriter::Open(dir, 1, 1, do_fsync);
+    if (wal == nullptr) return 0;
+    Stopwatch watch;
+    for (size_t i = 0; i < report.appends; ++i) {
+      if (wal->Append("bench-wal-" + std::to_string(i), true) == 0) return 0;
+    }
+    const uint64_t ns = watch.ElapsedNanos();
+    wal.reset();
+    RemoveWalFilesBelow(dir, ~uint64_t{0});
+    return ns;
+  };
+  report.fsync_append_ns = serial_run(/*do_fsync=*/true);
+  report.nofsync_append_ns = serial_run(/*do_fsync=*/false);
+  if (report.fsync_append_ns == 0 || report.nofsync_append_ns == 0) {
+    return report;
+  }
+  const double appends_d = static_cast<double>(report.appends);
+  report.fsync_appends_per_second =
+      appends_d / (static_cast<double>(report.fsync_append_ns) * 1e-9);
+  report.nofsync_appends_per_second =
+      appends_d / (static_cast<double>(report.nofsync_append_ns) * 1e-9);
+
+  // --- group commit under concurrent committers ---------------------------
+  // T threads Enqueue + SyncTo concurrently; one flush leader fsyncs the
+  // whole accumulated batch, so total wall time stays far below T serial
+  // runs — the per-append cost *drops* under contention.
+  report.group_threads = std::max<size_t>(effective_threads, 2);
+  {
+    auto wal = DeltaWalWriter::Open(dir, 1, 1, /*do_fsync=*/true);
+    if (wal == nullptr) return report;
+    const size_t per_thread =
+        std::max<size_t>(report.appends / report.group_threads, 1);
+    report.group_appends = per_thread * report.group_threads;
+    std::vector<std::thread> committers;
+    committers.reserve(report.group_threads);
+    Stopwatch watch;
+    for (size_t t = 0; t < report.group_threads; ++t) {
+      committers.emplace_back([&, t] {
+        for (size_t i = 0; i < per_thread; ++i) {
+          const uint64_t seq =
+              wal->Enqueue("bench-wal-" + std::to_string(t) + "-" +
+                               std::to_string(i),
+                           true);
+          if (seq != 0) wal->SyncTo(seq);
+        }
+      });
+    }
+    for (std::thread& th : committers) th.join();
+    report.group_commit_ns = watch.ElapsedNanos();
+    const bool healthy = wal->healthy();
+    wal.reset();
+    RemoveWalFilesBelow(dir, ~uint64_t{0});
+    if (!healthy) return report;
+    report.group_appends_per_second =
+        static_cast<double>(report.group_appends) /
+        (static_cast<double>(std::max<uint64_t>(report.group_commit_ns, 1)) *
+         1e-9);
+  }
+
+  // --- crash-recovery Open -------------------------------------------------
+  // A durable filter with its initial checkpoint plus a pending WAL tail is
+  // dropped without a final checkpoint (the crash), then Open() pays the
+  // full restart: snapshot parse, replay, collapsing checkpoint.
+  report.recovery_base_keys = std::min<size_t>(
+      std::max<size_t>(args.keys / 8, 1000), data.positives.size());
+  std::vector<std::string> base(
+      data.positives.begin(),
+      data.positives.begin() + report.recovery_base_keys);
+  HabfOptions options;
+  options.total_bits = report.recovery_base_keys * 10;
+  ShardedBuildOptions sharding;
+  sharding.num_shards = args.shards;
+  sharding.num_threads = effective_threads;
+  DynamicOptions dynamic;
+  report.recovery_wal_records = std::min<size_t>(report.appends, 1024);
+  {
+    auto filter = std::make_unique<DynamicShardedHabf>(
+        base, std::vector<WeightedKey>{}, options, sharding, dynamic);
+    std::string error;
+    if (!filter->EnableDurability(dir, &error)) return report;
+    for (size_t i = 0; i < report.recovery_wal_records; ++i) {
+      filter->Insert("bench-recover-" + std::to_string(i));
+    }
+  }
+  Stopwatch open_watch;
+  std::string error;
+  auto reopened = DynamicShardedHabf::Open(dir, dynamic, &error);
+  report.recovery_open_ns = open_watch.ElapsedNanos();
+  if (reopened != nullptr) {
+    report.measured = true;
+    report.recovery_zero_fn = true;
+    for (size_t i = 0; i < report.recovery_wal_records; ++i) {
+      if (!reopened->MightContain("bench-recover-" + std::to_string(i))) {
+        report.recovery_zero_fn = false;
+        break;
+      }
+    }
+  }
+  reopened.reset();
+  RemoveWalFilesBelow(dir, ~uint64_t{0});
+  unlink(DynamicSnapshotPath(dir).c_str());
+  rmdir(dir.c_str());
+  return report;
+}
+
 /// Partition-memory comparison of the zero-copy sharded build against the
 /// old copying partition: exact logical byte counts plus per-build peak-RSS
 /// deltas measured in forked children.
@@ -361,7 +505,8 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
                   size_t effective_threads, double speedup,
                   const MemoryReport& memory, const OverlapReport& overlap,
                   const RoutingBalanceReport& routing,
-                  const DynamicWorkloadReport& dynamic) {
+                  const DynamicWorkloadReport& dynamic,
+                  const WalDurabilityReport& wal) {
   if (args.json) {
     std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
                 "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
@@ -438,7 +583,35 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
           static_cast<unsigned long long>(s.rebuild_ns),
           i + 1 < dynamic.sweep.size() ? "," : "");
     }
-    std::printf("    ]\n  }\n}\n");
+    std::printf("    ]\n  },\n");
+    std::printf(
+        "  \"wal_durability\": {\n"
+        "    \"measured\": %s,\n"
+        "    \"appends\": %zu,\n"
+        "    \"fsync_append_ns\": %llu,\n"
+        "    \"fsync_ns_per_append\": %.1f,\n"
+        "    \"fsync_appends_per_second\": %.1f,\n"
+        "    \"nofsync_ns_per_append\": %.1f,\n"
+        "    \"nofsync_appends_per_second\": %.1f,\n"
+        "    \"group_commit_threads\": %zu,\n"
+        "    \"group_commit_appends\": %zu,\n"
+        "    \"group_commit_ns\": %llu,\n"
+        "    \"group_commit_appends_per_second\": %.1f,\n"
+        "    \"recovery_base_keys\": %zu,\n"
+        "    \"recovery_wal_records\": %zu,\n"
+        "    \"recovery_open_ns\": %llu\n  }\n}\n",
+        wal.measured ? "true" : "false", wal.appends,
+        static_cast<unsigned long long>(wal.fsync_append_ns),
+        static_cast<double>(wal.fsync_append_ns) /
+            static_cast<double>(std::max<size_t>(wal.appends, 1)),
+        wal.fsync_appends_per_second,
+        static_cast<double>(wal.nofsync_append_ns) /
+            static_cast<double>(std::max<size_t>(wal.appends, 1)),
+        wal.nofsync_appends_per_second, wal.group_threads, wal.group_appends,
+        static_cast<unsigned long long>(wal.group_commit_ns),
+        wal.group_appends_per_second, wal.recovery_base_keys,
+        wal.recovery_wal_records,
+        static_cast<unsigned long long>(wal.recovery_open_ns));
     return;
   }
   std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
@@ -491,6 +664,25 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         s.dirty_shards, s.shards_rebuilt, dynamic.shards,
         static_cast<double>(s.rebuild_ns) / 1e6, s.keys_drained);
   }
+  if (!wal.measured) {
+    std::printf("wal durability: not measured (temp WAL dir unusable)\n");
+    return;
+  }
+  std::printf(
+      "wal durability: %.1f us/append fsynced (%.0f/s) vs %.2f us/append "
+      "unfsynced (%.0f/s); group commit with %zu committers %.0f appends/s\n",
+      static_cast<double>(wal.fsync_append_ns) /
+          static_cast<double>(std::max<size_t>(wal.appends, 1)) / 1e3,
+      wal.fsync_appends_per_second,
+      static_cast<double>(wal.nofsync_append_ns) /
+          static_cast<double>(std::max<size_t>(wal.appends, 1)) / 1e3,
+      wal.nofsync_appends_per_second, wal.group_threads,
+      wal.group_appends_per_second);
+  std::printf(
+      "crash recovery: Open() over %zu base keys + %zu pending WAL records "
+      "in %.1f ms (snapshot parse + replay + collapsing checkpoint)\n",
+      wal.recovery_base_keys, wal.recovery_wal_records,
+      static_cast<double>(wal.recovery_open_ns) / 1e6);
 }
 
 /// The PR-2 copying partition, kept as the memory-comparison reference: a
@@ -759,7 +951,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- durability: WAL append cost + crash-recovery Open ------------------
+  const WalDurabilityReport wal_durability =
+      MeasureWalDurability(data, args, effective_threads);
+  if (wal_durability.measured && !wal_durability.recovery_zero_fn) {
+    std::fprintf(stderr,
+                 "FATAL: crash-recovery Open dropped an acknowledged "
+                 "mutation\n");
+    return 1;
+  }
+
   PrintResults(results, args, effective_threads, speedup, memory, overlap,
-               routing, dynamic_workload);
+               routing, dynamic_workload, wal_durability);
   return 0;
 }

@@ -127,7 +127,7 @@ if [ "${mode}" = "tsan" ]; then
   # lock-order findings.
   TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
     -j "$(nproc)" \
-    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest|DynamicFilter|AnnotatedSync'
+    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest|DynamicFilter|AnnotatedSync|DeltaWal|CrashRecovery'
   # The skew-aware routing suite (two-choice directory, routing-mode
   # differentials, SHR2/SHRD snapshot fuzz) runs under TSan too: the
   # two-choice build shares the parallel shard pipeline.
@@ -146,6 +146,10 @@ ctest --output-on-failure -j "$(nproc)"
 # The CLI suite writes real files; rerun it highly parallel and repeated so
 # a reintroduced shared-temp-path race fails here instead of flaking in CI.
 ctest --output-on-failure -j 8 --repeat until-fail:2 -R CliTest
+# The golden-fixture gate (committed legacy SHRD/SHR2/HABF snapshots must
+# load bit-exact forever) runs explicitly so a format break can never hide
+# behind a filtered or trimmed test run.
+ctest --output-on-failure -L format_compat
 if [ "${mode}" = "sanitize" ]; then
   # Explicit ASan/UBSan pass over the routing suite (including the snapshot
   # fuzz drivers, which are exactly where a missed bounds check would turn
@@ -159,4 +163,8 @@ if [ "${mode}" = "sanitize" ]; then
   # The annotated-wrapper suite under ASan: RAII release on exception
   # unwinds, condvar timed waits, shared/exclusive handoff.
   ctest --output-on-failure -j "$(nproc)" -L static_analysis
+  # The format_compat gate under ASan: the legacy readers parse committed
+  # bytes, so a bounds slip here is a heap overflow on attacker-shaped
+  # input, not just a wrong answer.
+  ctest --output-on-failure -L format_compat
 fi

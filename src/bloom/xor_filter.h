@@ -17,6 +17,7 @@
 
 #include "core/filter_interface.h"
 #include "util/bitvector.h"
+#include "util/serde.h"  // SnapshotFormat
 
 namespace habf {
 
@@ -50,9 +51,11 @@ class XorFilter {
   static unsigned FingerprintBitsForBudget(size_t total_bits, size_t num_keys);
 
   /// Appends a self-contained snapshot to `*out`.
-  void Serialize(std::string* out) const;
+  void Serialize(std::string* out,
+                 SnapshotFormat format = SnapshotFormat::kHbf1) const;
 
-  /// Restores a filter from Serialize() output; nullopt on format errors.
+  /// Restores a filter from Serialize() output (HBF1 or the legacy "XORF"
+  /// layout, sniffed by magic); nullopt on format errors.
   static std::optional<XorFilter> Deserialize(std::string_view data);
 
  private:

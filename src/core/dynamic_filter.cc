@@ -1,5 +1,7 @@
 #include "core/dynamic_filter.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -63,6 +65,10 @@ Habf CloneShard(const Habf& shard) {
 
 }  // namespace
 
+std::string DynamicSnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.habf";
+}
+
 DynamicShardedHabf::DynamicShardedHabf(std::vector<std::string> positives,
                                        std::vector<WeightedKey> negatives,
                                        const HabfOptions& options,
@@ -117,42 +123,94 @@ size_t DynamicShardedHabf::ShardOfLocked(std::string_view key) const {
   return ShardOf(key);
 }
 
+size_t DynamicShardedHabf::ApplyMutationLocked(std::string_view key,
+                                               bool inserted,
+                                               bool count_stats) {
+  const size_t shard = ShardOfLocked(key);
+  // try_emplace: one hash walk and one string construction, instead of
+  // the find(std::string(key)) + emplace(std::string(key), ...) double
+  // lookup this used to do (PR-7 perf sweep; semantics pinned by
+  // DynamicFilterTest.RemutatedKeyKeepsOneDeltaEntry).
+  auto [it, added] = delta_.try_emplace(
+      std::string(key), DeltaEntry{static_cast<uint32_t>(shard), inserted});
+  if (!added) {
+    it->second.inserted = inserted;
+  } else {
+    delta_filter_.Add(key);
+    ++dirty_[shard];
+    MaybeRotateFrontLocked();
+  }
+  if (count_stats) {
+    if (inserted) {
+      ++stats_.inserts;
+    } else {
+      ++stats_.removes;
+    }
+  }
+  return shard;
+}
+
+void DynamicShardedHabf::MaybeRotateFrontLocked() {
+  const size_t counters = delta_filter_.num_counters();
+  const size_t occupied = delta_.size();
+  const size_t floor_counters = dynamic_options_.delta_counters;
+  size_t target = counters;
+  if (occupied * 8 > counters) {
+    // Grow: doubling to >= 16 counters per resident key keeps the front's
+    // false-positive rate (and hence the exact-map lookup rate for
+    // untouched keys) low through a sustained mutation burst.
+    target = std::max(counters, floor_counters);
+    while (target < occupied * 16) target *= 2;
+  } else if (counters > floor_counters && occupied * 64 < counters) {
+    // Shrink after a drain: fall back toward the configured floor so a
+    // one-off burst does not pin the front's memory forever.
+    target = floor_counters;
+    while (target < occupied * 16) target *= 2;
+  }
+  if (target == counters) return;
+  ++front_generation_;
+  CountingBloomFilter next(
+      target, dynamic_options_.delta_hashes,
+      Fmix64(base_options_.seed ^ kDeltaSeedTag ^
+             (0x9E3779B97F4A7C15ULL * front_generation_)));
+  for (const auto& [key, entry] : delta_) next.Add(key);
+  delta_filter_ = std::move(next);
+  ++stats_.front_rotations;
+}
+
 void DynamicShardedHabf::Insert(std::string_view key) {
-  const size_t shard = ShardOf(key);
+  DeltaWalWriter* wal = nullptr;
+  uint64_t seq = 0;
   {
     WriterLock lock(delta_mutex_);
-    // try_emplace: one hash walk and one string construction, instead of
-    // the find(std::string(key)) + emplace(std::string(key), ...) double
-    // lookup this used to do (PR-7 perf sweep; semantics pinned by
-    // DynamicFilterTest.RemutatedKeyKeepsOneDeltaEntry).
-    auto [it, added] = delta_.try_emplace(
-        std::string(key), DeltaEntry{static_cast<uint32_t>(shard), true});
-    if (!added) {
-      it->second.inserted = true;
-    } else {
-      delta_filter_.Add(key);
-      ++dirty_[shard];
+    const size_t shard = ApplyMutationLocked(key, /*inserted=*/true,
+                                             /*count_stats=*/true);
+    if (wal_ != nullptr) {
+      // Enqueued under the writer lock so the log order equals the apply
+      // order; the fsync (SyncTo below) happens after release so readers
+      // and other writers are never stalled behind the disk.
+      wal = wal_.get();
+      seq = wal->Enqueue(key, true);
     }
-    ++stats_.inserts;
     NotifyCompactorIfDirtyLocked(shard);
   }
+  if (wal != nullptr && seq != 0) wal->SyncTo(seq);
 }
 
 void DynamicShardedHabf::Remove(std::string_view key) {
-  const size_t shard = ShardOf(key);
+  DeltaWalWriter* wal = nullptr;
+  uint64_t seq = 0;
   {
     WriterLock lock(delta_mutex_);
-    auto [it, added] = delta_.try_emplace(
-        std::string(key), DeltaEntry{static_cast<uint32_t>(shard), false});
-    if (!added) {
-      it->second.inserted = false;
-    } else {
-      delta_filter_.Add(key);
-      ++dirty_[shard];
+    const size_t shard = ApplyMutationLocked(key, /*inserted=*/false,
+                                             /*count_stats=*/true);
+    if (wal_ != nullptr) {
+      wal = wal_.get();
+      seq = wal->Enqueue(key, false);
     }
-    ++stats_.removes;
     NotifyCompactorIfDirtyLocked(shard);
   }
+  if (wal != nullptr && seq != 0) wal->SyncTo(seq);
 }
 
 bool DynamicShardedHabf::MightContain(std::string_view key) const {
@@ -414,6 +472,8 @@ CompactionReport DynamicShardedHabf::CompactDirtyShards() {
     ++stats_.compactions;
     stats_.shards_rebuilt += rebuilds.size();
     stats_.keys_drained += drained;
+    // The drain may have left an oversized counting-bloom front behind.
+    MaybeRotateFrontLocked();
   }
 
   report.shards_rebuilt = rebuilds.size();
@@ -422,7 +482,402 @@ CompactionReport DynamicShardedHabf::CompactDirtyShards() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  // Durable mode: every pass that rebuilt a shard ends in a checkpoint, so
+  // the WAL only ever carries the mutations since the last pass and recovery
+  // replay stays short. (A quiet no-op when durability is off.)
+  report.checkpointed = CheckpointLocked(nullptr);
   return report;
+}
+
+bool DynamicShardedHabf::EnableDurability(const std::string& dir,
+                                          std::string* error) {
+  MutexLock compaction_lock(compaction_mutex_);
+  {
+    WriterLock lock(delta_mutex_);
+    if (wal_ != nullptr) return true;  // already durable — idempotent
+    ::mkdir(dir.c_str(), 0777);  // best effort; Open below reports failures
+    std::unique_ptr<DeltaWalWriter> wal = DeltaWalWriter::Open(dir, 1, 1);
+    if (wal == nullptr) {
+      if (error != nullptr) *error = "cannot create WAL in " + dir;
+      return false;
+    }
+    wal_dir_ = dir;
+    wal_ = std::move(wal);
+  }
+  // The initial checkpoint establishes the snapshot the first recovery
+  // will start from (and rotates the log to epoch 2).
+  return CheckpointLocked(error);
+}
+
+bool DynamicShardedHabf::durable() const {
+  ReaderLock lock(delta_mutex_);
+  return wal_ != nullptr && wal_->healthy();
+}
+
+uint64_t DynamicShardedHabf::wal_epoch() const {
+  ReaderLock lock(delta_mutex_);
+  return wal_ == nullptr ? 0 : wal_->epoch();
+}
+
+uint64_t DynamicShardedHabf::wal_last_seq() const {
+  ReaderLock lock(delta_mutex_);
+  return wal_ == nullptr ? 0 : wal_->last_enqueued_seq();
+}
+
+bool DynamicShardedHabf::Checkpoint(std::string* error) {
+  MutexLock compaction_lock(compaction_mutex_);
+  return CheckpointLocked(error);
+}
+
+bool DynamicShardedHabf::CheckpointLocked(std::string* error) {
+  // --- Phase A: rotate the WAL and capture the resident delta under ONE
+  // writer critical section. Everything the snapshot folds in has
+  // seq <= last_seq; everything after lands in epochs >= new_epoch — the
+  // invariant recovery's skip-by-seq replay rests on.
+  std::string wal_dir;
+  uint64_t new_epoch = 0;
+  uint64_t last_seq = 0;
+  std::string delta_payload;
+  {
+    WriterLock lock(delta_mutex_);
+    if (wal_ == nullptr) {
+      if (error != nullptr) *error = "durability is not enabled";
+      return false;
+    }
+    wal_dir = wal_dir_;
+    new_epoch = wal_->epoch() + 1;
+    if (!wal_->Rotate(new_epoch)) {
+      if (error != nullptr) *error = "WAL rotation failed in " + wal_dir;
+      return false;
+    }
+    last_seq = wal_->last_enqueued_seq();
+    BinaryWriter writer(&delta_payload);
+    writer.WriteU64(delta_.size());
+    for (const auto& [key, entry] : delta_) {
+      writer.WriteBytes(key);
+      writer.WriteU8(entry.inserted ? 1 : 0);
+    }
+  }
+
+  // --- Phase B: serialize the rest outside the delta lock. The base and
+  // the authoritative key sets cannot move underneath us — only the
+  // compactor replaces them, and we hold compaction_mutex_.
+  std::string config_payload;
+  {
+    BinaryWriter writer(&config_payload);
+    writer.WriteU64(salt_);
+    writer.WriteU32(static_cast<uint32_t>(num_shards_));
+    writer.WriteDouble(bits_per_key_);
+    writer.WriteU64(base_options_.total_bits);
+    writer.WriteDouble(base_options_.delta);
+    writer.WriteU64(base_options_.k);
+    writer.WriteU8(static_cast<uint8_t>(base_options_.cell_bits));
+    writer.WriteU8(base_options_.fast ? 1 : 0);
+    writer.WriteU8(base_options_.allow_double_adjustment ? 1 : 0);
+    writer.WriteU64(base_options_.seed);
+    writer.WriteU64(compaction_epoch_);
+    writer.WriteU64(new_epoch);
+    writer.WriteU64(last_seq);
+  }
+  std::string base_payload;
+  {
+    TokenLock base_order(base_acquire_order_);
+    const auto snap = base_.Acquire();
+    snap.filter->Serialize(&base_payload, SnapshotFormat::kHbf1);
+  }
+  std::string keys_payload;
+  {
+    BinaryWriter writer(&keys_payload);
+    writer.WriteU32(static_cast<uint32_t>(num_shards_));
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const std::unordered_set<std::string>& keys = ShardKeysUnderCompaction(s);
+      writer.WriteU64(keys.size());
+      for (const std::string& key : keys) writer.WriteBytes(key);
+    }
+  }
+  std::string negatives_payload;
+  {
+    BinaryWriter writer(&negatives_payload);
+    writer.WriteU32(static_cast<uint32_t>(num_shards_));
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const std::vector<WeightedKey>& negatives =
+          ShardNegativesUnderCompaction(s);
+      writer.WriteU64(negatives.size());
+      for (const WeightedKey& wk : negatives) {
+        writer.WriteBytes(wk.key);
+        writer.WriteDouble(wk.cost);
+      }
+    }
+  }
+
+  std::string bytes;
+  SectionWriter container(&bytes, kDynamicContentTag);
+  container.AddSection(kDynamicConfigTag, config_payload);
+  if (!directory_.empty()) {
+    std::string routing_payload;
+    directory_.AppendPayload(&routing_payload);
+    container.AddSection(kDynamicRoutingTag, routing_payload);
+  }
+  container.AddSection(kDynamicBaseTag, base_payload);
+  container.AddSection(kDynamicKeysTag, keys_payload);
+  container.AddSection(kDynamicNegativesTag, negatives_payload);
+  container.AddSection(kDynamicDeltaTag, delta_payload);
+  container.Finish();
+
+  if (!WriteFileBytesAtomic(DynamicSnapshotPath(wal_dir), bytes)) {
+    if (error != nullptr) {
+      *error = "cannot write checkpoint snapshot " + DynamicSnapshotPath(wal_dir);
+    }
+    return false;
+  }
+  // Only after the referencing snapshot is durably on disk may the old
+  // epochs go — a crash before this line replays them harmlessly (skipped
+  // by seq), a crash after needs only the rotated epoch onward.
+  RemoveWalFilesBelow(wal_dir, new_epoch);
+  {
+    WriterLock lock(delta_mutex_);
+    ++stats_.checkpoints;
+  }
+  return true;
+}
+
+DynamicShardedHabf::DynamicShardedHabf(RecoveredState state,
+                                       const DynamicOptions& dynamic)
+    : num_shards_(state.num_shards),
+      salt_(state.salt),
+      directory_(std::move(state.directory)),
+      base_options_(state.base_options),
+      bits_per_key_(state.bits_per_key),
+      dynamic_options_(ValidateDynamicOptions(dynamic)),
+      shard_keys_(std::move(state.shard_keys)),
+      shard_negatives_(std::move(state.shard_negatives)),
+      delta_filter_(dynamic_options_.delta_counters,
+                    dynamic_options_.delta_hashes,
+                    Fmix64(state.base_options.seed ^ kDeltaSeedTag)),
+      compaction_pool_(
+          ComputeCompactionThreads(dynamic_options_, state.num_shards)) {
+  dirty_.assign(num_shards_, 0);
+  compaction_epoch_ = state.compaction_epoch;
+  ShardedFilter<Habf> filter = std::move(*state.base);
+  if (dynamic_options_.query_pool != nullptr) {
+    filter.SetQueryPool(dynamic_options_.query_pool,
+                        dynamic_options_.query_pool_threshold);
+  }
+  base_.Publish(std::move(filter));
+}
+
+bool DynamicShardedHabf::ParseSnapshotBytes(std::string_view bytes,
+                                            RecoveredState* out,
+                                            std::string* error) {
+  const std::optional<SectionReader> container = SectionReader::Parse(bytes);
+  if (!container.has_value() ||
+      container->content_tag() != kDynamicContentTag) {
+    if (error != nullptr) {
+      *error = "checkpoint snapshot is not a DYNF HBF1 container";
+    }
+    return false;
+  }
+  // Find() refuses CRC-damaged sections, so "missing or fails its CRC" is
+  // one condition; the fault-injection tests assert these section names.
+  const auto section = [&container, error](
+                           uint32_t tag,
+                           const char* name) -> std::optional<std::string_view> {
+    std::optional<std::string_view> payload = container->Find(tag);
+    if (!payload.has_value() && error != nullptr) {
+      *error = std::string("checkpoint section ") + name +
+               " is missing or fails its CRC";
+    }
+    return payload;
+  };
+
+  const auto config = section(kDynamicConfigTag, "DCFG");
+  if (!config.has_value()) return false;
+  {
+    BinaryReader reader(*config);
+    out->salt = reader.ReadU64();
+    const uint32_t num_shards = reader.ReadU32();
+    out->bits_per_key = reader.ReadDouble();
+    out->base_options.total_bits = reader.ReadU64();
+    out->base_options.delta = reader.ReadDouble();
+    out->base_options.k = reader.ReadU64();
+    out->base_options.cell_bits = reader.ReadU8();
+    out->base_options.fast = reader.ReadU8() != 0;
+    out->base_options.allow_double_adjustment = reader.ReadU8() != 0;
+    out->base_options.seed = reader.ReadU64();
+    out->compaction_epoch = reader.ReadU64();
+    out->replay_epoch = reader.ReadU64();
+    out->last_seq = reader.ReadU64();
+    if (!reader.ok() || reader.remaining() != 0 || num_shards == 0 ||
+        num_shards > kMaxSnapshotShards ||
+        !std::isfinite(out->bits_per_key) || out->bits_per_key <= 0.0 ||
+        out->replay_epoch == 0) {
+      if (error != nullptr) *error = "checkpoint section DCFG is malformed";
+      return false;
+    }
+    out->num_shards = num_shards;
+  }
+
+  // The routing section is optional (hash routing writes none) — but
+  // "present and CRC-damaged" must not silently degrade to hash routing,
+  // so presence is checked against the raw section table, not Find().
+  bool routing_present = false;
+  for (const SectionReader::Section& s : container->sections()) {
+    if (s.tag == kDynamicRoutingTag) routing_present = true;
+  }
+  if (routing_present) {
+    const auto routing = section(kDynamicRoutingTag, "RDIR");
+    if (!routing.has_value()) return false;
+    std::optional<RoutingDirectory> directory =
+        RoutingDirectory::ParsePayload(*routing, out->num_shards);
+    if (!directory.has_value()) {
+      if (error != nullptr) *error = "checkpoint section RDIR is malformed";
+      return false;
+    }
+    out->directory = std::move(*directory);
+  }
+
+  const auto base_payload = section(kDynamicBaseTag, "BASE");
+  if (!base_payload.has_value()) return false;
+  std::optional<ShardedFilter<Habf>> base =
+      ShardedFilter<Habf>::Deserialize(*base_payload);
+  if (!base.has_value() || base->num_shards() != out->num_shards ||
+      base->salt() != out->salt) {
+    if (error != nullptr) {
+      *error = "checkpoint section BASE does not deserialize";
+    }
+    return false;
+  }
+  out->base.emplace(std::move(*base));
+
+  const auto keys_payload = section(kDynamicKeysTag, "KEYS");
+  if (!keys_payload.has_value()) return false;
+  {
+    BinaryReader reader(*keys_payload);
+    const uint32_t num_shards = reader.ReadU32();
+    bool ok = reader.ok() && num_shards == out->num_shards;
+    if (ok) out->shard_keys.resize(num_shards);
+    for (uint32_t s = 0; ok && s < num_shards; ++s) {
+      const uint64_t count = reader.ReadU64();
+      // Every key costs at least its 8-byte length prefix — bound the
+      // reserve before trusting the count.
+      ok = reader.ok() && count <= reader.remaining() / 8;
+      if (!ok) break;
+      out->shard_keys[s].reserve(count);
+      for (uint64_t i = 0; ok && i < count; ++i) {
+        out->shard_keys[s].insert(reader.ReadBytes());
+        ok = reader.ok();
+      }
+    }
+    if (!ok || reader.remaining() != 0) {
+      if (error != nullptr) *error = "checkpoint section KEYS is malformed";
+      return false;
+    }
+  }
+
+  const auto negatives_payload = section(kDynamicNegativesTag, "NEGS");
+  if (!negatives_payload.has_value()) return false;
+  {
+    BinaryReader reader(*negatives_payload);
+    const uint32_t num_shards = reader.ReadU32();
+    bool ok = reader.ok() && num_shards == out->num_shards;
+    if (ok) out->shard_negatives.resize(num_shards);
+    for (uint32_t s = 0; ok && s < num_shards; ++s) {
+      const uint64_t count = reader.ReadU64();
+      ok = reader.ok() && count <= reader.remaining() / 16;
+      if (!ok) break;
+      out->shard_negatives[s].reserve(count);
+      for (uint64_t i = 0; ok && i < count; ++i) {
+        WeightedKey wk;
+        wk.key = reader.ReadBytes();
+        wk.cost = reader.ReadDouble();
+        ok = reader.ok() && std::isfinite(wk.cost);
+        if (ok) out->shard_negatives[s].push_back(std::move(wk));
+      }
+    }
+    if (!ok || reader.remaining() != 0) {
+      if (error != nullptr) *error = "checkpoint section NEGS is malformed";
+      return false;
+    }
+  }
+
+  const auto delta_payload = section(kDynamicDeltaTag, "DELT");
+  if (!delta_payload.has_value()) return false;
+  {
+    BinaryReader reader(*delta_payload);
+    const uint64_t count = reader.ReadU64();
+    bool ok = reader.ok() && count <= reader.remaining() / 9;
+    if (ok) out->delta.reserve(count);
+    for (uint64_t i = 0; ok && i < count; ++i) {
+      std::string key = reader.ReadBytes();
+      const uint8_t inserted = reader.ReadU8();
+      ok = reader.ok() && inserted <= 1;
+      if (ok) out->delta.emplace_back(std::move(key), inserted != 0);
+    }
+    if (!ok || reader.remaining() != 0) {
+      if (error != nullptr) *error = "checkpoint section DELT is malformed";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<DynamicShardedHabf> DynamicShardedHabf::Open(
+    const std::string& dir, const DynamicOptions& dynamic,
+    std::string* error) {
+  std::string bytes;
+  if (!ReadFileBytes(DynamicSnapshotPath(dir), &bytes)) {
+    if (error != nullptr) {
+      *error = "cannot read checkpoint snapshot " + DynamicSnapshotPath(dir);
+    }
+    return nullptr;
+  }
+  RecoveredState state;
+  if (!ParseSnapshotBytes(bytes, &state, error)) return nullptr;
+
+  WalReplayResult replay =
+      ReplayWalDir(dir, state.replay_epoch, state.last_seq);
+  if (!replay.ok()) {
+    if (error != nullptr) *error = replay.error;
+    return nullptr;
+  }
+
+  // Pull what the constructor does not consume out of `state` before the
+  // move: the resident delta and the WAL tail are applied below under a
+  // real writer lock (the analysis-checked path), not inside the ctor.
+  std::vector<std::pair<std::string, bool>> resident = std::move(state.delta);
+  const uint64_t next_epoch =
+      std::max(replay.max_epoch, state.replay_epoch) + 1;
+  const uint64_t next_seq = std::max(replay.max_seq, state.last_seq) + 1;
+
+  std::unique_ptr<DynamicShardedHabf> filter(
+      new DynamicShardedHabf(std::move(state), dynamic));
+  {
+    WriterLock lock(filter->delta_mutex_);
+    for (const auto& [key, inserted] : resident) {
+      filter->ApplyMutationLocked(key, inserted, /*count_stats=*/false);
+    }
+    // Replay is already in seq order and last-wins idempotent on top of
+    // the snapshot's resident delta.
+    for (const WalRecord& record : replay.records) {
+      filter->ApplyMutationLocked(record.key, record.inserted,
+                                  /*count_stats=*/false);
+    }
+    std::unique_ptr<DeltaWalWriter> wal =
+        DeltaWalWriter::Open(dir, next_epoch, next_seq);
+    if (wal == nullptr) {
+      if (error != nullptr) *error = "cannot reopen WAL in " + dir;
+      return nullptr;
+    }
+    filter->wal_dir_ = dir;
+    filter->wal_ = std::move(wal);
+  }
+  // Collapse the recovered state into a fresh checkpoint: the replayed
+  // epochs are garbage-collected and a second crash recovers from here.
+  {
+    MutexLock compaction_lock(filter->compaction_mutex_);
+    if (!filter->CheckpointLocked(error)) return nullptr;
+  }
+  return filter;
 }
 
 void DynamicShardedHabf::NotifyCompactorIfDirtyLocked(size_t shard) {

@@ -38,19 +38,39 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bloom/counting_bloom.h"
+#include "core/delta_wal.h"
 #include "core/filter_store.h"
 #include "core/sharded_filter.h"
 #include "util/annotated_sync.h"
+#include "util/serde.h"
 
 namespace habf {
+
+/// HBF1 content + section tags of a dynamic-filter checkpoint snapshot
+/// (DESIGN.md §10). The snapshot is the full recoverable state: build
+/// config, routing directory, serialized base, authoritative per-shard key
+/// sets, advisory negatives, and the resident delta — plus the (epoch, seq)
+/// watermark that tells recovery where WAL replay starts.
+constexpr uint32_t kDynamicContentTag = FourCc("DYNF");
+constexpr uint32_t kDynamicConfigTag = FourCc("DCFG");
+constexpr uint32_t kDynamicRoutingTag = FourCc("RDIR");
+constexpr uint32_t kDynamicBaseTag = FourCc("BASE");
+constexpr uint32_t kDynamicKeysTag = FourCc("KEYS");
+constexpr uint32_t kDynamicNegativesTag = FourCc("NEGS");
+constexpr uint32_t kDynamicDeltaTag = FourCc("DELT");
+
+/// The checkpoint snapshot path inside a durability directory.
+std::string DynamicSnapshotPath(const std::string& dir);
 
 /// Tuning knobs of the dynamic tier.
 struct DynamicOptions {
@@ -86,6 +106,8 @@ struct CompactionReport {
   uint64_t rebuild_ns = 0;
   /// FilterStore version of the published base (0 if nothing was published).
   uint64_t published_version = 0;
+  /// True if the pass ended in a durable checkpoint (durable mode only).
+  bool checkpointed = false;
 };
 
 /// Cumulative counters (monotonic; snapshot via stats()).
@@ -95,6 +117,8 @@ struct DynamicStats {
   uint64_t compactions = 0;       // passes that rebuilt at least one shard
   uint64_t shards_rebuilt = 0;    // total across all compactions
   uint64_t keys_drained = 0;      // total delta entries folded into bases
+  uint64_t front_rotations = 0;   // counting-bloom front resizes (grow+shrink)
+  uint64_t checkpoints = 0;       // durable snapshots written
 };
 
 /// A sharded HABF that accepts Insert/Remove after construction and models
@@ -199,6 +223,46 @@ class DynamicShardedHabf {
   void StopBackgroundCompaction()
       HABF_EXCLUDES(lifecycle_mutex_, background_mutex_);
 
+  // --- durability (delta WAL + checkpoint snapshots, DESIGN.md §10) -------
+
+  /// Turns on durability rooted at `dir` (created if missing): writes an
+  /// initial checkpoint snapshot and opens the delta WAL, after which every
+  /// Insert/Remove is framed, CRC'd and fsynced to the log before it
+  /// returns. Idempotent once enabled. False (with *error set) on I/O
+  /// failure — the filter keeps operating memory-only.
+  bool EnableDurability(const std::string& dir, std::string* error = nullptr)
+      HABF_EXCLUDES(compaction_mutex_, delta_mutex_);
+
+  /// True while durability is enabled and the WAL is healthy. A log I/O
+  /// error permanently degrades to memory-only operation (mutations still
+  /// apply in memory; this turning false is the signal).
+  bool durable() const HABF_EXCLUDES(delta_mutex_);
+
+  /// Writes a checkpoint: rotates the WAL to a fresh epoch, crash-atomically
+  /// replaces the snapshot file, then deletes the log epochs the new
+  /// snapshot supersedes. Runs automatically after every compaction pass
+  /// that rebuilt a shard. False if durability is off or on I/O failure.
+  bool Checkpoint(std::string* error = nullptr)
+      HABF_EXCLUDES(compaction_mutex_, delta_mutex_);
+
+  /// Recovers a durable filter from `dir`: parses the checkpoint snapshot,
+  /// replays the WAL tail on top (in sequence order, last-wins, skipping
+  /// records the snapshot already folded in — a torn final record is
+  /// tolerated, anything else corrupt fails by name), re-enables durability
+  /// at a fresh epoch and writes a collapsing checkpoint. Every mutation
+  /// acknowledged before the crash is present afterwards — zero false
+  /// negatives (tests/crash_recovery_test.cc). Returns nullptr with *error
+  /// naming the corrupt section/record on failure.
+  static std::unique_ptr<DynamicShardedHabf> Open(
+      const std::string& dir, const DynamicOptions& dynamic = {},
+      std::string* error = nullptr);
+
+  /// WAL epoch currently appended to (0 when not durable). Test hook.
+  uint64_t wal_epoch() const HABF_EXCLUDES(delta_mutex_);
+
+  /// Last WAL sequence handed out (0 when not durable). Test hook.
+  uint64_t wal_last_seq() const HABF_EXCLUDES(delta_mutex_);
+
   // --- introspection ------------------------------------------------------
 
   size_t num_shards() const { return num_shards_; }
@@ -238,11 +302,62 @@ class DynamicShardedHabf {
     std::vector<std::pair<std::string, bool>> entries;  // (key, inserted)
   };
 
+  /// Checkpoint-parsed state, handed to the recovery constructor. The base
+  /// rides in an optional because ShardedFilter has no default constructor.
+  struct RecoveredState {
+    size_t num_shards = 1;
+    uint64_t salt = kDefaultShardSalt;
+    RoutingDirectory directory;
+    HabfOptions base_options;
+    double bits_per_key = 10.0;
+    uint64_t compaction_epoch = 0;
+    uint64_t replay_epoch = 1;  // WAL replay starts at this epoch...
+    uint64_t last_seq = 0;      // ...skipping records with seq <= this
+    std::optional<ShardedFilter<Habf>> base;
+    std::vector<std::unordered_set<std::string>> shard_keys;
+    std::vector<std::vector<WeightedKey>> shard_negatives;
+    std::vector<std::pair<std::string, bool>> delta;  // (key, inserted)
+  };
+
+  /// Recovery constructor: adopts checkpoint state instead of building.
+  /// The resident delta and WAL tail are applied by Open() afterwards,
+  /// under a real writer lock.
+  DynamicShardedHabf(RecoveredState state, const DynamicOptions& dynamic);
+
+  /// Parses a checkpoint container into *out (no I/O). False with *error
+  /// naming the offending section — the wording the fault-injection tests
+  /// assert on.
+  static bool ParseSnapshotBytes(std::string_view bytes, RecoveredState* out,
+                                 std::string* error);
+
   size_t ShardOfLocked(std::string_view key) const;
   void NotifyCompactorIfDirtyLocked(size_t shard)
       HABF_REQUIRES(delta_mutex_) HABF_EXCLUDES(background_mutex_);
   void BackgroundLoop(std::chrono::milliseconds interval)
       HABF_EXCLUDES(background_mutex_);
+
+  /// The shared mutation body: updates the exact table, the counting-bloom
+  /// front, the dirty counters and (when `count_stats`) the insert/remove
+  /// counters; returns the shard the key routes to. `count_stats` is false
+  /// during recovery replay so recovered stats do not double-count.
+  size_t ApplyMutationLocked(std::string_view key, bool inserted,
+                             bool count_stats) HABF_REQUIRES(delta_mutex_);
+
+  /// Resizes the counting-bloom front when occupancy drifts out of band:
+  /// grows (doubling to >= 16 counters per resident key) once the delta
+  /// exceeds counters/8, shrinks back toward DynamicOptions::delta_counters
+  /// once it falls under counters/64. Re-adds every resident key to the new
+  /// front, so the no-false-negatives-over-the-delta invariant is preserved
+  /// across the swap.
+  void MaybeRotateFrontLocked() HABF_REQUIRES(delta_mutex_);
+
+  /// The checkpoint body. Holding compaction_mutex_ throughout pins the
+  /// base and the authoritative key sets (only the compactor replaces
+  /// them); the WAL rotation and the delta capture share one writer
+  /// critical section, so every record the new snapshot does not fold in
+  /// lives in epochs >= the rotated one.
+  bool CheckpointLocked(std::string* error) HABF_REQUIRES(compaction_mutex_)
+      HABF_EXCLUDES(delta_mutex_);
 
   /// Compaction-path reads of the authoritative key sets (§9 escape E1).
   /// Safe without delta_mutex_ because the compactor is the only writer of
@@ -298,6 +413,15 @@ class DynamicShardedHabf {
   CountingBloomFilter delta_filter_ HABF_GUARDED_BY(delta_mutex_);
   std::vector<size_t> dirty_ HABF_GUARDED_BY(delta_mutex_);
   DynamicStats stats_ HABF_GUARDED_BY(delta_mutex_);
+
+  // Durability (DESIGN.md §10). The writer is installed under the delta
+  // writer lock and never replaced afterwards, so mutators may stash the
+  // raw pointer inside the lock and SyncTo() through it after release —
+  // the WAL append order matches the apply order (both happen under the
+  // writer lock), while the fsync itself never stalls readers.
+  std::string wal_dir_ HABF_GUARDED_BY(delta_mutex_);
+  std::unique_ptr<DeltaWalWriter> wal_ HABF_GUARDED_BY(delta_mutex_);
+  uint64_t front_generation_ HABF_GUARDED_BY(delta_mutex_) = 0;
 
   // The immutable base, hot-swapped by compaction. Pinning a snapshot is a
   // lock-free atomic load; base_acquire_order_ is the annotation-only

@@ -36,9 +36,22 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <utility>
 
+#include "util/serde.h"
+
 namespace habf {
+
+/// HBF1 content + section tags of a FilterStore snapshot (DESIGN.md §10):
+/// the current filter plus the version Publish() assigned it, so a restarted
+/// service can resume serving (and numbering) where it left off. There is no
+/// legacy framing — store persistence is HBF1-native.
+constexpr uint32_t kStoreContentTag = FourCc("STOR");
+constexpr uint32_t kStoreVersionTag = FourCc("SVER");
+constexpr uint32_t kStoreFilterTag = FourCc("SFLT");
 
 /// Serves queries from an immutable current snapshot of F while rebuilds
 /// happen elsewhere. F is typically ShardedFilter<Habf> or Habf but can be
@@ -112,6 +125,86 @@ class FilterStore {
   /// snapshot's version; mid-race it can briefly run ahead of it.
   uint64_t version() const {
     return next_version_.load(std::memory_order_relaxed);
+  }
+
+  // --- persistence (HBF1 container, DESIGN.md §10) ------------------------
+  // Requires `void F::Serialize(std::string*, SnapshotFormat) const` and
+  // `static std::optional<F> F::Deserialize(std::string_view)`.
+
+  /// A snapshot parsed back from SaveToFile output.
+  struct LoadedSnapshot {
+    F filter;
+    uint64_t version = 0;
+  };
+
+  /// Serializes the *current* snapshot (filter + version) into an HBF1
+  /// container. Returns false if nothing has been published yet.
+  bool SerializeCurrent(std::string* out) const {
+    const VersionedSnapshot current = Acquire();
+    if (current.filter == nullptr) return false;
+    std::string version_payload;
+    BinaryWriter(&version_payload).WriteU64(current.version);
+    std::string filter_payload;
+    current.filter->Serialize(&filter_payload, SnapshotFormat::kHbf1);
+    SectionWriter container(out, kStoreContentTag);
+    container.AddSection(kStoreVersionTag, version_payload);
+    container.AddSection(kStoreFilterTag, filter_payload);
+    container.Finish();
+    return true;
+  }
+
+  /// Crash-atomically writes the current snapshot to `path`. False if the
+  /// store is empty or on any I/O error.
+  bool SaveToFile(const std::string& path) const {
+    std::string bytes;
+    if (!SerializeCurrent(&bytes)) return false;
+    return WriteFileBytesAtomic(path, bytes);
+  }
+
+  /// Parses a SerializeCurrent/SaveToFile container without touching any
+  /// store (static): the filter plus the version it was published as.
+  static std::optional<LoadedSnapshot> ParseSnapshot(std::string_view data) {
+    const std::optional<SectionReader> container = SectionReader::Parse(data);
+    if (!container.has_value() ||
+        container->content_tag() != kStoreContentTag) {
+      return std::nullopt;
+    }
+    const std::optional<std::string_view> version_payload =
+        container->Find(kStoreVersionTag);
+    const std::optional<std::string_view> filter_payload =
+        container->Find(kStoreFilterTag);
+    if (!version_payload.has_value() || !filter_payload.has_value()) {
+      return std::nullopt;
+    }
+    BinaryReader version_reader(*version_payload);
+    const uint64_t version = version_reader.ReadU64();
+    if (!version_reader.ok() || version_reader.remaining() != 0 ||
+        version == 0) {
+      return std::nullopt;
+    }
+    std::optional<F> filter = F::Deserialize(*filter_payload);
+    if (!filter.has_value()) return std::nullopt;
+    return LoadedSnapshot{std::move(*filter), version};
+  }
+
+  /// Restores a saved snapshot into this store: the filter is published and
+  /// the version counter fast-forwarded so the restored snapshot keeps (at
+  /// least) its saved version number and later publishes stay monotonic.
+  /// Intended for startup on an empty store; false on I/O or format errors.
+  bool LoadFromFile(const std::string& path) {
+    std::string bytes;
+    if (!ReadFileBytes(path, &bytes)) return false;
+    std::optional<LoadedSnapshot> loaded = ParseSnapshot(bytes);
+    if (!loaded.has_value()) return false;
+    // Fast-forward the version counter to just below the saved version so
+    // the Publish below reassigns exactly it (or later, under races).
+    uint64_t expected = next_version_.load(std::memory_order_relaxed);
+    while (expected < loaded->version - 1 &&
+           !next_version_.compare_exchange_weak(expected, loaded->version - 1,
+                                                std::memory_order_relaxed)) {
+    }
+    Publish(std::move(loaded->filter));
+    return true;
   }
 
  private:

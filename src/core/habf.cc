@@ -673,7 +673,7 @@ void Habf::Builder::ProcessQueue() {
 // ---------------------------------------------------------------------------
 
 namespace {
-constexpr uint32_t kSnapshotMagic = 0x46424148;  // "HABF"
+constexpr uint32_t kSnapshotMagic = 0x46424148;  // "HABF" (legacy format)
 constexpr uint32_t kSnapshotVersion = 1;
 /// Upper bound on total_bits accepted from a snapshot header (8 GiB of
 /// filter). A corrupt or hostile header past this is rejected before
@@ -683,44 +683,131 @@ constexpr uint64_t kMaxSnapshotBits = uint64_t{1} << 36;
 /// beyond that starve the Bloom side entirely and only appear in corrupt
 /// headers.
 constexpr double kMaxSnapshotDelta = 1e6;
+
+// HBF1 content + section tags for an Habf snapshot (DESIGN.md §10).
+constexpr uint32_t kHabfContentTag = FourCc("HABF");
+constexpr uint32_t kOptsTag = FourCc("OPTS");
+constexpr uint32_t kBloomTag = FourCc("BLOM");
+constexpr uint32_t kCellsTag = FourCc("EXPR");
+
+/// Fields common to both snapshot formats, parsed before any validation.
+struct SnapshotFields {
+  HabfOptions options;
+  std::string h0_bytes;
+  uint64_t dynamic_insertions = 0;
+  uint64_t expressor_inserted = 0;
+  std::vector<uint64_t> bloom_words;
+  std::vector<uint64_t> cell_words;
+};
+
+bool ParseLegacySnapshot(std::string_view data, SnapshotFields* fields) {
+  BinaryReader reader(data);
+  if (reader.ReadU32() != kSnapshotMagic) return false;
+  if (reader.ReadU32() != kSnapshotVersion) return false;
+  fields->options.total_bits = reader.ReadU64();
+  fields->options.delta = reader.ReadDouble();
+  fields->options.k = reader.ReadU64();
+  fields->options.cell_bits = reader.ReadU8();
+  fields->options.fast = reader.ReadU8() != 0;
+  fields->options.seed = reader.ReadU64();
+  fields->h0_bytes = reader.ReadBytes();
+  fields->dynamic_insertions = reader.ReadU64();
+  fields->expressor_inserted = reader.ReadU64();
+  fields->bloom_words = reader.ReadWords();
+  fields->cell_words = reader.ReadWords();
+  return reader.ok() && reader.remaining() == 0;
+}
+
+bool ParseHbf1Snapshot(std::string_view data, SnapshotFields* fields) {
+  const std::optional<SectionReader> container = SectionReader::Parse(data);
+  if (!container.has_value() ||
+      container->content_tag() != kHabfContentTag) {
+    return false;
+  }
+  const std::optional<std::string_view> opts = container->Find(kOptsTag);
+  const std::optional<std::string_view> bloom = container->Find(kBloomTag);
+  const std::optional<std::string_view> cells = container->Find(kCellsTag);
+  if (!opts.has_value() || !bloom.has_value() || !cells.has_value()) {
+    return false;
+  }
+  BinaryReader opts_reader(*opts);
+  fields->options.total_bits = opts_reader.ReadU64();
+  fields->options.delta = opts_reader.ReadDouble();
+  fields->options.k = opts_reader.ReadU64();
+  fields->options.cell_bits = opts_reader.ReadU8();
+  fields->options.fast = opts_reader.ReadU8() != 0;
+  fields->options.seed = opts_reader.ReadU64();
+  fields->h0_bytes = opts_reader.ReadBytes();
+  fields->dynamic_insertions = opts_reader.ReadU64();
+  fields->expressor_inserted = opts_reader.ReadU64();
+  if (!opts_reader.ok() || opts_reader.remaining() != 0) return false;
+  BinaryReader bloom_reader(*bloom);
+  fields->bloom_words = bloom_reader.ReadWords();
+  if (!bloom_reader.ok() || bloom_reader.remaining() != 0) return false;
+  BinaryReader cells_reader(*cells);
+  fields->cell_words = cells_reader.ReadWords();
+  return cells_reader.ok() && cells_reader.remaining() == 0;
+}
 }  // namespace
 
-void Habf::Serialize(std::string* out) const {
-  BinaryWriter writer(out);
-  writer.WriteU32(kSnapshotMagic);
-  writer.WriteU32(kSnapshotVersion);
-  writer.WriteU64(options_.total_bits);
-  writer.WriteDouble(options_.delta);
-  writer.WriteU64(options_.k);
-  writer.WriteU8(static_cast<uint8_t>(options_.cell_bits));
-  writer.WriteU8(options_.fast ? 1 : 0);
-  writer.WriteU64(options_.seed);
-  writer.WriteBytes(std::string_view(
+void Habf::Serialize(std::string* out, SnapshotFormat format) const {
+  if (format == SnapshotFormat::kLegacy) {
+    // Byte-exact pre-HBF1 writer: format_compat fixtures pin this layout.
+    BinaryWriter writer(out);
+    writer.WriteU32(kSnapshotMagic);
+    writer.WriteU32(kSnapshotVersion);
+    writer.WriteU64(options_.total_bits);
+    writer.WriteDouble(options_.delta);
+    writer.WriteU64(options_.k);
+    writer.WriteU8(static_cast<uint8_t>(options_.cell_bits));
+    writer.WriteU8(options_.fast ? 1 : 0);
+    writer.WriteU64(options_.seed);
+    writer.WriteBytes(std::string_view(
+        reinterpret_cast<const char*>(h0_.data()), h0_.size()));
+    writer.WriteU64(dynamic_insertions_);
+    writer.WriteU64(expressor_.num_inserted());
+    writer.WriteWords(bloom_.bits().words());
+    writer.WriteWords(expressor_.cells().words());
+    return;
+  }
+
+  std::string opts;
+  BinaryWriter opts_writer(&opts);
+  opts_writer.WriteU64(options_.total_bits);
+  opts_writer.WriteDouble(options_.delta);
+  opts_writer.WriteU64(options_.k);
+  opts_writer.WriteU8(static_cast<uint8_t>(options_.cell_bits));
+  opts_writer.WriteU8(options_.fast ? 1 : 0);
+  opts_writer.WriteU64(options_.seed);
+  opts_writer.WriteBytes(std::string_view(
       reinterpret_cast<const char*>(h0_.data()), h0_.size()));
-  writer.WriteU64(dynamic_insertions_);
-  writer.WriteU64(expressor_.num_inserted());
-  writer.WriteWords(bloom_.bits().words());
-  writer.WriteWords(expressor_.cells().words());
+  opts_writer.WriteU64(dynamic_insertions_);
+  opts_writer.WriteU64(expressor_.num_inserted());
+
+  std::string bloom;
+  BinaryWriter(&bloom).WriteWords(bloom_.bits().words());
+  std::string cells;
+  BinaryWriter(&cells).WriteWords(expressor_.cells().words());
+
+  SectionWriter container(out, kHabfContentTag);
+  container.AddSection(kOptsTag, opts);
+  container.AddSection(kBloomTag, bloom);
+  container.AddSection(kCellsTag, cells);
+  container.Finish();
 }
 
 std::optional<Habf> Habf::Deserialize(std::string_view data) {
-  BinaryReader reader(data);
-  if (reader.ReadU32() != kSnapshotMagic) return std::nullopt;
-  if (reader.ReadU32() != kSnapshotVersion) return std::nullopt;
-
-  HabfOptions options;
-  options.total_bits = reader.ReadU64();
-  options.delta = reader.ReadDouble();
-  options.k = reader.ReadU64();
-  options.cell_bits = reader.ReadU8();
-  options.fast = reader.ReadU8() != 0;
-  options.seed = reader.ReadU64();
-  const std::string h0_bytes = reader.ReadBytes();
-  const uint64_t dynamic_insertions = reader.ReadU64();
-  const uint64_t expressor_inserted = reader.ReadU64();
-  std::vector<uint64_t> bloom_words = reader.ReadWords();
-  std::vector<uint64_t> cell_words = reader.ReadWords();
-  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  SnapshotFields fields;
+  const bool parsed = SectionReader::LooksLikeContainer(data)
+                          ? ParseHbf1Snapshot(data, &fields)
+                          : ParseLegacySnapshot(data, &fields);
+  if (!parsed) return std::nullopt;
+  HabfOptions& options = fields.options;
+  const std::string& h0_bytes = fields.h0_bytes;
+  const uint64_t dynamic_insertions = fields.dynamic_insertions;
+  const uint64_t expressor_inserted = fields.expressor_inserted;
+  std::vector<uint64_t>& bloom_words = fields.bloom_words;
+  std::vector<uint64_t>& cell_words = fields.cell_words;
   if (options.total_bits < 64 || options.total_bits > kMaxSnapshotBits ||
       options.cell_bits < 2 || options.cell_bits > 8 || options.k == 0 ||
       options.k > 16 || !std::isfinite(options.delta) ||
@@ -753,9 +840,9 @@ std::optional<Habf> Habf::Deserialize(std::string_view data) {
   return habf;
 }
 
-bool Habf::SaveToFile(const std::string& path) const {
+bool Habf::SaveToFile(const std::string& path, SnapshotFormat format) const {
   std::string bytes;
-  Serialize(&bytes);
+  Serialize(&bytes, format);
   // Atomic replace: a crash mid-save can never leave a torn snapshot that
   // only surfaces at load time.
   return WriteFileBytesAtomic(path, bytes);

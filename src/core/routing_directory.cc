@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "hashing/hash_function.h"  // Fmix64
+#include "util/serde.h"
 
 namespace habf {
 
@@ -82,6 +84,48 @@ double RoutingDirectory::MaxMeanWeightRatio() const {
   }
   if (total <= 0.0) return 1.0;
   return max_weight / (total / static_cast<double>(shard_weights.size()));
+}
+
+void RoutingDirectory::AppendPayload(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.WriteU32(static_cast<uint32_t>(bucket_to_shard.size()));
+  for (const uint16_t shard : bucket_to_shard) {
+    writer.WriteU8(static_cast<uint8_t>(shard & 0xFF));
+    writer.WriteU8(static_cast<uint8_t>(shard >> 8));
+  }
+  writer.WriteU32(static_cast<uint32_t>(shard_weights.size()));
+  for (const double weight : shard_weights) writer.WriteDouble(weight);
+}
+
+std::optional<RoutingDirectory> RoutingDirectory::ParsePayload(
+    std::string_view payload, size_t expected_shards) {
+  BinaryReader reader(payload);
+  const uint32_t num_buckets = reader.ReadU32();
+  if (!reader.ok() || num_buckets == 0 || num_buckets > kMaxRoutingBuckets ||
+      reader.remaining() < size_t{num_buckets} * 2) {
+    return std::nullopt;
+  }
+  RoutingDirectory directory;
+  directory.bucket_to_shard.resize(num_buckets);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    const uint16_t lo = reader.ReadU8();
+    const uint16_t hi = reader.ReadU8();
+    const uint16_t shard = static_cast<uint16_t>(lo | (hi << 8));
+    if (shard >= expected_shards) return std::nullopt;
+    directory.bucket_to_shard[b] = shard;
+  }
+  const uint32_t num_shards = reader.ReadU32();
+  if (!reader.ok() || num_shards != expected_shards ||
+      reader.remaining() != size_t{num_shards} * 8) {
+    return std::nullopt;
+  }
+  directory.shard_weights.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const double weight = reader.ReadDouble();
+    if (!std::isfinite(weight) || weight < 0.0) return std::nullopt;
+    directory.shard_weights[s] = weight;
+  }
+  return directory;
 }
 
 double UniformRoutingMaxMeanRatio(

@@ -29,6 +29,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -79,6 +81,19 @@ struct RoutingDirectory {
   /// bound and `habf_tool stats` reports. 1.0 is perfect balance; returns
   /// 1.0 when the total weight is zero (nothing to balance).
   double MaxMeanWeightRatio() const;
+
+  /// Appends the directory as an HBF1 section payload ("RDIR" in both the
+  /// sharded and dynamic snapshots, DESIGN.md §10): u32 num_buckets, u16
+  /// little-endian entries, u32 num_shards, f64 weights.
+  void AppendPayload(std::string* out) const;
+
+  /// Parses an AppendPayload() section. `expected_shards` cross-checks the
+  /// enclosing snapshot's shard count: every entry must name one of its
+  /// shards. Returns nullopt on any bound violation, entry out of range,
+  /// non-finite/negative weight, or trailing bytes — all checked before the
+  /// directory vectors are sized.
+  static std::optional<RoutingDirectory> ParsePayload(std::string_view payload,
+                                                      size_t expected_shards);
 };
 
 /// Builds the two-choice directory: buckets are assigned heaviest-first

@@ -56,6 +56,14 @@ constexpr uint32_t kShardedSnapshotVersionV2 = 1;
 /// larger is a corrupt or hostile file, not a real deployment.
 constexpr size_t kMaxSnapshotShards = 4096;
 
+/// HBF1 content + section tags of the sharded snapshot (DESIGN.md §10).
+/// SCFG carries salt + shard count, RDIR the two-choice routing directory
+/// (absent under uniform routing), SHDS the per-shard sub-snapshots.
+constexpr uint32_t kShardedContentTag = FourCc("SHRD");
+constexpr uint32_t kShardedConfigTag = FourCc("SCFG");
+constexpr uint32_t kShardedRoutingTag = FourCc("RDIR");
+constexpr uint32_t kShardedShardsTag = FourCc("SHDS");
+
 /// How keys are mapped to shards, at build and query time alike.
 enum class RoutingMode : uint8_t {
   /// shard = XxHash64(key, salt) % num_shards. Balances key *counts*; blind
@@ -110,7 +118,7 @@ struct ShardedBuildOptions {
 
 /// A filter hash-partitioned into independent per-shard filters. F must
 /// model the Filter concept; Serialize/Deserialize additionally require
-/// `void F::Serialize(std::string*) const` and
+/// `void F::Serialize(std::string*, SnapshotFormat) const` and
 /// `static std::optional<F> F::Deserialize(std::string_view)`.
 template <typename F>
 class ShardedFilter {
@@ -323,45 +331,79 @@ class ShardedFilter {
 
   // --- persistence (versioned sharded snapshot) ---------------------------
 
-  /// Appends the sharded snapshot: framing header plus one length-prefixed
-  /// sub-snapshot per shard (each produced by F::Serialize). A uniform
-  /// filter writes the legacy SHRD framing — byte-identical to pre-routing
-  /// builds — while a two-choice filter writes SHR2, which additionally
-  /// persists the bucket directory and the per-shard routed weights.
-  void Serialize(std::string* out) const {
-    BinaryWriter writer(out);
-    if (directory_.empty()) {
-      writer.WriteU32(kShardedSnapshotMagic);
-      writer.WriteU32(kShardedSnapshotVersion);
-      writer.WriteU64(salt_);
-      writer.WriteU32(static_cast<uint32_t>(shards_.size()));
-    } else {
-      writer.WriteU32(kShardedSnapshotMagicV2);
-      writer.WriteU32(kShardedSnapshotVersionV2);
-      writer.WriteU64(salt_);
-      writer.WriteU32(static_cast<uint32_t>(shards_.size()));
-      writer.WriteU32(static_cast<uint32_t>(directory_.num_buckets()));
-      for (const uint16_t shard : directory_.bucket_to_shard) {
-        writer.WriteU8(static_cast<uint8_t>(shard & 0xFF));
-        writer.WriteU8(static_cast<uint8_t>(shard >> 8));
+  /// Appends the sharded snapshot. The default is the HBF1 sectioned
+  /// container (content "SHRD"; DESIGN.md §10): an SCFG section (salt +
+  /// shard count), an RDIR section for two-choice routing, and an SHDS
+  /// section of length-prefixed per-shard sub-snapshots (each produced by
+  /// F::Serialize in the same format). kLegacy emits the byte-exact
+  /// pre-HBF1 framing — SHRD for uniform routing, SHR2 (directory +
+  /// per-shard routed weights) for two-choice — for old readers and the
+  /// format_compat fixtures.
+  void Serialize(std::string* out,
+                 SnapshotFormat format = SnapshotFormat::kHbf1) const {
+    if (format == SnapshotFormat::kLegacy) {
+      BinaryWriter writer(out);
+      if (directory_.empty()) {
+        writer.WriteU32(kShardedSnapshotMagic);
+        writer.WriteU32(kShardedSnapshotVersion);
+        writer.WriteU64(salt_);
+        writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+      } else {
+        writer.WriteU32(kShardedSnapshotMagicV2);
+        writer.WriteU32(kShardedSnapshotVersionV2);
+        writer.WriteU64(salt_);
+        writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+        writer.WriteU32(static_cast<uint32_t>(directory_.num_buckets()));
+        for (const uint16_t shard : directory_.bucket_to_shard) {
+          writer.WriteU8(static_cast<uint8_t>(shard & 0xFF));
+          writer.WriteU8(static_cast<uint8_t>(shard >> 8));
+        }
+        for (const double weight : directory_.shard_weights) {
+          writer.WriteDouble(weight);
+        }
       }
-      for (const double weight : directory_.shard_weights) {
-        writer.WriteDouble(weight);
+      for (const F& shard : shards_) {
+        std::string sub;
+        shard.Serialize(&sub, SnapshotFormat::kLegacy);
+        writer.WriteBytes(sub);
       }
+      return;
     }
+
+    std::string config;
+    BinaryWriter config_writer(&config);
+    config_writer.WriteU64(salt_);
+    config_writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+
+    std::string shard_blob;
+    BinaryWriter shard_writer(&shard_blob);
     for (const F& shard : shards_) {
       std::string sub;
-      shard.Serialize(&sub);
-      writer.WriteBytes(sub);
+      shard.Serialize(&sub, SnapshotFormat::kHbf1);
+      shard_writer.WriteBytes(sub);
     }
+
+    SectionWriter container(out, kShardedContentTag);
+    container.AddSection(kShardedConfigTag, config);
+    if (!directory_.empty()) {
+      std::string routing;
+      directory_.AppendPayload(&routing);
+      container.AddSection(kShardedRoutingTag, routing);
+    }
+    container.AddSection(kShardedShardsTag, shard_blob);
+    container.Finish();
   }
 
-  /// Restores a sharded filter from either framing (legacy SHRD or SHR2).
-  /// Returns nullopt on any framing error, an out-of-range shard or bucket
-  /// count, a directory entry naming a nonexistent shard, a non-finite or
-  /// negative routed weight, trailing garbage, or a sub-snapshot F rejects.
-  /// Every header bound is checked *before* the corresponding allocation.
+  /// Restores a sharded filter from any accepted framing — HBF1, legacy
+  /// SHRD, or legacy SHR2, sniffed by magic. Returns nullopt on any framing
+  /// error, an out-of-range shard or bucket count, a directory entry naming
+  /// a nonexistent shard, a non-finite or negative routed weight, trailing
+  /// garbage, a section CRC mismatch, or a sub-snapshot F rejects. Every
+  /// header bound is checked *before* the corresponding allocation.
   static std::optional<ShardedFilter> Deserialize(std::string_view data) {
+    if (SectionReader::LooksLikeContainer(data)) {
+      return DeserializeHbf1(data);
+    }
     BinaryReader reader(data);
     const uint32_t magic = reader.ReadU32();
     const bool two_choice = magic == kShardedSnapshotMagicV2;
@@ -414,9 +456,10 @@ class ShardedFilter {
     return ShardedFilter(std::move(shards), salt, std::move(directory));
   }
 
-  bool SaveToFile(const std::string& path) const {
+  bool SaveToFile(const std::string& path,
+                  SnapshotFormat format = SnapshotFormat::kHbf1) const {
     std::string bytes;
-    Serialize(&bytes);
+    Serialize(&bytes, format);
     // Atomic replace: a crash mid-save can never leave a torn snapshot that
     // only surfaces at load time.
     return WriteFileBytesAtomic(path, bytes);
@@ -429,6 +472,53 @@ class ShardedFilter {
   }
 
  private:
+  /// HBF1 arm of Deserialize: sections looked up by tag (unknown tags are
+  /// skipped for forward compat), every payload CRC-checked by Find before
+  /// its bytes are parsed.
+  static std::optional<ShardedFilter> DeserializeHbf1(std::string_view data) {
+    const std::optional<SectionReader> container = SectionReader::Parse(data);
+    if (!container.has_value() ||
+        container->content_tag() != kShardedContentTag) {
+      return std::nullopt;
+    }
+    const std::optional<std::string_view> config =
+        container->Find(kShardedConfigTag);
+    const std::optional<std::string_view> shard_blob =
+        container->Find(kShardedShardsTag);
+    if (!config.has_value() || !shard_blob.has_value()) return std::nullopt;
+
+    BinaryReader config_reader(*config);
+    const uint64_t salt = config_reader.ReadU64();
+    const uint32_t num_shards = config_reader.ReadU32();
+    if (!config_reader.ok() || config_reader.remaining() != 0 ||
+        num_shards == 0 || num_shards > kMaxSnapshotShards) {
+      return std::nullopt;
+    }
+
+    RoutingDirectory directory;
+    const std::optional<std::string_view> routing =
+        container->Find(kShardedRoutingTag);
+    if (routing.has_value()) {
+      std::optional<RoutingDirectory> parsed =
+          RoutingDirectory::ParsePayload(*routing, num_shards);
+      if (!parsed.has_value()) return std::nullopt;
+      directory = std::move(*parsed);
+    }
+
+    BinaryReader shard_reader(*shard_blob);
+    std::vector<F> shards;
+    shards.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const std::string sub = shard_reader.ReadBytes();
+      if (!shard_reader.ok()) return std::nullopt;
+      std::optional<F> shard = F::Deserialize(sub);
+      if (!shard.has_value()) return std::nullopt;
+      shards.push_back(std::move(*shard));
+    }
+    if (shard_reader.remaining() != 0) return std::nullopt;
+    return ShardedFilter(std::move(shards), salt, std::move(directory));
+  }
+
   /// Per-thread grouping workspace of ContainsBatch.
   struct BatchScratch {
     std::vector<uint32_t> shard_of;

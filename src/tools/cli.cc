@@ -5,11 +5,13 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_set>
 
+#include "core/delta_wal.h"
 #include "core/dynamic_filter.h"
 #include "core/filter_interface.h"
 #include "core/filter_store.h"
@@ -31,14 +33,17 @@ constexpr char kUsage[] =
     "           [--bits-per-key N] [--delta D] [--k K] [--cell-bits C]\n"
     "           [--fast] [--shards N] [--threads T]\n"
     "           [--routing uniform|two-choice] [--routing-buckets B]\n"
+    "           [--snapshot-format hbf1|legacy]\n"
     "  query    --filter FILTER (--key KEY ... | --keys FILE)\n"
     "           [--parallel-batch] [--threads T]\n"
     "  stats    --filter FILTER\n"
     "  eval     --filter FILTER --negatives FILE\n"
+    "  inspect  <snapshot>   (HBF1 section table, or legacy format by magic)\n"
     "  generate --dataset shalla|ycsb --positives FILE --negatives FILE\n"
     "           [--count N] [--zipf THETA] [--seed S]\n"
     "  serve-sim --positives FILE [--negatives FILE] [build flags]\n"
-    "           [--rebuilds R] [--batch B] [--mutate-rate R]\n";
+    "           [--rebuilds R] [--batch B] [--mutate-rate R]\n"
+    "           [--wal-dir DIR] [--kill-recover]\n";
 
 /// Parsed flags: --name value pairs, repeated flags collected, bare --fast
 /// style booleans mapped to "1".
@@ -63,7 +68,7 @@ std::optional<Flags> ParseFlags(const std::vector<std::string>& args,
       return std::nullopt;
     }
     const std::string name = arg.substr(2);
-    if (name == "fast" || name == "parallel-batch") {
+    if (name == "fast" || name == "parallel-batch" || name == "kill-recover") {
       flags.values[name].push_back("1");
       continue;
     }
@@ -250,6 +255,23 @@ int ParseBuildFlags(const Flags& flags, size_t num_positives,
   return 0;
 }
 
+/// --snapshot-format: HBF1 is the default writer; `legacy` is the escape
+/// hatch that emits the byte-exact pre-HBF1 format for old readers.
+bool ParseSnapshotFormat(const Flags& flags, SnapshotFormat* format,
+                         std::string* err) {
+  if (const std::string* v = flags.GetOne("snapshot-format")) {
+    if (*v == "legacy") {
+      *format = SnapshotFormat::kLegacy;
+    } else if (*v == "hbf1") {
+      *format = SnapshotFormat::kHbf1;
+    } else {
+      *err += BadFlag("snapshot-format", *v, "expected 'hbf1' or 'legacy'");
+      return false;
+    }
+  }
+  return true;
+}
+
 int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
   const std::string* positives_path = flags.GetOne("positives");
   const std::string* out_path = flags.GetOne("out");
@@ -274,11 +296,13 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
           ParseBuildFlags(flags, positives.size(), &options, &sharding, err)) {
     return code;
   }
+  SnapshotFormat format = SnapshotFormat::kHbf1;
+  if (!ParseSnapshotFormat(flags, &format, err)) return 1;
 
   if (sharding.num_shards > 1) {
     const ShardedFilter<Habf> filter =
         BuildShardedHabf(positives, negatives, options, sharding);
-    if (!filter.SaveToFile(*out_path)) {
+    if (!filter.SaveToFile(*out_path, format)) {
       *err += "cannot write " + *out_path + "\n";
       return 2;
     }
@@ -303,7 +327,7 @@ int CmdBuild(const Flags& flags, std::string* out, std::string* err) {
   }
 
   const Habf filter = Habf::Build(positives, negatives, options);
-  if (!filter.SaveToFile(*out_path)) {
+  if (!filter.SaveToFile(*out_path, format)) {
     *err += "cannot write " + *out_path + "\n";
     return 2;
   }
@@ -499,6 +523,108 @@ int CmdStats(const Flags& flags, std::string* out, std::string* err) {
   return 0;
 }
 
+/// Renders a four-character tag for the inspect table; non-printable bytes
+/// fall back to the hex value so a hostile tag cannot garble the terminal.
+std::string RenderTag(uint32_t tag) {
+  char text[5] = {static_cast<char>(tag & 0xFF),
+                  static_cast<char>((tag >> 8) & 0xFF),
+                  static_cast<char>((tag >> 16) & 0xFF),
+                  static_cast<char>((tag >> 24) & 0xFF), '\0'};
+  for (char c : std::string_view(text, 4)) {
+    if (c < 0x20 || c > 0x7E) {
+      char hex[16];
+      std::snprintf(hex, sizeof(hex), "0x%08X", tag);
+      return hex;
+    }
+  }
+  return text;
+}
+
+/// `habf_tool inspect <snapshot>`: dumps the HBF1 section table (tag,
+/// offset, length, CRC, verified/corrupt) or identifies a legacy snapshot
+/// by its magic. Exit 0 = intact HBF1 or a recognized legacy format; exit 2
+/// = unreadable, unparseable, or at least one corrupt section (the table is
+/// still printed so the bad section is visible).
+int CmdInspect(const std::string& path, std::string* out, std::string* err) {
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    *err += "cannot read " + path + "\n";
+    return 2;
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "file: %s (%zu bytes)\n", path.c_str(),
+                bytes.size());
+  *out += line;
+
+  if (!SectionReader::LooksLikeContainer(bytes)) {
+    // Legacy (or foreign) file: identify by magic only — the point of the
+    // compat matrix is that these bytes never change, so there is no
+    // section table to show.
+    const uint32_t magic = BinaryReader(bytes).ReadU32();
+    const char* what = nullptr;
+    switch (magic) {
+      case 0x46424148: what = "legacy HABF filter snapshot"; break;
+      case kShardedSnapshotMagic: what = "legacy SHRD uniform sharded snapshot"; break;
+      case kShardedSnapshotMagicV2: what = "legacy SHR2 two-choice sharded snapshot"; break;
+      case 0x46524F58: what = "legacy XORF xor-filter snapshot"; break;
+      case kWalMagic: what = "HWAL delta WAL segment"; break;
+      default: break;
+    }
+    if (what == nullptr) {
+      std::snprintf(line, sizeof(line), "format: unknown (magic=0x%08X)\n",
+                    magic);
+      *out += line;
+      *err += "unrecognized snapshot format\n";
+      return 2;
+    }
+    std::snprintf(line, sizeof(line), "format: %s (magic=%s)\n", what,
+                  RenderTag(magic).c_str());
+    *out += line;
+    return 0;
+  }
+
+  const std::optional<SectionReader> container = SectionReader::Parse(bytes);
+  if (!container.has_value()) {
+    *out += "format: HBF1 container (framing invalid)\n";
+    *err += "HBF1 framing error: bad version, section count, length, or "
+            "trailing bytes\n";
+    return 2;
+  }
+  std::snprintf(line, sizeof(line),
+                "format: HBF1 container content=%s sections=%zu\n",
+                RenderTag(container->content_tag()).c_str(),
+                container->sections().size());
+  *out += line;
+  size_t corrupt = 0;
+  for (size_t i = 0; i < container->sections().size(); ++i) {
+    const SectionReader::Section& section = container->sections()[i];
+    if (section.crc_ok) {
+      std::snprintf(line, sizeof(line),
+                    "  [%zu] tag=%-10s offset=%-8zu length=%-10llu "
+                    "crc=0x%08X verified\n",
+                    i, RenderTag(section.tag).c_str(), section.payload_offset,
+                    static_cast<unsigned long long>(section.length),
+                    section.stored_crc);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  [%zu] tag=%-10s offset=%-8zu length=%-10llu "
+                    "crc=0x%08X CORRUPT (computed 0x%08X)\n",
+                    i, RenderTag(section.tag).c_str(), section.payload_offset,
+                    static_cast<unsigned long long>(section.length),
+                    section.stored_crc, section.computed_crc);
+      ++corrupt;
+    }
+    *out += line;
+  }
+  if (corrupt > 0) {
+    std::snprintf(line, sizeof(line), "%zu corrupt section(s)\n", corrupt);
+    *err += line;
+    return 2;
+  }
+  *out += "all sections verified\n";
+  return 0;
+}
+
 int CmdEval(const Flags& flags, std::string* out, std::string* err) {
   auto filter = LoadFilter(flags, err);
   if (!filter.has_value()) return 2;
@@ -604,8 +730,9 @@ int RunDynamicServeSim(std::vector<std::string> positives,
                        std::vector<WeightedKey> negatives,
                        const HabfOptions& options,
                        const ShardedBuildOptions& sharding, double mutate_rate,
-                       size_t rounds, size_t batch, std::string* out,
-                       std::string* err) {
+                       size_t rounds, size_t batch,
+                       const std::string* wal_dir, bool kill_recover,
+                       std::string* out, std::string* err) {
   // Query pool: every key ever known, members or not (removed keys stay —
   // querying them exercises the tombstone path; they just aren't asserted).
   std::vector<std::string> all_keys = positives;
@@ -615,8 +742,19 @@ int RunDynamicServeSim(std::vector<std::string> positives,
   // Threshold 0: any mutated shard compacts, so every round with mutations
   // publishes — deterministic round/compaction accounting for the report.
   dynamic.dirty_fraction_threshold = 0.0;
-  DynamicShardedHabf filter(std::move(positives), std::move(negatives),
-                            options, sharding, dynamic);
+  // Heap-owned so --kill-recover can destroy the filter mid-run the way a
+  // crash would (no checkpoint, WAL tail left on disk).
+  auto filter_owner = std::make_unique<DynamicShardedHabf>(
+      std::move(positives), std::move(negatives), options, sharding, dynamic);
+  DynamicShardedHabf& filter = *filter_owner;
+  if (wal_dir != nullptr) {
+    std::string durability_error;
+    if (!filter.EnableDurability(*wal_dir, &durability_error)) {
+      *err += "serve-sim: cannot enable durability in " + *wal_dir + ": " +
+              durability_error + "\n";
+      return 2;
+    }
+  }
 
   std::vector<uint8_t> answers(batch);
   std::vector<std::string_view> views;
@@ -732,6 +870,35 @@ int RunDynamicServeSim(std::vector<std::string> positives,
                 static_cast<unsigned long long>(stats.keys_drained),
                 filter.delta_size());
   *out += line;
+
+  if (kill_recover) {
+    // Simulated kill: destroy the filter with the WAL tail unflushed to a
+    // checkpoint, then recover from disk and re-run the member sweep — the
+    // acknowledged-mutation zero-false-negative guarantee, end to end.
+    filter_owner.reset();
+    std::string open_error;
+    auto recovered = DynamicShardedHabf::Open(*wal_dir, dynamic, &open_error);
+    if (recovered == nullptr) {
+      *err += "serve-sim: recovery from " + *wal_dir + " failed: " +
+              open_error + "\n";
+      return 2;
+    }
+    size_t recovered_members = 0;
+    for (const auto& key : all_keys) {
+      if (members.count(key) == 0) continue;
+      ++recovered_members;
+      if (!recovered->MightContain(key)) {
+        *err += "serve-sim: recovery dropped member key '" + key + "'\n";
+        return 2;
+      }
+    }
+    std::snprintf(line, sizeof(line),
+                  "serve-sim recover: wal_epoch=%llu recovered_members=%zu "
+                  "zero_false_negatives=ok\n",
+                  static_cast<unsigned long long>(recovered->wal_epoch()),
+                  recovered_members);
+    *out += line;
+  }
   return 0;
 }
 
@@ -780,6 +947,8 @@ int CmdServeSim(const Flags& flags, std::string* out, std::string* err) {
       return 1;
     }
   }
+  const std::string* wal_dir = flags.GetOne("wal-dir");
+  const bool kill_recover = flags.Has("kill-recover");
   if (const std::string* v = flags.GetOne("mutate-rate")) {
     double mutate_rate = 0.0;
     if (!ParseFraction(*v, &mutate_rate)) {
@@ -787,9 +956,18 @@ int CmdServeSim(const Flags& flags, std::string* out, std::string* err) {
                       "expected a finite fraction in [0, 1]");
       return 1;
     }
+    if (kill_recover && wal_dir == nullptr) {
+      *err += "serve-sim: --kill-recover requires --wal-dir\n";
+      return 1;
+    }
     return RunDynamicServeSim(std::move(positives), std::move(negatives),
                               options, sharding, mutate_rate, rebuilds, batch,
-                              out, err);
+                              wal_dir, kill_recover, out, err);
+  }
+  if (wal_dir != nullptr || kill_recover) {
+    *err += "serve-sim: --wal-dir/--kill-recover require --mutate-rate "
+            "(durability is a dynamic-tier feature)\n";
+    return 1;
   }
 
   FilterStore<ShardedFilter<Habf>> store(
@@ -867,6 +1045,21 @@ int RunCli(const std::vector<std::string>& args, std::string* out,
     return 1;
   }
   const std::string& command = args[0];
+  if (command == "inspect") {
+    // inspect takes one positional path (also accepted as --snapshot PATH).
+    if (args.size() == 2 && args[1].rfind("--", 0) != 0) {
+      return CmdInspect(args[1], out, err);
+    }
+    auto inspect_flags = ParseFlags(args, 1, err);
+    const std::string* path =
+        inspect_flags.has_value() ? inspect_flags->GetOne("snapshot") : nullptr;
+    if (path == nullptr) {
+      *err += "inspect requires a snapshot path\n";
+      *err += kUsage;
+      return 1;
+    }
+    return CmdInspect(*path, out, err);
+  }
   auto flags = ParseFlags(args, 1, err);
   if (!flags.has_value()) {
     *err += kUsage;

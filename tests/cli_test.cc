@@ -522,6 +522,119 @@ TEST_F(CliTest, HighCostNegativesOptimizedAway) {
       << out_;
 }
 
+TEST_F(CliTest, SnapshotFormatFlagControlsTheWriter) {
+  // Default writer is the HBF1 container; --snapshot-format legacy emits
+  // the pre-HBF1 bytes. Both load through the same query path.
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "4", "--routing", "two-choice"}),
+            0)
+      << err_;
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(filter_path_, &bytes));
+  EXPECT_TRUE(SectionReader::LooksLikeContainer(bytes));
+
+  const std::string legacy_path = dir_ + "/cli_filter_legacy.habf";
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 legacy_path, "--shards", "4", "--routing", "two-choice",
+                 "--snapshot-format", "legacy"}),
+            0)
+      << err_;
+  ASSERT_TRUE(ReadFileBytes(legacy_path, &bytes));
+  EXPECT_FALSE(SectionReader::LooksLikeContainer(bytes));
+
+  for (const std::string& path : {filter_path_, legacy_path}) {
+    ASSERT_EQ(Run({"query", "--filter", path, "--key", "member-11"}), 0)
+        << err_;
+    EXPECT_NE(out_.find("member-11\tmaybe-in-set"), std::string::npos);
+  }
+
+  EXPECT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--snapshot-format", "sideways"}),
+            1);
+  EXPECT_NE(err_.find("bad --snapshot-format value 'sideways'"),
+            std::string::npos)
+      << err_;
+}
+
+TEST_F(CliTest, InspectDumpsSectionTableAndFlagsCorruption) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "4", "--routing", "two-choice"}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"inspect", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("format: HBF1 container content=SHRD"),
+            std::string::npos)
+      << out_;
+  EXPECT_NE(out_.find("tag=SCFG"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("tag=RDIR"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("tag=SHDS"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("all sections verified"), std::string::npos) << out_;
+
+  // Flip a payload byte: inspect still prints the table but exits 2 and
+  // marks exactly the damaged section.
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(filter_path_, &bytes));
+  bytes[40] = static_cast<char>(static_cast<uint8_t>(bytes[40]) ^ 0x08);
+  ASSERT_TRUE(WriteFileBytes(filter_path_, bytes));
+  EXPECT_EQ(Run({"inspect", filter_path_}), 2);
+  EXPECT_NE(out_.find("CORRUPT"), std::string::npos) << out_;
+  EXPECT_NE(err_.find("corrupt section"), std::string::npos) << err_;
+}
+
+TEST_F(CliTest, InspectIdentifiesLegacyFormatsByMagic) {
+  // Two-choice legacy → SHR2; single-filter legacy → HABF.
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "4", "--routing", "two-choice",
+                 "--snapshot-format", "legacy"}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"inspect", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("legacy SHR2 two-choice sharded snapshot"),
+            std::string::npos)
+      << out_;
+
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--snapshot-format", "legacy"}),
+            0)
+      << err_;
+  ASSERT_EQ(Run({"inspect", filter_path_}), 0) << err_;
+  EXPECT_NE(out_.find("legacy HABF filter snapshot"), std::string::npos)
+      << out_;
+
+  const std::string junk_path = dir_ + "/junk.bin";
+  ASSERT_TRUE(WriteFileBytes(junk_path, "not a snapshot at all"));
+  EXPECT_EQ(Run({"inspect", junk_path}), 2);
+  EXPECT_NE(out_.find("format: unknown"), std::string::npos) << out_;
+
+  EXPECT_EQ(Run({"inspect"}), 1);
+  EXPECT_NE(err_.find("inspect requires a snapshot path"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeSimWalDirSurvivesKillRecover) {
+  const std::string wal_dir = dir_ + "/wal";
+  ASSERT_EQ(Run({"serve-sim", "--positives", positives_path_, "--negatives",
+                 negatives_path_, "--shards", "4", "--threads", "2",
+                 "--rebuilds", "2", "--batch", "256", "--mutate-rate", "0.25",
+                 "--wal-dir", wal_dir, "--kill-recover"}),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("serve-sim recover:"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("zero_false_negatives=ok"), std::string::npos) << out_;
+  EXPECT_TRUE(std::filesystem::exists(wal_dir + "/snapshot.habf"));
+}
+
+TEST_F(CliTest, ServeSimWalFlagsRejectMisuse) {
+  EXPECT_EQ(Run({"serve-sim", "--positives", positives_path_, "--mutate-rate",
+                 "0.1", "--kill-recover"}),
+            1);
+  EXPECT_NE(err_.find("--kill-recover requires --wal-dir"), std::string::npos)
+      << err_;
+  EXPECT_EQ(Run({"serve-sim", "--positives", positives_path_, "--wal-dir",
+                 dir_ + "/wal"}),
+            1);
+  EXPECT_NE(err_.find("require --mutate-rate"), std::string::npos) << err_;
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace habf

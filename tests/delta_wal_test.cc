@@ -1,0 +1,292 @@
+// Delta-WAL unit and fault-injection tests (DESIGN.md §10): framing round
+// trips, group commit under contention, rotation/GC, and the torn-tail
+// taxonomy — truncation at *every* byte boundary of the last file must
+// recover the durable prefix, while a complete frame with a CRC mismatch
+// (or any damage in a non-last file) must fail replay naming the file.
+
+#include "core/delta_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "util/serde.h"
+
+namespace habf {
+namespace {
+
+class DeltaWalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "delta_wal_" + info->name();
+    ::mkdir(dir_.c_str(), 0777);
+    // Start from an empty directory even if a prior run left files behind.
+    RemoveWalFilesBelow(dir_, ~uint64_t{0});
+  }
+
+  std::string dir_;
+};
+
+std::vector<WalRecord> AppendSome(DeltaWalWriter* wal, int count,
+                                  const char* prefix) {
+  std::vector<WalRecord> expected;
+  for (int i = 0; i < count; ++i) {
+    const std::string key = std::string(prefix) + std::to_string(i);
+    const bool inserted = (i % 3) != 0;
+    const uint64_t seq = wal->Append(key, inserted);
+    EXPECT_NE(seq, 0u);
+    expected.push_back(WalRecord{seq, inserted, key});
+  }
+  return expected;
+}
+
+TEST_F(DeltaWalTest, AppendReplayRoundTrip) {
+  auto wal = DeltaWalWriter::Open(dir_, /*epoch=*/1, /*next_seq=*/1);
+  ASSERT_NE(wal, nullptr);
+  const std::vector<WalRecord> expected = AppendSome(wal.get(), 50, "key-");
+  wal.reset();  // flush + close
+
+  const WalReplayResult replay = ReplayWalDir(dir_, 1, 0);
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  EXPECT_FALSE(replay.tail_truncated);
+  EXPECT_EQ(replay.max_epoch, 1u);
+  EXPECT_EQ(replay.max_seq, 50u);
+  ASSERT_EQ(replay.records.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replay.records[i].seq, expected[i].seq);
+    EXPECT_EQ(replay.records[i].inserted, expected[i].inserted);
+    EXPECT_EQ(replay.records[i].key, expected[i].key);
+  }
+}
+
+TEST_F(DeltaWalTest, ReplaySkipsSeqAtOrBelowWatermark) {
+  auto wal = DeltaWalWriter::Open(dir_, 1, 1);
+  ASSERT_NE(wal, nullptr);
+  AppendSome(wal.get(), 20, "k");
+  wal.reset();
+
+  const WalReplayResult replay = ReplayWalDir(dir_, 1, /*min_seq=*/15);
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  ASSERT_EQ(replay.records.size(), 5u);
+  EXPECT_EQ(replay.records.front().seq, 16u);
+  EXPECT_EQ(replay.max_seq, 20u);  // skipped records still advance max_seq
+}
+
+TEST_F(DeltaWalTest, RotationSplitsEpochsAndReplayOrdersAcrossThem) {
+  auto wal = DeltaWalWriter::Open(dir_, 1, 1);
+  ASSERT_NE(wal, nullptr);
+  AppendSome(wal.get(), 10, "a");
+  ASSERT_TRUE(wal->Rotate(2));
+  EXPECT_EQ(wal->epoch(), 2u);
+  AppendSome(wal.get(), 10, "b");
+  wal.reset();
+
+  // Full replay sees both epochs in seq order.
+  const WalReplayResult both = ReplayWalDir(dir_, 1, 0);
+  ASSERT_TRUE(both.ok()) << both.error;
+  EXPECT_EQ(both.records.size(), 20u);
+  EXPECT_EQ(both.max_epoch, 2u);
+  for (size_t i = 0; i < both.records.size(); ++i) {
+    EXPECT_EQ(both.records[i].seq, i + 1);
+  }
+
+  // A snapshot watermark of (epoch 2, seq 10) needs only the second file.
+  const WalReplayResult tail = ReplayWalDir(dir_, 2, 10);
+  ASSERT_TRUE(tail.ok()) << tail.error;
+  EXPECT_EQ(tail.records.size(), 10u);
+  EXPECT_EQ(tail.records.front().key, "b0");
+
+  // Checkpoint GC: dropping epochs below 2 leaves the tail replayable.
+  EXPECT_EQ(RemoveWalFilesBelow(dir_, 2), 1u);
+  const WalReplayResult after_gc = ReplayWalDir(dir_, 2, 10);
+  ASSERT_TRUE(after_gc.ok()) << after_gc.error;
+  EXPECT_EQ(after_gc.records.size(), 10u);
+}
+
+TEST_F(DeltaWalTest, GroupCommitUnderContentionLosesNothing) {
+  auto wal = DeltaWalWriter::Open(dir_, 1, 1, /*do_fsync=*/false);
+  ASSERT_NE(wal, nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        if (wal->Append(key, true) == 0) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wal->last_enqueued_seq(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  wal.reset();
+
+  const WalReplayResult replay = ReplayWalDir(dir_, 1, 0);
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  ASSERT_EQ(replay.records.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Strictly increasing seq; every thread's keys arrive in program order.
+  std::vector<int> next_index(kThreads, 0);
+  for (size_t i = 0; i < replay.records.size(); ++i) {
+    EXPECT_EQ(replay.records[i].seq, i + 1);
+    const std::string& key = replay.records[i].key;
+    const int t = std::stoi(key.substr(1, key.find('-') - 1));
+    const int idx = std::stoi(key.substr(key.find('-') + 1));
+    EXPECT_EQ(idx, next_index[t]) << key;
+    next_index[t] = idx + 1;
+  }
+}
+
+// --- fault injection --------------------------------------------------------
+
+std::string BuildLogBytes(int count) {
+  std::string log;
+  BinaryWriter header(&log);
+  header.WriteU32(kWalMagic);
+  header.WriteU32(kWalVersion);
+  header.WriteU64(/*epoch=*/1);
+  header.WriteU64(/*start_seq=*/1);
+  for (int i = 0; i < count; ++i) {
+    EncodeWalRecord(&log, static_cast<uint64_t>(i + 1), (i % 2) == 0,
+                    "fault-key-" + std::to_string(i));
+  }
+  return log;
+}
+
+TEST_F(DeltaWalTest, TruncationAtEveryByteRecoversTheDurablePrefix) {
+  const int kRecords = 12;
+  const std::string full = BuildLogBytes(kRecords);
+  const std::string path = WalFilePath(dir_, 1);
+
+  // Record boundaries, for deciding how many records each cut preserves.
+  std::vector<size_t> boundaries;  // boundaries[i] = offset after record i
+  {
+    std::string probe;
+    BinaryWriter header(&probe);
+    header.WriteU32(kWalMagic);
+    header.WriteU32(kWalVersion);
+    header.WriteU64(1);
+    header.WriteU64(1);
+    for (int i = 0; i < kRecords; ++i) {
+      EncodeWalRecord(&probe, static_cast<uint64_t>(i + 1), (i % 2) == 0,
+                      "fault-key-" + std::to_string(i));
+      boundaries.push_back(probe.size());
+    }
+  }
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    ASSERT_TRUE(WriteFileBytes(path, std::string_view(full).substr(0, cut)));
+    const WalReplayResult replay = ReplayWalDir(dir_, 1, 0);
+    ASSERT_TRUE(replay.ok())
+        << "cut at byte " << cut << " failed: " << replay.error;
+    size_t complete = 0;
+    while (complete < boundaries.size() && boundaries[complete] <= cut) {
+      ++complete;
+    }
+    EXPECT_EQ(replay.records.size(), complete) << "cut at byte " << cut;
+    // Clean shapes: exactly the header, or exactly a record boundary.
+    // Everything else — including a cut inside the header — is a torn tail.
+    bool on_boundary = cut == kWalHeaderBytes;
+    for (const size_t b : boundaries) on_boundary = on_boundary || cut == b;
+    EXPECT_EQ(replay.tail_truncated, !on_boundary) << "cut at byte " << cut;
+  }
+}
+
+TEST_F(DeltaWalTest, CompleteFrameCrcMismatchFailsByName) {
+  const std::string full = BuildLogBytes(6);
+  const std::string path = WalFilePath(dir_, 1);
+  // Flip one payload byte in the middle of the log: the frame is complete,
+  // so this cannot be mistaken for a torn tail.
+  std::string corrupt = full;
+  const size_t victim = kWalHeaderBytes + kWalFrameBytes + 9;  // record 1 key
+  corrupt[victim] = static_cast<char>(static_cast<uint8_t>(corrupt[victim]) ^ 0x40);
+  ASSERT_TRUE(WriteFileBytes(path, corrupt));
+
+  const WalReplayResult replay = ReplayWalDir(dir_, 1, 0);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.error.find("corrupt WAL record"), std::string::npos)
+      << replay.error;
+  EXPECT_NE(replay.error.find(path), std::string::npos) << replay.error;
+}
+
+TEST_F(DeltaWalTest, DamageInNonLastFileFailsEvenAtTheTail) {
+  // Epoch 1 ends in a torn record, epoch 2 is fine. Because epoch 1 is not
+  // the last file, its torn tail is NOT tolerated — a non-last file cannot
+  // legitimately end mid-record.
+  std::string first = BuildLogBytes(5);
+  first.resize(first.size() - 3);
+  ASSERT_TRUE(WriteFileBytes(WalFilePath(dir_, 1), first));
+  std::string second;
+  BinaryWriter header(&second);
+  header.WriteU32(kWalMagic);
+  header.WriteU32(kWalVersion);
+  header.WriteU64(2);
+  header.WriteU64(6);
+  EncodeWalRecord(&second, 6, true, "later");
+  ASSERT_TRUE(WriteFileBytes(WalFilePath(dir_, 2), second));
+
+  const WalReplayResult replay = ReplayWalDir(dir_, 1, 0);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.error.find("truncated WAL record"), std::string::npos)
+      << replay.error;
+  EXPECT_NE(replay.error.find(WalFilePath(dir_, 1)), std::string::npos)
+      << replay.error;
+}
+
+TEST_F(DeltaWalTest, BadMagicAndVersionFailByName) {
+  std::string log = BuildLogBytes(2);
+  log[0] = 'X';
+  ASSERT_TRUE(WriteFileBytes(WalFilePath(dir_, 1), log));
+  WalReplayResult replay = ReplayWalDir(dir_, 1, 0);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.error.find("bad WAL header"), std::string::npos)
+      << replay.error;
+
+  std::string wrong_version = BuildLogBytes(2);
+  wrong_version[4] = 9;
+  ASSERT_TRUE(WriteFileBytes(WalFilePath(dir_, 1), wrong_version));
+  replay = ReplayWalDir(dir_, 1, 0);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.error.find("bad WAL header"), std::string::npos)
+      << replay.error;
+}
+
+TEST_F(DeltaWalTest, SequenceRegressionRejected) {
+  std::string log;
+  BinaryWriter header(&log);
+  header.WriteU32(kWalMagic);
+  header.WriteU32(kWalVersion);
+  header.WriteU64(1);
+  header.WriteU64(1);
+  EncodeWalRecord(&log, 5, true, "five");
+  EncodeWalRecord(&log, 4, true, "four");  // regression
+  ASSERT_TRUE(WriteFileBytes(WalFilePath(dir_, 1), log));
+
+  const WalReplayResult replay = ReplayWalDir(dir_, 1, 0);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.error.find("sequence regression"), std::string::npos)
+      << replay.error;
+}
+
+TEST_F(DeltaWalTest, EmptyDirectoryReplaysToNothing) {
+  const WalReplayResult replay = ReplayWalDir(dir_, 3, 17);
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.max_epoch, 3u);
+  EXPECT_EQ(replay.max_seq, 0u);  // nothing seen; callers max() with their own
+}
+
+}  // namespace
+}  // namespace habf

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -104,6 +106,141 @@ TEST(FileBytes, AtomicWriteFailsCleanlyIntoMissingDirectory) {
       ::testing::TempDir() + "/serde_no_such_dir/snapshot.bin";
   EXPECT_FALSE(WriteFileBytesAtomic(path, "payload"));
   EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(FileBytes, AtomicWriteFsyncsTheParentDirectory) {
+  // The rename itself lives in the parent directory; without fsync()ing the
+  // directory fd a power loss can roll the entry back even though the data
+  // blocks are durable. The counter is the only observable proof the
+  // directory-fd path ran.
+  const std::string path =
+      ::testing::TempDir() + "/serde_atomic_dirsync.bin";
+  const uint64_t before = AtomicWriteDirSyncCountForTest();
+  ASSERT_TRUE(WriteFileBytesAtomic(path, "durable"));
+  EXPECT_EQ(AtomicWriteDirSyncCountForTest(), before + 1);
+  std::remove(path.c_str());
+
+  // A failed write (missing directory) must not count a directory sync.
+  const uint64_t after = AtomicWriteDirSyncCountForTest();
+  EXPECT_FALSE(WriteFileBytesAtomic(
+      ::testing::TempDir() + "/serde_no_such_dir/x.bin", "payload"));
+  EXPECT_EQ(AtomicWriteDirSyncCountForTest(), after);
+}
+
+// ---------------------------------------------------------------------------
+// HBF1 sectioned container framing
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kTestContentTag = FourCc("TSTC");
+constexpr uint32_t kTagAlpha = FourCc("ALPH");
+constexpr uint32_t kTagBeta = FourCc("BETA");
+constexpr uint32_t kTagExtra = FourCc("ZZZZ");
+
+std::string MakeContainer() {
+  std::string bytes;
+  SectionWriter writer(&bytes, kTestContentTag);
+  writer.AddSection(kTagAlpha, "alpha-payload");
+  writer.AddSection(kTagExtra, "bytes from a future writer");
+  writer.AddSection(kTagBeta, std::string("beta\0payload", 12));
+  writer.Finish();
+  return bytes;
+}
+
+TEST(SectionContainer, RoundTripFindsEverySection) {
+  const std::string bytes = MakeContainer();
+  EXPECT_TRUE(SectionReader::LooksLikeContainer(bytes));
+  const auto reader = SectionReader::Parse(bytes);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->content_tag(), kTestContentTag);
+  ASSERT_EQ(reader->sections().size(), 3u);
+  EXPECT_TRUE(reader->AllCrcOk());
+  EXPECT_EQ(reader->Find(kTagAlpha), "alpha-payload");
+  EXPECT_EQ(reader->Find(kTagBeta), std::string_view("beta\0payload", 12));
+}
+
+TEST(SectionContainer, UnknownSectionsAreSkippedNotFatal) {
+  // A reader that only knows ALPH/BETA still finds them both even though an
+  // unknown ZZZZ section sits between them — forward compatibility.
+  const std::string bytes = MakeContainer();
+  const auto reader = SectionReader::Parse(bytes);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_TRUE(reader->Find(kTagAlpha).has_value());
+  EXPECT_TRUE(reader->Find(kTagBeta).has_value());
+  EXPECT_FALSE(reader->Find(FourCc("NONE")).has_value());
+}
+
+TEST(SectionContainer, EmptyPayloadSectionRoundTrips) {
+  std::string bytes;
+  SectionWriter writer(&bytes, kTestContentTag);
+  writer.AddSection(kTagAlpha, "");
+  writer.Finish();
+  const auto reader = SectionReader::Parse(bytes);
+  ASSERT_TRUE(reader.has_value());
+  const auto payload = reader->Find(kTagAlpha);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+}
+
+TEST(SectionContainer, CrcMismatchParsesButFindRefuses) {
+  std::string bytes = MakeContainer();
+  const auto intact = SectionReader::Parse(bytes);
+  ASSERT_TRUE(intact.has_value());
+  // Flip one byte inside the ALPH payload (first section, payload at 32).
+  const size_t victim = intact->sections()[0].payload_offset + 3;
+  bytes[victim] = static_cast<char>(static_cast<uint8_t>(bytes[victim]) ^ 1);
+
+  const auto reader = SectionReader::Parse(bytes);
+  ASSERT_TRUE(reader.has_value()) << "CRC damage is not a framing error";
+  EXPECT_FALSE(reader->AllCrcOk());
+  EXPECT_FALSE(reader->Find(kTagAlpha).has_value())
+      << "Find must refuse a section whose CRC fails";
+  EXPECT_TRUE(reader->Find(kTagBeta).has_value())
+      << "other sections stay readable";
+  const SectionReader::Section& damaged = reader->sections()[0];
+  EXPECT_FALSE(damaged.crc_ok);
+  EXPECT_NE(damaged.stored_crc, damaged.computed_crc);
+}
+
+TEST(SectionContainer, HostileSectionCountRejected) {
+  const std::string bytes = MakeContainer();
+  for (uint32_t hostile : {uint32_t{0}, kMaxContainerSections + 1,
+                           ~uint32_t{0}}) {
+    std::string bad = bytes;
+    std::memcpy(&bad[12], &hostile, 4);  // section_count field
+    EXPECT_FALSE(SectionReader::Parse(bad).has_value())
+        << "section_count=" << hostile;
+  }
+}
+
+TEST(SectionContainer, HostileSectionLengthRejectedBeforeAllocation) {
+  const std::string bytes = MakeContainer();
+  for (uint64_t hostile : {uint64_t{bytes.size()}, uint64_t{1} << 32,
+                           ~uint64_t{0}}) {
+    std::string bad = bytes;
+    std::memcpy(&bad[20], &hostile, 8);  // first section's length field
+    EXPECT_FALSE(SectionReader::Parse(bad).has_value())
+        << "length=" << hostile;
+  }
+}
+
+TEST(SectionContainer, EveryTruncationIsAFramingError) {
+  // The container ends exactly after the last section, so every strict
+  // prefix must fail Parse — including cuts that land on section boundaries
+  // (the header still promises more sections than remain).
+  const std::string bytes = MakeContainer();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        SectionReader::Parse(std::string_view(bytes).substr(0, cut))
+            .has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(SectionContainer, TrailingGarbageRejected) {
+  std::string bytes = MakeContainer();
+  bytes.push_back('\0');
+  EXPECT_FALSE(SectionReader::Parse(bytes).has_value());
+  EXPECT_FALSE(SectionReader::LooksLikeContainer("HB"));
 }
 
 class HabfSerdeTest : public ::testing::Test {

@@ -564,9 +564,10 @@ ShardedFilter<Habf> BuildTwoChoice(size_t shards, size_t threads) {
                           BaseOptions(), sharding);
 }
 
-uint32_t SnapshotMagic(const ShardedFilter<Habf>& filter) {
+uint32_t SnapshotMagic(const ShardedFilter<Habf>& filter,
+                       SnapshotFormat format = SnapshotFormat::kHbf1) {
   std::string bytes;
-  filter.Serialize(&bytes);
+  filter.Serialize(&bytes, format);
   uint32_t magic = 0;
   std::memcpy(&magic, bytes.data(), 4);
   return magic;
@@ -639,7 +640,11 @@ TEST(ShardedFilterTest, TwoChoiceThreadCountDoesNotChangeTheFilter) {
 
 TEST(ShardedFilterTest, TwoChoiceSnapshotRoundTripsBitIdentically) {
   const auto original = BuildTwoChoice(4, 2);
-  EXPECT_EQ(SnapshotMagic(original), kShardedSnapshotMagicV2);
+  // The default writer is the sectioned HBF1 container (DESIGN.md §10); the
+  // legacy SHR2 framing stays available behind SnapshotFormat::kLegacy.
+  EXPECT_EQ(SnapshotMagic(original), kContainerMagic);
+  EXPECT_EQ(SnapshotMagic(original, SnapshotFormat::kLegacy),
+            kShardedSnapshotMagicV2);
 
   std::string bytes;
   original.Serialize(&bytes);
@@ -666,18 +671,20 @@ TEST(ShardedFilterTest, TwoChoiceSnapshotRoundTripsBitIdentically) {
 }
 
 TEST(ShardedFilterTest, UniformSnapshotStaysLegacyShrdAndLoadsBitExactly) {
-  // Uniform-routed filters keep writing the pre-routing SHRD framing, and a
-  // legacy snapshot round-trips byte-for-byte — old snapshot files stay
-  // loadable and re-savable forever.
+  // Under SnapshotFormat::kLegacy a uniform-routed filter keeps writing the
+  // pre-routing SHRD framing, and a legacy snapshot round-trips
+  // byte-for-byte — old snapshot files stay loadable and re-savable forever
+  // (the golden-fixture gate in tests/format_compat_test.cc pins the bytes).
   const auto uniform = BuildSharded(4, 2);
-  EXPECT_EQ(SnapshotMagic(uniform), kShardedSnapshotMagic);
+  EXPECT_EQ(SnapshotMagic(uniform, SnapshotFormat::kLegacy),
+            kShardedSnapshotMagic);
   std::string bytes;
-  uniform.Serialize(&bytes);
+  uniform.Serialize(&bytes, SnapshotFormat::kLegacy);
   const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
   ASSERT_TRUE(restored.has_value());
   EXPECT_EQ(restored->routing(), RoutingMode::kUniform);
   std::string reserialized;
-  restored->Serialize(&reserialized);
+  restored->Serialize(&reserialized, SnapshotFormat::kLegacy);
   EXPECT_EQ(reserialized, bytes);
 }
 
@@ -710,7 +717,7 @@ TEST(ShardedFilterTest, TwoChoiceMatchesUniformGuaranteesAtZeroSkew) {
 
 TEST(ShardedFilterTest, TwoChoiceSingleShardWritesLegacyFormat) {
   // With one shard routing is irrelevant; no directory is built and the
-  // snapshot stays the legacy SHRD framing.
+  // legacy-format snapshot stays the SHRD framing.
   ShardedBuildOptions sharding;
   sharding.num_shards = 1;
   sharding.num_threads = 1;
@@ -718,7 +725,8 @@ TEST(ShardedFilterTest, TwoChoiceSingleShardWritesLegacyFormat) {
   const auto filter = BuildShardedHabf(
       SharedData().positives, SharedData().negatives, BaseOptions(), sharding);
   EXPECT_EQ(filter.routing(), RoutingMode::kUniform);
-  EXPECT_EQ(SnapshotMagic(filter), kShardedSnapshotMagic);
+  EXPECT_EQ(SnapshotMagic(filter, SnapshotFormat::kLegacy),
+            kShardedSnapshotMagic);
 }
 
 TEST(ShardedFilterTest, RoutingBucketCountClampedToShardCount) {

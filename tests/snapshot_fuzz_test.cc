@@ -22,17 +22,21 @@
 namespace habf {
 namespace {
 
-// Version-1 HABF snapshot header offsets (see Habf::Serialize): magic u32,
-// version u32, total_bits u64, delta f64, k u64, cell_bits u8, fast u8,
-// seed u64, then the variable-length payload.
+// Version-1 *legacy* HABF snapshot header offsets (Habf::Serialize with
+// SnapshotFormat::kLegacy): magic u32, version u32, total_bits u64, delta
+// f64, k u64, cell_bits u8, fast u8, seed u64, then the variable-length
+// payload. The hostile-field tests below patch at these offsets, so they
+// must drive the legacy writer — under the HBF1 default every field lives
+// inside a CRC-guarded section and a patch is caught as a checksum error
+// before field validation even runs (covered separately further down).
 constexpr size_t kOffTotalBits = 8;
 constexpr size_t kOffDelta = 16;
 constexpr size_t kOffK = 24;
 
-// SHR2 sharded snapshot header offsets (ShardedFilter::Serialize, two-choice
-// framing): magic u32, version u32, salt u64, num_shards u32, num_buckets
-// u32, then num_buckets x u16 directory entries, num_shards x f64 routed
-// weights, and the per-shard sub-snapshots.
+// Legacy SHR2 sharded snapshot header offsets (ShardedFilter::Serialize,
+// two-choice framing): magic u32, version u32, salt u64, num_shards u32,
+// num_buckets u32, then num_buckets x u16 directory entries, num_shards x
+// f64 routed weights, and the per-shard sub-snapshots.
 constexpr size_t kOffShardCount = 16;
 constexpr size_t kOffBucketCount = 20;
 constexpr size_t kOffDirectory = 24;
@@ -48,17 +52,17 @@ const Dataset& SharedData() {
   return data;
 }
 
-std::string HabfSnapshot() {
+std::string HabfSnapshot(SnapshotFormat format = SnapshotFormat::kHbf1) {
   HabfOptions options;
   options.total_bits = 2000 * 10;
   const Habf filter =
       Habf::Build(SharedData().positives, SharedData().negatives, options);
   std::string bytes;
-  filter.Serialize(&bytes);
+  filter.Serialize(&bytes, format);
   return bytes;
 }
 
-std::string ShardedSnapshot() {
+std::string ShardedSnapshot(SnapshotFormat format = SnapshotFormat::kHbf1) {
   HabfOptions options;
   options.total_bits = 2000 * 10;
   ShardedBuildOptions sharding;
@@ -68,14 +72,14 @@ std::string ShardedSnapshot() {
                                        SharedData().negatives, options,
                                        sharding);
   std::string bytes;
-  filter.Serialize(&bytes);
+  filter.Serialize(&bytes, format);
   return bytes;
 }
 
-/// A two-choice (SHR2) snapshot: same build sets, small directory so the
-/// truncation fuzz spends iterations on every region (header, directory,
-/// weights, sub-snapshots).
-std::string TwoChoiceSnapshot() {
+/// A two-choice (SHR2-framed when legacy) snapshot: same build sets, small
+/// directory so the truncation fuzz spends iterations on every region
+/// (header, directory, weights, sub-snapshots).
+std::string TwoChoiceSnapshot(SnapshotFormat format = SnapshotFormat::kHbf1) {
   HabfOptions options;
   options.total_bits = 2000 * 10;
   ShardedBuildOptions sharding;
@@ -87,7 +91,7 @@ std::string TwoChoiceSnapshot() {
                                        SharedData().negatives, options,
                                        sharding);
   std::string bytes;
-  filter.Serialize(&bytes);
+  filter.Serialize(&bytes, format);
   return bytes;
 }
 
@@ -146,31 +150,41 @@ void PatchDouble(std::string* bytes, size_t offset, double value) {
 
 TEST(SnapshotFuzzTest, HabfTruncationsNeverCrash) {
   FuzzTruncations(HabfSnapshot(), Habf::Deserialize);
+  FuzzTruncations(HabfSnapshot(SnapshotFormat::kLegacy), Habf::Deserialize);
 }
 
 TEST(SnapshotFuzzTest, HabfBitFlipsNeverCrash) {
   FuzzBitFlips(HabfSnapshot(), Habf::Deserialize);
+  FuzzBitFlips(HabfSnapshot(SnapshotFormat::kLegacy), Habf::Deserialize);
 }
 
 TEST(SnapshotFuzzTest, ShardedTruncationsNeverCrash) {
   FuzzTruncations(ShardedSnapshot(), ShardedFilter<Habf>::Deserialize);
+  FuzzTruncations(ShardedSnapshot(SnapshotFormat::kLegacy),
+                  ShardedFilter<Habf>::Deserialize);
 }
 
 TEST(SnapshotFuzzTest, ShardedBitFlipsNeverCrash) {
   FuzzBitFlips(ShardedSnapshot(), ShardedFilter<Habf>::Deserialize);
+  FuzzBitFlips(ShardedSnapshot(SnapshotFormat::kLegacy),
+               ShardedFilter<Habf>::Deserialize);
 }
 
 TEST(SnapshotFuzzTest, TwoChoiceTruncationsNeverCrash) {
   FuzzTruncations(TwoChoiceSnapshot(), ShardedFilter<Habf>::Deserialize);
+  FuzzTruncations(TwoChoiceSnapshot(SnapshotFormat::kLegacy),
+                  ShardedFilter<Habf>::Deserialize);
 }
 
 TEST(SnapshotFuzzTest, TwoChoiceBitFlipsNeverCrash) {
   FuzzBitFlips(TwoChoiceSnapshot(), ShardedFilter<Habf>::Deserialize);
+  FuzzBitFlips(TwoChoiceSnapshot(SnapshotFormat::kLegacy),
+               ShardedFilter<Habf>::Deserialize);
 }
 
 TEST(SnapshotFuzzTest, NonFiniteDeltaRejected) {
   for (double hostile : {std::nan(""), HUGE_VAL, -HUGE_VAL, 1e300}) {
-    std::string bytes = HabfSnapshot();
+    std::string bytes = HabfSnapshot(SnapshotFormat::kLegacy);
     PatchDouble(&bytes, kOffDelta, hostile);
     EXPECT_FALSE(Habf::Deserialize(bytes).has_value()) << hostile;
   }
@@ -180,7 +194,7 @@ TEST(SnapshotFuzzTest, AbsurdTotalBitsRejected) {
   for (uint64_t hostile :
        {uint64_t{0}, uint64_t{63}, uint64_t{1} << 40, uint64_t{1} << 62,
         ~uint64_t{0}}) {
-    std::string bytes = HabfSnapshot();
+    std::string bytes = HabfSnapshot(SnapshotFormat::kLegacy);
     PatchU64(&bytes, kOffTotalBits, hostile);
     EXPECT_FALSE(Habf::Deserialize(bytes).has_value()) << hostile;
   }
@@ -189,7 +203,7 @@ TEST(SnapshotFuzzTest, AbsurdTotalBitsRejected) {
 TEST(SnapshotFuzzTest, AbsurdKRejected) {
   for (uint64_t hostile : {uint64_t{0}, uint64_t{17}, uint64_t{255},
                            uint64_t{1} << 33}) {
-    std::string bytes = HabfSnapshot();
+    std::string bytes = HabfSnapshot(SnapshotFormat::kLegacy);
     PatchU64(&bytes, kOffK, hostile);
     EXPECT_FALSE(Habf::Deserialize(bytes).has_value()) << hostile;
   }
@@ -198,22 +212,27 @@ TEST(SnapshotFuzzTest, AbsurdKRejected) {
 TEST(SnapshotFuzzTest, MismatchedPayloadSizesRejected) {
   // A plausible header over a payload sized for a different filter: the
   // word-count cross-check must reject it before allocating for the header.
-  std::string bytes = HabfSnapshot();
+  std::string bytes = HabfSnapshot(SnapshotFormat::kLegacy);
   PatchU64(&bytes, kOffTotalBits, uint64_t{1} << 30);
   EXPECT_FALSE(Habf::Deserialize(bytes).has_value());
 }
 
 TEST(SnapshotFuzzTest, TrailingGarbageRejected) {
-  const std::string habf_bytes = HabfSnapshot();
-  EXPECT_FALSE(Habf::Deserialize(habf_bytes + "x").has_value());
-  EXPECT_FALSE(
-      Habf::Deserialize(habf_bytes + std::string(64, '\0')).has_value());
-  const std::string sharded_bytes = ShardedSnapshot();
-  EXPECT_FALSE(
-      ShardedFilter<Habf>::Deserialize(sharded_bytes + "x").has_value());
-  const std::string two_choice_bytes = TwoChoiceSnapshot();
-  EXPECT_FALSE(
-      ShardedFilter<Habf>::Deserialize(two_choice_bytes + "x").has_value());
+  // Both framings reject trailing bytes — HBF1 because the section table
+  // must consume the container exactly, legacy via its own end check.
+  for (const SnapshotFormat format :
+       {SnapshotFormat::kHbf1, SnapshotFormat::kLegacy}) {
+    const std::string habf_bytes = HabfSnapshot(format);
+    EXPECT_FALSE(Habf::Deserialize(habf_bytes + "x").has_value());
+    EXPECT_FALSE(
+        Habf::Deserialize(habf_bytes + std::string(64, '\0')).has_value());
+    const std::string sharded_bytes = ShardedSnapshot(format);
+    EXPECT_FALSE(
+        ShardedFilter<Habf>::Deserialize(sharded_bytes + "x").has_value());
+    const std::string two_choice_bytes = TwoChoiceSnapshot(format);
+    EXPECT_FALSE(
+        ShardedFilter<Habf>::Deserialize(two_choice_bytes + "x").has_value());
+  }
 }
 
 TEST(SnapshotFuzzTest, EmptyAndTinyInputsRejected) {
@@ -227,7 +246,7 @@ TEST(SnapshotFuzzTest, EmptyAndTinyInputsRejected) {
 TEST(SnapshotFuzzTest, OutOfRangeDirectoryShardIdRejected) {
   // The snapshot was built with 3 shards; every directory entry naming
   // shard >= 3 must be rejected before any shard sub-snapshot is parsed.
-  std::string bytes = TwoChoiceSnapshot();
+  std::string bytes = TwoChoiceSnapshot(SnapshotFormat::kLegacy);
   for (uint16_t hostile : {uint16_t{3}, uint16_t{255}, uint16_t{0xFFFF}}) {
     std::string mutated = bytes;
     std::memcpy(mutated.data() + kOffDirectory + 10 * 2, &hostile, 2);
@@ -240,7 +259,7 @@ TEST(SnapshotFuzzTest, HostileBucketCountsRejectedBeforeAllocation) {
   // Zero, beyond-bound, and payload-starved bucket counts must all fail in
   // the header check — a 4-billion-bucket claim over a few-KiB payload
   // cannot be allowed to size the directory vector first.
-  std::string bytes = TwoChoiceSnapshot();
+  std::string bytes = TwoChoiceSnapshot(SnapshotFormat::kLegacy);
   for (uint32_t hostile :
        {uint32_t{0}, static_cast<uint32_t>(kMaxRoutingBuckets + 1),
         uint32_t{1} << 24, ~uint32_t{0}}) {
@@ -257,7 +276,7 @@ TEST(SnapshotFuzzTest, HostileBucketCountsRejectedBeforeAllocation) {
 }
 
 TEST(SnapshotFuzzTest, HostileShardCountInShr2Rejected) {
-  std::string bytes = TwoChoiceSnapshot();
+  std::string bytes = TwoChoiceSnapshot(SnapshotFormat::kLegacy);
   for (uint32_t hostile : {uint32_t{0}, uint32_t{4097}, ~uint32_t{0}}) {
     std::string mutated = bytes;
     std::memcpy(mutated.data() + kOffShardCount, &hostile, 4);
@@ -268,7 +287,7 @@ TEST(SnapshotFuzzTest, HostileShardCountInShr2Rejected) {
 
 TEST(SnapshotFuzzTest, NonFiniteRoutedWeightRejected) {
   // The per-shard routed weights sit right after the 64-entry directory.
-  std::string bytes = TwoChoiceSnapshot();
+  std::string bytes = TwoChoiceSnapshot(SnapshotFormat::kLegacy);
   const size_t weights_offset = kOffDirectory + 64 * 2;
   for (double hostile : {std::nan(""), HUGE_VAL, -1.0}) {
     std::string mutated = bytes;
@@ -279,16 +298,74 @@ TEST(SnapshotFuzzTest, NonFiniteRoutedWeightRejected) {
 }
 
 TEST(SnapshotFuzzTest, LegacyShrdSnapshotStillLoadsBitExactly) {
-  // Backward compatibility is part of the SHR2 contract: the legacy framing
-  // must keep loading, and a load → save round trip must reproduce the
-  // exact legacy bytes (no silent format upgrade).
-  const std::string bytes = ShardedSnapshot();
+  // Backward compatibility is part of the format contract: the legacy
+  // framing must keep loading, and a load → save-as-legacy round trip must
+  // reproduce the exact legacy bytes (no lossy field). The committed golden
+  // fixtures in tests/format_compat_test.cc pin this across releases.
+  const std::string bytes = ShardedSnapshot(SnapshotFormat::kLegacy);
   const auto restored = ShardedFilter<Habf>::Deserialize(bytes);
   ASSERT_TRUE(restored.has_value());
   EXPECT_EQ(restored->num_shards(), 3u);
   std::string reserialized;
-  restored->Serialize(&reserialized);
+  restored->Serialize(&reserialized, SnapshotFormat::kLegacy);
   EXPECT_EQ(reserialized, bytes);
+}
+
+// --- HBF1 container-level hostility (DESIGN.md §10) -------------------------
+// The sectioned framing is validated before any section payload is parsed:
+// header layout is magic u32 | version u32 | content_tag u32 | section_count
+// u32, then per section tag u32 | length u64 | crc u32 | payload.
+
+TEST(SnapshotFuzzTest, Hbf1PayloadCorruptionCaughtByCrc) {
+  // A flip anywhere inside a section payload fails that section's CRC and
+  // the load refuses — field-level plausibility never gets a say.
+  std::string habf = HabfSnapshot();
+  habf[40] = static_cast<char>(static_cast<uint8_t>(habf[40]) ^ 0x01);
+  EXPECT_FALSE(Habf::Deserialize(habf).has_value());
+  std::string sharded = TwoChoiceSnapshot();
+  sharded[40] = static_cast<char>(static_cast<uint8_t>(sharded[40]) ^ 0x80);
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(sharded).has_value());
+}
+
+TEST(SnapshotFuzzTest, Hbf1HostileSectionCountRejected) {
+  // Zero (required sections then missing), beyond kMaxContainerSections, and
+  // absurd counts must all fail before any section header is trusted.
+  const std::string bytes = HabfSnapshot();
+  for (uint32_t hostile :
+       {uint32_t{0}, static_cast<uint32_t>(kMaxContainerSections + 1),
+        ~uint32_t{0}}) {
+    std::string mutated = bytes;
+    std::memcpy(mutated.data() + 12, &hostile, 4);
+    EXPECT_FALSE(Habf::Deserialize(mutated).has_value()) << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, Hbf1HostileSectionLengthRejected) {
+  // Lengths pointing past the container (or swallowing the later sections)
+  // must fail framing before any allocation; a shortened length breaks the
+  // CRC / trailing-byte accounting instead. The first section's length
+  // field sits at offset 20.
+  const std::string bytes = TwoChoiceSnapshot();
+  for (uint64_t hostile :
+       {uint64_t{0}, static_cast<uint64_t>(bytes.size()), uint64_t{1} << 32,
+        ~uint64_t{0}}) {
+    std::string mutated = bytes;
+    std::memcpy(mutated.data() + 20, &hostile, 8);
+    EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(mutated).has_value())
+        << hostile;
+  }
+}
+
+TEST(SnapshotFuzzTest, Hbf1WrongContentTagRejected) {
+  // A structurally valid container of the wrong content type must be
+  // refused up front (a sharded container is not an HABF snapshot).
+  std::string habf = HabfSnapshot();
+  const uint32_t hostile = FourCc("NOPE");
+  std::memcpy(habf.data() + 8, &hostile, 4);
+  EXPECT_FALSE(Habf::Deserialize(habf).has_value());
+  const std::string sharded = ShardedSnapshot();
+  EXPECT_FALSE(Habf::Deserialize(sharded).has_value());
+  EXPECT_FALSE(ShardedFilter<Habf>::Deserialize(HabfSnapshot()).has_value());
 }
 
 }  // namespace
