@@ -60,6 +60,8 @@
 #include "core/routing_directory.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
+#include "net/loadgen.h"
+#include "net/server.h"
 #include "util/memory.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -453,6 +455,84 @@ WalDurabilityReport MeasureWalDurability(const Dataset& data, const Args& args,
   return report;
 }
 
+/// End-to-end serving latency (DESIGN.md §11): an in-process net::Server
+/// over a FilterStore snapshot, driven by the closed-loop net::RunLoadgen
+/// across the loopback — the full wire cost (framing, CRC, coalescing, one
+/// snapshot pin per batch) on top of the raw ContainsBatch numbers above.
+struct ServerLatencyReport {
+  bool measured = false;
+  size_t member_keys = 0;
+  size_t connections = 0;
+  size_t keys_per_request = 0;
+  size_t window = 0;
+  uint64_t requests = 0;
+  uint64_t keys_queried = 0;
+  uint64_t false_negatives = 0;
+  double rps = 0.0;
+  double mean_ns = 0.0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+ServerLatencyReport MeasureServerLatency(const Args& args,
+                                         size_t effective_threads) {
+  ServerLatencyReport report;
+  // Preload WorkloadStreamKey members — the same deterministic stream the
+  // loadgen draws from, so every query hits a member and a 0 answer is a
+  // wire-level false negative (checked FATAL by the caller).
+  report.member_keys = std::min<size_t>(args.keys, 200000);
+  constexpr uint64_t kSeed = 42;
+  std::vector<std::string> members;
+  members.reserve(report.member_keys);
+  for (uint64_t i = 0; i < report.member_keys; ++i) {
+    members.push_back(WorkloadStreamKey(kSeed, i));
+  }
+  HabfOptions options;
+  options.total_bits = report.member_keys * 10;
+  ShardedBuildOptions sharding;
+  sharding.num_shards = args.shards;
+  sharding.num_threads = effective_threads;
+  FilterStore<ShardedFilter<Habf>> store(
+      BuildShardedHabf(members, {}, options, sharding));
+  net::StoreBackend<ShardedFilter<Habf>> backend(&store);
+  net::Server server(&backend, net::ServerOptions{});
+  std::string error;
+  if (!server.Start(&error)) return report;
+
+  net::LoadgenOptions load;
+  load.port = server.port();
+  load.connections = 4;
+  load.keys_per_request = 32;
+  load.max_in_flight = 8;
+  load.duration = std::chrono::milliseconds(1000);
+  load.key_seed = kSeed;
+  load.key_space = report.member_keys;
+  load.expect_members = report.member_keys;
+  net::LoadgenReport result;
+  const bool ok = net::RunLoadgen(load, &result, &error);
+  server.Shutdown();
+  if (!ok) return report;
+
+  report.measured = true;
+  report.connections = load.connections;
+  report.keys_per_request = load.keys_per_request;
+  report.window = load.max_in_flight;
+  report.requests = result.responses_received;
+  report.keys_queried = result.keys_queried;
+  report.false_negatives = result.false_negatives;
+  report.rps = result.achieved_rps;
+  report.mean_ns = result.latency_ns.Mean();
+  report.p50_ns = result.latency_ns.ValueAtPercentile(50);
+  report.p90_ns = result.latency_ns.ValueAtPercentile(90);
+  report.p99_ns = result.latency_ns.ValueAtPercentile(99);
+  report.p999_ns = result.latency_ns.ValueAtPercentile(99.9);
+  report.max_ns = result.latency_ns.max();
+  return report;
+}
+
 /// Partition-memory comparison of the zero-copy sharded build against the
 /// old copying partition: exact logical byte counts plus per-build peak-RSS
 /// deltas measured in forked children.
@@ -506,7 +586,8 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
                   const MemoryReport& memory, const OverlapReport& overlap,
                   const RoutingBalanceReport& routing,
                   const DynamicWorkloadReport& dynamic,
-                  const WalDurabilityReport& wal) {
+                  const WalDurabilityReport& wal,
+                  const ServerLatencyReport& serve) {
   if (args.json) {
     std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
                 "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
@@ -599,7 +680,7 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         "    \"group_commit_appends_per_second\": %.1f,\n"
         "    \"recovery_base_keys\": %zu,\n"
         "    \"recovery_wal_records\": %zu,\n"
-        "    \"recovery_open_ns\": %llu\n  }\n}\n",
+        "    \"recovery_open_ns\": %llu\n  },\n",
         wal.measured ? "true" : "false", wal.appends,
         static_cast<unsigned long long>(wal.fsync_append_ns),
         static_cast<double>(wal.fsync_append_ns) /
@@ -612,6 +693,33 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         wal.group_appends_per_second, wal.recovery_base_keys,
         wal.recovery_wal_records,
         static_cast<unsigned long long>(wal.recovery_open_ns));
+    std::printf(
+        "  \"server_latency\": {\n"
+        "    \"measured\": %s,\n"
+        "    \"member_keys\": %zu,\n"
+        "    \"connections\": %zu,\n"
+        "    \"keys_per_request\": %zu,\n"
+        "    \"closed_loop_window\": %zu,\n"
+        "    \"requests\": %llu,\n"
+        "    \"keys_queried\": %llu,\n"
+        "    \"false_negatives\": %llu,\n"
+        "    \"requests_per_second\": %.1f,\n"
+        "    \"latency_mean_ns\": %.1f,\n"
+        "    \"latency_p50_ns\": %llu,\n"
+        "    \"latency_p90_ns\": %llu,\n"
+        "    \"latency_p99_ns\": %llu,\n"
+        "    \"latency_p999_ns\": %llu,\n"
+        "    \"latency_max_ns\": %llu\n  }\n}\n",
+        serve.measured ? "true" : "false", serve.member_keys,
+        serve.connections, serve.keys_per_request, serve.window,
+        static_cast<unsigned long long>(serve.requests),
+        static_cast<unsigned long long>(serve.keys_queried),
+        static_cast<unsigned long long>(serve.false_negatives), serve.rps,
+        serve.mean_ns, static_cast<unsigned long long>(serve.p50_ns),
+        static_cast<unsigned long long>(serve.p90_ns),
+        static_cast<unsigned long long>(serve.p99_ns),
+        static_cast<unsigned long long>(serve.p999_ns),
+        static_cast<unsigned long long>(serve.max_ns));
     return;
   }
   std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
@@ -666,23 +774,39 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
   }
   if (!wal.measured) {
     std::printf("wal durability: not measured (temp WAL dir unusable)\n");
+  } else {
+    std::printf(
+        "wal durability: %.1f us/append fsynced (%.0f/s) vs %.2f us/append "
+        "unfsynced (%.0f/s); group commit with %zu committers %.0f "
+        "appends/s\n",
+        static_cast<double>(wal.fsync_append_ns) /
+            static_cast<double>(std::max<size_t>(wal.appends, 1)) / 1e3,
+        wal.fsync_appends_per_second,
+        static_cast<double>(wal.nofsync_append_ns) /
+            static_cast<double>(std::max<size_t>(wal.appends, 1)) / 1e3,
+        wal.nofsync_appends_per_second, wal.group_threads,
+        wal.group_appends_per_second);
+    std::printf(
+        "crash recovery: Open() over %zu base keys + %zu pending WAL records "
+        "in %.1f ms (snapshot parse + replay + collapsing checkpoint)\n",
+        wal.recovery_base_keys, wal.recovery_wal_records,
+        static_cast<double>(wal.recovery_open_ns) / 1e6);
+  }
+  if (!serve.measured) {
+    std::printf("server latency: not measured (loopback server unavailable)\n");
     return;
   }
   std::printf(
-      "wal durability: %.1f us/append fsynced (%.0f/s) vs %.2f us/append "
-      "unfsynced (%.0f/s); group commit with %zu committers %.0f appends/s\n",
-      static_cast<double>(wal.fsync_append_ns) /
-          static_cast<double>(std::max<size_t>(wal.appends, 1)) / 1e3,
-      wal.fsync_appends_per_second,
-      static_cast<double>(wal.nofsync_append_ns) /
-          static_cast<double>(std::max<size_t>(wal.appends, 1)) / 1e3,
-      wal.nofsync_appends_per_second, wal.group_threads,
-      wal.group_appends_per_second);
-  std::printf(
-      "crash recovery: Open() over %zu base keys + %zu pending WAL records "
-      "in %.1f ms (snapshot parse + replay + collapsing checkpoint)\n",
-      wal.recovery_base_keys, wal.recovery_wal_records,
-      static_cast<double>(wal.recovery_open_ns) / 1e6);
+      "server latency: %zu conns x window %zu, %zu keys/request over "
+      "loopback: %.0f req/s, %llu false negatives; mean %.1f us, p50 %.1f "
+      "us, p90 %.1f us, p99 %.1f us, p99.9 %.1f us, max %.1f us\n",
+      serve.connections, serve.window, serve.keys_per_request, serve.rps,
+      static_cast<unsigned long long>(serve.false_negatives),
+      serve.mean_ns / 1e3, static_cast<double>(serve.p50_ns) / 1e3,
+      static_cast<double>(serve.p90_ns) / 1e3,
+      static_cast<double>(serve.p99_ns) / 1e3,
+      static_cast<double>(serve.p999_ns) / 1e3,
+      static_cast<double>(serve.max_ns) / 1e3);
 }
 
 /// The PR-2 copying partition, kept as the memory-comparison reference: a
@@ -961,7 +1085,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- serving: closed-loop wire latency against an in-process server ----
+  const ServerLatencyReport server_latency =
+      MeasureServerLatency(args, effective_threads);
+  if (server_latency.measured && server_latency.false_negatives != 0) {
+    std::fprintf(stderr,
+                 "FATAL: wire query returned 0 for a preloaded member "
+                 "(one-sidedness violated across the protocol)\n");
+    return 1;
+  }
+
   PrintResults(results, args, effective_threads, speedup, memory, overlap,
-               routing, dynamic_workload, wal_durability);
+               routing, dynamic_workload, wal_durability, server_latency);
   return 0;
 }

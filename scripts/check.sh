@@ -127,7 +127,7 @@ if [ "${mode}" = "tsan" ]; then
   # lock-order findings.
   TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
     -j "$(nproc)" \
-    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest|DynamicFilter|AnnotatedSync|DeltaWal|CrashRecovery'
+    -R 'ThreadPool|ShardedFilter|AsyncBuild|FilterStore|ConcurrentQuery|CliTest|DynamicFilter|AnnotatedSync|DeltaWal|CrashRecovery|Server|Protocol'
   # The skew-aware routing suite (two-choice directory, routing-mode
   # differentials, SHR2/SHRD snapshot fuzz) runs under TSan too: the
   # two-choice build shares the parallel shard pipeline.
@@ -138,6 +138,12 @@ if [ "${mode}" = "tsan" ]; then
   # FilterStore hot swap. Run the whole label under TSan.
   TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
     -j "$(nproc)" -L dynamic
+  # The serving front end (DESIGN.md §11) multiplexes connections across
+  # epoll workers while Publish hot-swaps snapshots under live queries —
+  # run the whole server label (protocol fuzz, loopback differentials,
+  # loadgen) under TSan.
+  TSAN_OPTIONS="second_deadlock_stack=1" ctest --output-on-failure \
+    -j "$(nproc)" -L server
   exit 0
 fi
 # Explicit parallelism: temp-path races between test cases only show up when
@@ -167,4 +173,9 @@ if [ "${mode}" = "sanitize" ]; then
   # bytes, so a bounds slip here is a heap overflow on attacker-shaped
   # input, not just a wrong answer.
   ctest --output-on-failure -L format_compat
+  # The server label under ASan/UBSan: the frame decoder and payload
+  # parsers consume attacker-controlled bytes off the wire, so the fuzz
+  # suites run where a missed length check becomes a heap overflow report
+  # instead of a silent wrong answer.
+  ctest --output-on-failure -j "$(nproc)" -L server
 fi

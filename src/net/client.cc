@@ -1,0 +1,258 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace habf {
+namespace net {
+
+namespace {
+
+/// Blocking send of the whole buffer (MSG_NOSIGNAL: a dead peer is a
+/// return-false, not a SIGPIPE).
+bool SendAll(int fd, std::string_view bytes, std::string* error) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (error != nullptr) {
+      *error = std::string("send: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool RecvSome(int fd, std::string* into, std::string* error) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      into->append(buf, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (error != nullptr) {
+      *error = std::string("recv: ") + std::strerror(errno);
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() { Close(); }
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool BlockingClient::Connect(const std::string& host, uint16_t port,
+                             std::string* error) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address: " + host;
+    Close();
+    return false;
+  }
+  int rc;
+  do {
+    rc = connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = std::string("connect: ") + std::strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  if (!SendAll(fd_, EncodeHandshake(), error)) {
+    Close();
+    return false;
+  }
+  std::string hello;
+  while (hello.size() < kHandshakeBytes) {
+    if (!RecvSome(fd_, &hello, error)) {
+      Close();
+      return false;
+    }
+  }
+  if (!ParseHandshake(std::string_view(hello).substr(0, kHandshakeBytes),
+                      error)) {
+    Close();
+    return false;
+  }
+  // Bytes after the echo (a server would not send any today, but the
+  // decoder is the right owner of anything framed).
+  if (hello.size() > kHandshakeBytes) {
+    decoder_.Feed(std::string_view(hello).substr(kHandshakeBytes));
+  }
+  return true;
+}
+
+bool BlockingClient::SendFrame(uint64_t request_id, uint8_t op,
+                               std::string_view payload, std::string* error) {
+  std::string frame;
+  AppendFrame(&frame, request_id, op, payload);
+  return SendAll(fd_, frame, error);
+}
+
+bool BlockingClient::SendQuery(uint64_t request_id, KeySpan keys,
+                               std::string* error) {
+  std::string payload;
+  AppendKeyBatchPayload(&payload, keys);
+  return SendFrame(request_id, kOpQuery, payload, error);
+}
+
+bool BlockingClient::SendMutation(uint64_t request_id, bool insert,
+                                  KeySpan keys, std::string* error) {
+  std::string payload;
+  AppendKeyBatchPayload(&payload, keys);
+  return SendFrame(request_id, insert ? kOpInsert : kOpRemove, payload, error);
+}
+
+bool BlockingClient::RawSend(std::string_view bytes, std::string* error) {
+  return SendAll(fd_, bytes, error);
+}
+
+bool BlockingClient::ReadFrame(OwnedFrame* frame, std::string* error) {
+  Frame view;
+  std::string decode_error;
+  for (;;) {
+    switch (decoder_.Next(&view, &decode_error)) {
+      case FrameDecoder::Status::kFrame:
+        frame->request_id = view.request_id;
+        frame->op = view.op;
+        frame->payload.assign(view.payload.data(), view.payload.size());
+        return true;
+      case FrameDecoder::Status::kError:
+        if (error != nullptr) *error = decode_error;
+        return false;
+      case FrameDecoder::Status::kNeedMore: {
+        std::string bytes;
+        if (!RecvSome(fd_, &bytes, error)) return false;
+        decoder_.Feed(bytes);
+        break;
+      }
+    }
+  }
+}
+
+bool BlockingClient::Query(KeySpan keys, std::vector<uint8_t>* answers,
+                           std::string* error) {
+  const uint64_t request_id = next_request_id_++;
+  if (!SendQuery(request_id, keys, error)) return false;
+  OwnedFrame frame;
+  if (!ReadFrame(&frame, error)) return false;
+  if (frame.op == kOpError) {
+    ErrorView err;
+    std::string parse_error;
+    if (error != nullptr) {
+      if (ParseErrorPayload(frame.payload, &err, &parse_error)) {
+        *error = "server error " + std::to_string(int{err.code}) + ": " +
+                 std::string(err.message);
+      } else {
+        *error = "server error (unparseable payload)";
+      }
+    }
+    return false;
+  }
+  if (frame.op != kOpQueryResponse || frame.request_id != request_id) {
+    if (error != nullptr) {
+      *error = "unexpected response: op " + std::to_string(int{frame.op}) +
+               " request_id " + std::to_string(frame.request_id) +
+               " (expected query response for " + std::to_string(request_id) +
+               ")";
+    }
+    return false;
+  }
+  QueryResponseView response;
+  if (!ParseQueryResponsePayload(frame.payload, &response, error)) {
+    return false;
+  }
+  if (response.key_count != keys.size()) {
+    if (error != nullptr) {
+      *error = "response answers " + std::to_string(response.key_count) +
+               " keys, sent " + std::to_string(keys.size());
+    }
+    return false;
+  }
+  answers->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*answers)[i] = response.Bit(i) ? 1 : 0;
+  }
+  return true;
+}
+
+bool BlockingClient::Mutate(bool insert, KeySpan keys, std::string* error) {
+  const uint64_t request_id = next_request_id_++;
+  if (!SendMutation(request_id, insert, keys, error)) return false;
+  OwnedFrame frame;
+  if (!ReadFrame(&frame, error)) return false;
+  if (frame.op == kOpError) {
+    ErrorView err;
+    std::string parse_error;
+    if (error != nullptr) {
+      if (ParseErrorPayload(frame.payload, &err, &parse_error)) {
+        *error = "server error " + std::to_string(int{err.code}) + ": " +
+                 std::string(err.message);
+      } else {
+        *error = "server error (unparseable payload)";
+      }
+    }
+    return false;
+  }
+  if (frame.op != kOpMutateResponse || frame.request_id != request_id) {
+    if (error != nullptr) {
+      *error = "unexpected response: op " + std::to_string(int{frame.op}) +
+               " (expected mutate response for " + std::to_string(request_id) +
+               ")";
+    }
+    return false;
+  }
+  MutateResponseView response;
+  if (!ParseMutateResponsePayload(frame.payload, &response, error)) {
+    return false;
+  }
+  if (response.status != kStatusOk) {
+    if (error != nullptr) {
+      *error = "mutate status " + std::to_string(int{response.status});
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace habf

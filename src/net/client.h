@@ -1,0 +1,82 @@
+// A small blocking HNP1 client: the test and loadgen counterpart of
+// net::Server. One TCP connection, handshake on Connect, frame send /
+// receive with the same FrameDecoder the server uses, plus convenience
+// round-trips (Query / Mutate). Pipelining is the caller's job: send N
+// frames, then read N responses — the server answers in request order per
+// connection.
+//
+// RawSend() and fd() exist for the hostile-input tests: the fuzz suite
+// writes arbitrary byte splits straight onto the socket to prove the
+// server's decoder survives any framing the network can produce.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace habf {
+namespace net {
+
+/// A received frame that owns its payload bytes (unlike net::Frame, whose
+/// payload views the decoder buffer and dies on the next read).
+struct OwnedFrame {
+  uint64_t request_id = 0;
+  uint8_t op = 0;
+  std::string payload;
+};
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects, sends the client hello, and validates the server's echo.
+  /// False with *error on any failure (the socket is closed).
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one complete frame (blocking until the kernel takes it all).
+  bool SendFrame(uint64_t request_id, uint8_t op, std::string_view payload,
+                 std::string* error);
+
+  /// Sends a kOpQuery frame for `keys` under `request_id`.
+  bool SendQuery(uint64_t request_id, KeySpan keys, std::string* error);
+
+  /// Sends a kOpInsert / kOpRemove frame for `keys` under `request_id`.
+  bool SendMutation(uint64_t request_id, bool insert, KeySpan keys,
+                    std::string* error);
+
+  /// Sends raw bytes verbatim — no framing. Hostile-input test hook.
+  bool RawSend(std::string_view bytes, std::string* error);
+
+  /// Blocks until one complete frame arrives. False with *error on a
+  /// framing violation, EOF ("connection closed by server"), or I/O error.
+  bool ReadFrame(OwnedFrame* frame, std::string* error);
+
+  /// Round-trip: query `keys`, read the response, unpack the bitmap into
+  /// answers[i] = 0/1. False with *error on transport failure, a kOpError
+  /// reply (the code+message land in *error), or a mismatched response.
+  bool Query(KeySpan keys, std::vector<uint8_t>* answers, std::string* error);
+
+  /// Round-trip insert/remove. False on transport failure or kOpError.
+  bool Mutate(bool insert, KeySpan keys, std::string* error);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace habf

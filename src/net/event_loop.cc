@@ -1,0 +1,117 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace habf {
+namespace net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = wake_fd_;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) != 0) {
+      close(wake_fd_);
+      wake_fd_ = -1;
+    }
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    // Pending tasks first: RunInLoop work (connection handoffs, drain
+    // requests) must not starve behind a busy fd set.
+    for (Task& task : TakePending()) task();
+    {
+      MutexLock lock(mu_);
+      if (stop_ && pending_.empty()) return;
+    }
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd itself broken; nothing sane to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWakeups();
+        continue;
+      }
+      // A callback earlier in this batch may have Removed this fd — the
+      // map lookup (not the stale epoll result) is authoritative.
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      const std::shared_ptr<IoCallback> callback = it->second;
+      (*callback)(events[i].events);
+    }
+  }
+}
+
+void EventLoop::Stop() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t written = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::RunInLoop(Task task) {
+  {
+    MutexLock lock(mu_);
+    pending_.push_back(std::move(task));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t written = write(wake_fd_, &one, sizeof(one));
+}
+
+bool EventLoop::Add(int fd, uint32_t events, IoCallback callback) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) return false;
+  callbacks_[fd] = std::make_shared<IoCallback>(std::move(callback));
+  return true;
+}
+
+bool EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  return epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0;
+}
+
+void EventLoop::Remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::DrainWakeups() {
+  uint64_t counter;
+  while (read(wake_fd_, &counter, sizeof(counter)) > 0) {
+  }
+}
+
+std::vector<EventLoop::Task> EventLoop::TakePending() {
+  MutexLock lock(mu_);
+  std::vector<Task> tasks;
+  tasks.swap(pending_);
+  return tasks;
+}
+
+}  // namespace net
+}  // namespace habf

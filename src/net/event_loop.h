@@ -1,0 +1,91 @@
+// A minimal level-triggered epoll event loop (DESIGN.md §11), the reactor
+// under net::Server: one loop per thread, fd readiness dispatched to
+// registered callbacks, plus a thread-safe task queue (RunInLoop) so other
+// threads — the acceptor handing off a fresh connection, Shutdown posting
+// the drain — can inject work without touching loop-owned state.
+//
+// Level-triggered on purpose: the connection code reads/writes until EAGAIN
+// anyway, and level triggering cannot lose a wakeup to a missed edge — the
+// simplest discipline that is correct under coalesced reads (the Tarantool
+// iproto loop makes the same choice).
+//
+// Threading contract: Add/Modify/Remove and the callbacks run on the loop
+// thread only. Stop() and RunInLoop() are safe from any thread (they go
+// through an eventfd wakeup). The loop owns no fd lifetimes beyond its own
+// epoll/event fds — registrants close their own fds after Remove.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/annotated_sync.h"
+
+namespace habf {
+namespace net {
+
+class EventLoop {
+ public:
+  /// Invoked with the ready epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP...).
+  using IoCallback = std::function<void(uint32_t events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False if epoll/eventfd creation failed at construction.
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Runs until Stop(). Call from exactly one thread (the loop thread).
+  void Run();
+
+  /// Requests Run() to return once the current dispatch batch finishes.
+  /// Safe from any thread; idempotent.
+  void Stop();
+
+  /// Enqueues `task` to run on the loop thread (before the next epoll wait)
+  /// and wakes the loop. Safe from any thread. Tasks enqueued after Stop()
+  /// still run before Run() returns, so a drain posted concurrently with
+  /// the stop is never dropped.
+  void RunInLoop(Task task);
+
+  // --- loop-thread only ----------------------------------------------------
+
+  /// Registers `fd` for `events` (level-triggered). False on epoll error.
+  bool Add(int fd, uint32_t events, IoCallback callback);
+
+  /// Updates the interest mask of a registered fd.
+  bool Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd`. Safe to call from inside a callback (including the
+  /// fd's own): dispatch holds a shared_ptr copy, and a removed fd's
+  /// remaining readiness in the current batch is skipped.
+  void Remove(int fd);
+
+  /// Registered fd count (loop thread only; drain bookkeeping).
+  size_t num_fds() const { return callbacks_.size(); }
+
+ private:
+  void DrainWakeups();
+  std::vector<Task> TakePending() HABF_EXCLUDES(mu_);
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  /// Loop-thread only. shared_ptr so a callback that removes itself (or a
+  /// sibling) mid-dispatch cannot free a callback the batch still holds.
+  std::unordered_map<int, std::shared_ptr<IoCallback>> callbacks_;
+
+  Mutex mu_;
+  std::vector<Task> pending_ HABF_GUARDED_BY(mu_);
+  bool stop_ HABF_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace net
+}  // namespace habf

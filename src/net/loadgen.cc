@@ -1,0 +1,285 @@
+#include "net/loadgen.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <thread>
+
+#include "net/client.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace net {
+
+// --- LatencyHistogram -------------------------------------------------------
+
+LatencyHistogram::LatencyHistogram() : counts_(kNumBuckets, 0) {}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // Major bucket = how far the MSB sits above the exact range; the 6 bits
+  // after the MSB pick the linear sub-bucket.
+  int msb = 63;
+  while ((value & (uint64_t{1} << msb)) == 0) --msb;
+  const size_t major = static_cast<size_t>(msb) - kSubBucketBits + 1;
+  const size_t sub = static_cast<size_t>(
+      (value >> (static_cast<size_t>(msb) - kSubBucketBits)) &
+      (kSubBuckets - 1));
+  return major * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketValue(size_t index) {
+  const size_t major = index / kSubBuckets;
+  const uint64_t sub = index % kSubBuckets;
+  if (major == 0) return sub;
+  const uint64_t base = uint64_t{1} << (kSubBucketBits + major - 1);
+  return base + (sub << (major - 1));
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  counts_[BucketIndex(value)] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += 1;
+  sum_ += static_cast<double>(value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::ValueAtPercentile(double pct) const {
+  if (count_ == 0) return 0;
+  pct = std::min(100.0, std::max(0.0, pct));
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(pct / 100.0 *
+                                         static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      const uint64_t value = BucketValue(i);
+      return std::min(max_, std::max(min_, value));
+    }
+  }
+  return max_;
+}
+
+// --- load generation --------------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct InFlight {
+  uint64_t request_id;
+  Clock::time_point sent_at;
+  std::vector<uint64_t> indices;  // stream indices, for FN accounting
+};
+
+struct ConnectionResult {
+  LoadgenReport report;
+  bool ok = false;
+  std::string error;
+};
+
+/// Sends one request of keys_per_request fresh stream keys; records it on
+/// the in-flight queue.
+bool SendOne(const LoadgenOptions& options, BlockingClient* client,
+             Xoshiro256* rng, uint64_t* next_request_id,
+             std::deque<InFlight>* outstanding, LoadgenReport* report,
+             std::string* error) {
+  InFlight entry;
+  entry.request_id = (*next_request_id)++;
+  entry.indices.reserve(options.keys_per_request);
+  std::vector<std::string> keys;
+  keys.reserve(options.keys_per_request);
+  for (size_t k = 0; k < options.keys_per_request; ++k) {
+    const uint64_t index = rng->NextBounded(options.key_space);
+    entry.indices.push_back(index);
+    keys.push_back(WorkloadStreamKey(options.key_seed, index));
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  entry.sent_at = Clock::now();
+  if (!client->SendQuery(entry.request_id,
+                         KeySpan(views.data(), views.size()), error)) {
+    return false;
+  }
+  report->requests_sent += 1;
+  outstanding->push_back(std::move(entry));
+  report->max_in_flight_observed =
+      std::max(report->max_in_flight_observed, outstanding->size());
+  return true;
+}
+
+/// Retires the oldest in-flight request against the next response frame.
+bool ReceiveOne(const LoadgenOptions& options, BlockingClient* client,
+                std::deque<InFlight>* outstanding, LoadgenReport* report,
+                std::string* error) {
+  OwnedFrame frame;
+  if (!client->ReadFrame(&frame, error)) return false;
+  if (outstanding->empty()) {
+    *error = "response with nothing in flight";
+    return false;
+  }
+  InFlight entry = std::move(outstanding->front());
+  outstanding->pop_front();
+  const Clock::time_point received_at = Clock::now();
+  if (frame.op != kOpQueryResponse || frame.request_id != entry.request_id) {
+    *error = "out-of-order or non-query response: op " +
+             std::to_string(int{frame.op}) + " request_id " +
+             std::to_string(frame.request_id) + " (expected " +
+             std::to_string(entry.request_id) + ")";
+    return false;
+  }
+  QueryResponseView response;
+  if (!ParseQueryResponsePayload(frame.payload, &response, error)) {
+    return false;
+  }
+  if (response.key_count != entry.indices.size()) {
+    *error = "response key count mismatch";
+    return false;
+  }
+  report->responses_received += 1;
+  report->keys_queried += entry.indices.size();
+  for (size_t i = 0; i < entry.indices.size(); ++i) {
+    const bool hit = response.Bit(i);
+    if (hit) report->positives += 1;
+    if (!hit && entry.indices[i] < options.expect_members) {
+      report->false_negatives += 1;
+    }
+  }
+  report->latency_ns.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(received_at -
+                                                           entry.sent_at)
+          .count()));
+  return true;
+}
+
+void RunConnection(const LoadgenOptions& options, size_t connection_index,
+                   ConnectionResult* result) {
+  BlockingClient client;
+  if (!client.Connect(options.host, options.port, &result->error)) return;
+
+  Xoshiro256 rng(options.key_seed ^
+                 (0x9e3779b97f4a7c15ULL * (connection_index + 1)));
+  std::deque<InFlight> outstanding;
+  uint64_t next_request_id = 1;
+  LoadgenReport* report = &result->report;
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline = start + options.duration;
+
+  if (options.open_rate_per_connection > 0.0) {
+    // Open loop: fixed-schedule sends; responses are drained between ticks
+    // via poll so a full frame never delays the next scheduled send by
+    // more than its own (loopback-fast) read.
+    const auto interval = std::chrono::nanoseconds(static_cast<uint64_t>(
+        1e9 / options.open_rate_per_connection));
+    Clock::time_point next_send = start;
+    while (Clock::now() < deadline) {
+      if (Clock::now() >= next_send) {
+        if (!SendOne(options, &client, &rng, &next_request_id, &outstanding,
+                     report, &result->error)) {
+          return;
+        }
+        next_send += interval;
+        continue;
+      }
+      pollfd pfd{client.fd(), POLLIN, 0};
+      const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_send - Clock::now());
+      poll(&pfd, 1, static_cast<int>(std::max<int64_t>(0, wait.count())));
+      if ((pfd.revents & POLLIN) != 0) {
+        if (!ReceiveOne(options, &client, &outstanding, report,
+                        &result->error)) {
+          return;
+        }
+      }
+    }
+  } else {
+    // Closed loop: top the window up, then block for one retirement —
+    // in-flight depth can never exceed max_in_flight.
+    const size_t window = std::max<size_t>(1, options.max_in_flight);
+    while (Clock::now() < deadline) {
+      while (outstanding.size() < window) {
+        if (!SendOne(options, &client, &rng, &next_request_id, &outstanding,
+                     report, &result->error)) {
+          return;
+        }
+      }
+      if (!ReceiveOne(options, &client, &outstanding, report,
+                      &result->error)) {
+        return;
+      }
+    }
+  }
+
+  // Drain: every request gets its response (the server answers all sends).
+  while (!outstanding.empty()) {
+    if (!ReceiveOne(options, &client, &outstanding, report, &result->error)) {
+      return;
+    }
+  }
+  report->duration_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result->ok = true;
+}
+
+}  // namespace
+
+bool RunLoadgen(const LoadgenOptions& options, LoadgenReport* report,
+                std::string* error) {
+  const size_t connections = std::max<size_t>(1, options.connections);
+  std::vector<ConnectionResult> results(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back(
+        [&options, c, &results] { RunConnection(options, c, &results[c]); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  *report = LoadgenReport();
+  bool ok = true;
+  for (size_t c = 0; c < connections; ++c) {
+    const ConnectionResult& result = results[c];
+    if (!result.ok) {
+      if (ok && error != nullptr) {
+        *error = "connection " + std::to_string(c) + ": " + result.error;
+      }
+      ok = false;
+    }
+    report->requests_sent += result.report.requests_sent;
+    report->responses_received += result.report.responses_received;
+    report->keys_queried += result.report.keys_queried;
+    report->positives += result.report.positives;
+    report->false_negatives += result.report.false_negatives;
+    report->max_in_flight_observed = std::max(
+        report->max_in_flight_observed, result.report.max_in_flight_observed);
+    report->duration_seconds =
+        std::max(report->duration_seconds, result.report.duration_seconds);
+    report->latency_ns.Merge(result.report.latency_ns);
+  }
+  if (report->duration_seconds > 0.0) {
+    report->achieved_rps = static_cast<double>(report->responses_received) /
+                           report->duration_seconds;
+  }
+  return ok;
+}
+
+}  // namespace net
+}  // namespace habf

@@ -1,0 +1,507 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace habf {
+namespace net {
+
+/// Per-connection state. Owned by exactly one worker; every field is
+/// touched from that worker's loop thread only.
+struct Server::Connection {
+  explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+
+  int fd = -1;
+  /// Accumulates the 8 hello bytes; the decoder sees nothing until the
+  /// handshake validates.
+  std::string handshake;
+  bool handshook = false;
+  FrameDecoder decoder;
+
+  /// Buffered output: [out_pos, out.size()) is unsent. Responses append
+  /// here and FlushOutput drains until EAGAIN.
+  std::string out;
+  size_t out_pos = 0;
+
+  /// Cleared when the connection must not read more (framing error, drain).
+  bool want_read = true;
+  /// Close once `out` fully flushes (peer EOF, framing error, drain).
+  bool close_after_flush = false;
+  /// The mask currently registered with epoll (avoids redundant Modify).
+  uint32_t registered_events = EPOLLIN;
+};
+
+/// One worker loop plus its loop-thread-only connection table.
+struct Server::Worker {
+  EventLoop loop;
+  std::thread thread;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections;
+  bool draining = false;
+};
+
+Server::Server(ServerBackend* backend, ServerOptions options)
+    : backend_(backend), options_(std::move(options)) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
+Server::~Server() { Shutdown(); }
+
+bool Server::Start(std::string* error) {
+  if (started_) {
+    *error = "server already started";
+    return false;
+  }
+
+  acceptor_loop_ = std::make_unique<EventLoop>();
+  if (!acceptor_loop_->ok()) {
+    *error = "failed to create acceptor event loop";
+    return false;
+  }
+  workers_.clear();
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    if (!worker->loop.ok()) {
+      *error = "failed to create worker event loop";
+      return false;
+    }
+    workers_.push_back(std::move(worker));
+  }
+
+  listen_fd_ =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad bind address: " + options_.bind_address;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (listen(listen_fd_, SOMAXCONN) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  // Read back the kernel's port pick (options.port == 0: the tests' mode).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  // Registration before the acceptor thread exists is single-threaded, so
+  // the "loop-thread only" contract on Add is trivially met.
+  if (!acceptor_loop_->Add(listen_fd_, EPOLLIN,
+                           [this](uint32_t) { AcceptPending(); })) {
+    *error = "failed to register listen socket";
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  for (auto& worker : workers_) {
+    Worker* raw = worker.get();
+    worker->thread = std::thread([raw] { raw->loop.Run(); });
+  }
+  acceptor_thread_ = std::thread([this] { acceptor_loop_->Run(); });
+  started_ = true;
+  shut_down_ = false;
+  return true;
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: drained the backlog. Anything else (EMFILE, ECONNABORTED):
+      // give up this cycle; level triggering re-arms us if more arrive.
+      break;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const size_t w = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                     workers_.size();
+    workers_[w]->loop.RunInLoop([this, w, fd] { AdoptConnection(w, fd); });
+  }
+}
+
+void Server::AdoptConnection(size_t worker_index, int fd) {
+  Worker& worker = *workers_[worker_index];
+  if (worker.draining) {
+    // Accepted after drain began: the client gets a clean RST/EOF instead
+    // of a hello that would never be answered.
+    close(fd);
+    return;
+  }
+  auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+  conn->fd = fd;
+  if (!worker.loop.Add(fd, EPOLLIN, [this, worker_index, fd](uint32_t events) {
+        HandleIo(worker_index, fd, events);
+      })) {
+    close(fd);
+    return;
+  }
+  worker.connections.emplace(fd, std::move(conn));
+  {
+    MutexLock lock(drain_mu_);
+    ++open_connections_;
+  }
+}
+
+void Server::HandleIo(size_t worker_index, int fd, uint32_t events) {
+  Worker& worker = *workers_[worker_index];
+  const auto it = worker.connections.find(fd);
+  if (it == worker.connections.end()) return;
+  Connection& conn = *it->second;
+
+  if ((events & EPOLLERR) != 0) {
+    CloseConnection(worker, fd);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!FlushOutput(worker, conn)) return;
+  }
+  if ((events & (EPOLLIN | EPOLLHUP)) == 0) return;
+  if (!conn.want_read) {
+    // Not reading (drain or framing error): EPOLLHUP here means the peer is
+    // gone and the pending flush can never land.
+    if ((events & EPOLLHUP) != 0) CloseConnection(worker, fd);
+    return;
+  }
+
+  bool peer_eof = false;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      const char* data = buf;
+      size_t len = static_cast<size_t>(n);
+      if (!conn.handshook) {
+        const size_t take =
+            std::min(kHandshakeBytes - conn.handshake.size(), len);
+        conn.handshake.append(data, take);
+        data += take;
+        len -= take;
+        if (conn.handshake.size() < kHandshakeBytes) continue;
+        std::string hello_error;
+        if (!ParseHandshake(conn.handshake, &hello_error)) {
+          // A bad hello closes silently: nothing after it can be framed.
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          CloseConnection(worker, fd);
+          return;
+        }
+        conn.handshook = true;
+        conn.out += EncodeHandshake();
+      }
+      if (len > 0) conn.decoder.Feed(std::string_view(data, len));
+      continue;
+    }
+    if (n == 0) {
+      peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(worker, fd);
+    return;
+  }
+
+  if (!ProcessBuffered(worker, conn)) return;
+  if (peer_eof) {
+    // Half-close: answer what arrived, then close once it flushes.
+    conn.want_read = false;
+    conn.close_after_flush = true;
+    if (conn.out_pos >= conn.out.size()) {
+      CloseConnection(worker, fd);
+      return;
+    }
+    UpdateInterest(worker, conn);
+  }
+}
+
+bool Server::ProcessBuffered(Worker& worker, Connection& conn) {
+  // Coalescing: consecutive query frames pool their keys into one flat
+  // batch answered by a single backend call (one snapshot pin). Responses
+  // are framed per request, in request order; mutations and errors are
+  // barriers that flush the pool first so ordering is exact.
+  struct PendingQuery {
+    uint64_t request_id;
+    size_t offset;
+    size_t count;
+  };
+  std::vector<std::string_view> batch_keys;
+  std::vector<PendingQuery> pending;
+  std::vector<std::string_view> frame_keys;
+  std::vector<uint8_t> answers;
+  std::string payload;
+
+  const auto flush_queries = [&] {
+    if (pending.empty()) return;
+    answers.assign(batch_keys.size(), 0);
+    backend_->QueryBatch(KeySpan(batch_keys.data(), batch_keys.size()),
+                         answers.data());
+    batches_answered_.fetch_add(1, std::memory_order_relaxed);
+    keys_queried_.fetch_add(batch_keys.size(), std::memory_order_relaxed);
+    for (const PendingQuery& query : pending) {
+      payload.clear();
+      AppendQueryResponsePayload(&payload, answers.data() + query.offset,
+                                 query.count);
+      AppendFrame(&conn.out, query.request_id, kOpQueryResponse, payload);
+      requests_answered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    batch_keys.clear();
+    pending.clear();
+  };
+
+  Frame frame;
+  std::string error;
+  bool done = false;
+  while (!done) {
+    switch (conn.decoder.Next(&frame, &error)) {
+      case FrameDecoder::Status::kNeedMore:
+        done = true;
+        break;
+      case FrameDecoder::Status::kError: {
+        // Framing is connection-fatal: answer request_id 0, stop reading
+        // the desynced stream, close once the pipeline's responses flush.
+        flush_queries();
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        payload.clear();
+        AppendErrorPayload(&payload, kErrBadFrame, error);
+        AppendFrame(&conn.out, 0, kOpError, payload);
+        conn.want_read = false;
+        conn.close_after_flush = true;
+        done = true;
+        break;
+      }
+      case FrameDecoder::Status::kFrame: {
+        frames_decoded_.fetch_add(1, std::memory_order_relaxed);
+        switch (frame.op) {
+          case kOpQuery: {
+            if (!ParseKeyBatchPayload(frame.payload, &frame_keys, &error)) {
+              flush_queries();
+              protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+              payload.clear();
+              AppendErrorPayload(&payload, kErrBadPayload, error);
+              AppendFrame(&conn.out, frame.request_id, kOpError, payload);
+              break;
+            }
+            pending.push_back(
+                {frame.request_id, batch_keys.size(), frame_keys.size()});
+            batch_keys.insert(batch_keys.end(), frame_keys.begin(),
+                              frame_keys.end());
+            break;
+          }
+          case kOpInsert:
+          case kOpRemove: {
+            flush_queries();
+            if (!ParseKeyBatchPayload(frame.payload, &frame_keys, &error)) {
+              protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+              payload.clear();
+              AppendErrorPayload(&payload, kErrBadPayload, error);
+              AppendFrame(&conn.out, frame.request_id, kOpError, payload);
+              break;
+            }
+            uint64_t applied = 0;
+            std::string mutate_error;
+            if (!backend_->Mutate(
+                    frame.op == kOpInsert,
+                    KeySpan(frame_keys.data(), frame_keys.size()), &applied,
+                    &mutate_error)) {
+              payload.clear();
+              AppendErrorPayload(&payload, kErrUnsupported, mutate_error);
+              AppendFrame(&conn.out, frame.request_id, kOpError, payload);
+              break;
+            }
+            keys_mutated_.fetch_add(applied, std::memory_order_relaxed);
+            payload.clear();
+            AppendMutateResponsePayload(&payload, kStatusOk, applied);
+            AppendFrame(&conn.out, frame.request_id, kOpMutateResponse,
+                        payload);
+            requests_answered_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          default: {
+            flush_queries();
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            payload.clear();
+            AppendErrorPayload(
+                &payload, kErrBadOp,
+                "unknown op " + std::to_string(int{frame.op}));
+            AppendFrame(&conn.out, frame.request_id, kOpError, payload);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  flush_queries();
+  return FlushOutput(worker, conn);
+}
+
+bool Server::FlushOutput(Worker& worker, Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = send(conn.fd, conn.out.data() + conn.out_pos,
+                           conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(worker, conn.fd);
+    return false;
+  }
+  if (conn.out_pos >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+    if (conn.close_after_flush) {
+      CloseConnection(worker, conn.fd);
+      return false;
+    }
+  }
+  UpdateInterest(worker, conn);
+  return true;
+}
+
+void Server::UpdateInterest(Worker& worker, Connection& conn) {
+  uint32_t want = conn.want_read ? EPOLLIN : 0;
+  if (conn.out_pos < conn.out.size()) want |= EPOLLOUT;
+  if (want == conn.registered_events) return;
+  worker.loop.Modify(conn.fd, want);
+  conn.registered_events = want;
+}
+
+void Server::CloseConnection(Worker& worker, int fd) {
+  const auto it = worker.connections.find(fd);
+  if (it == worker.connections.end()) return;
+  worker.loop.Remove(fd);
+  close(fd);
+  worker.connections.erase(it);
+  {
+    MutexLock lock(drain_mu_);
+    --open_connections_;
+    if (open_connections_ == 0) drain_cv_.NotifyAll();
+  }
+}
+
+void Server::BeginDrain(size_t worker_index) {
+  Worker& worker = *workers_[worker_index];
+  worker.draining = true;
+  std::vector<int> fds;
+  fds.reserve(worker.connections.size());
+  for (const auto& entry : worker.connections) fds.push_back(entry.first);
+  for (const int fd : fds) {
+    const auto it = worker.connections.find(fd);
+    if (it == worker.connections.end()) continue;
+    Connection& conn = *it->second;
+    conn.want_read = false;
+    conn.close_after_flush = true;
+    if (conn.out_pos >= conn.out.size()) {
+      CloseConnection(worker, fd);
+      continue;
+    }
+    UpdateInterest(worker, conn);
+  }
+}
+
+void Server::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // kServing -> kDraining: close the front door first so no connection can
+  // slip in behind the per-worker drain tasks.
+  acceptor_loop_->Stop();
+  if (acceptor_thread_.joinable()) acceptor_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->loop.RunInLoop([this, w] { BeginDrain(w); });
+  }
+
+  // Wait for the flush (bounded): every close notifies drain_cv_.
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.drain_timeout;
+  {
+    MutexLock lock(drain_mu_);
+    while (open_connections_ > 0) {
+      if (!drain_cv_.WaitUntil(drain_mu_, deadline)) break;
+    }
+  }
+
+  // kDraining -> kDrained: force-close stragglers (deadline expired or
+  // none), stop the loops, join. RunInLoop-then-Stop ordering guarantees
+  // the force-close task runs before Run() returns.
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->loop.RunInLoop([this, w] {
+      Worker& worker = *workers_[w];
+      std::vector<int> fds;
+      fds.reserve(worker.connections.size());
+      for (const auto& entry : worker.connections) fds.push_back(entry.first);
+      for (const int fd : fds) CloseConnection(worker, fd);
+    });
+    workers_[w]->loop.Stop();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.frames_decoded = frames_decoded_.load(std::memory_order_relaxed);
+  stats.batches_answered = batches_answered_.load(std::memory_order_relaxed);
+  stats.requests_answered =
+      requests_answered_.load(std::memory_order_relaxed);
+  stats.keys_queried = keys_queried_.load(std::memory_order_relaxed);
+  stats.keys_mutated = keys_mutated_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t Server::open_connections() const {
+  MutexLock lock(drain_mu_);
+  return open_connections_;
+}
+
+}  // namespace net
+}  // namespace habf

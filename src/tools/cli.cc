@@ -1,7 +1,10 @@
 #include "tools/cli.h"
 
+#include <signal.h>
+
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -18,6 +21,8 @@
 #include "core/habf.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "util/annotated_sync.h"
 #include "util/serde.h"
 #include "util/thread_pool.h"
@@ -43,7 +48,11 @@ constexpr char kUsage[] =
     "           [--count N] [--zipf THETA] [--seed S]\n"
     "  serve-sim --positives FILE [--negatives FILE] [build flags]\n"
     "           [--rebuilds R] [--batch B] [--mutate-rate R]\n"
-    "           [--wal-dir DIR] [--kill-recover]\n";
+    "           [--wal-dir DIR] [--kill-recover]\n"
+    "  serve    (--snapshot FILTER | --wal-dir DIR) [--port P]\n"
+    "           [--port-file FILE] [--workers N] [--duration-ms MS]\n"
+    "           (--port 0 picks a free port; --duration-ms 0 serves until\n"
+    "            SIGTERM/SIGINT, then drains gracefully)\n";
 
 /// Parsed flags: --name value pairs, repeated flags collected, bare --fast
 /// style booleans mapped to "1".
@@ -353,6 +362,12 @@ struct LoadedFilter {
     return single.has_value() ? single->Contains(key)
                               : sharded->MightContain(key);
   }
+  /// Batched answers with ContainsBatch semantics, so a LoadedFilter can
+  /// sit behind net::StoreBackend (the `serve` command's static mode).
+  size_t ContainsBatch(KeySpan keys, uint8_t* out) const {
+    return single.has_value() ? GenericContainsBatch(*this, keys, out)
+                              : sharded->ContainsBatch(keys, out);
+  }
   size_t MemoryUsageBytes() const {
     return single.has_value() ? single->MemoryUsageBytes()
                               : sharded->MemoryUsageBytes();
@@ -367,25 +382,30 @@ struct LoadedFilter {
   }
 };
 
-std::optional<LoadedFilter> LoadFilter(const Flags& flags, std::string* err) {
-  const std::string* path = flags.GetOne("filter");
-  if (path == nullptr) {
-    *err += "missing --filter\n";
-    return std::nullopt;
-  }
+std::optional<LoadedFilter> LoadFilterFromPath(const std::string& path,
+                                               std::string* err) {
   std::string bytes;
-  if (!ReadFileBytes(*path, &bytes)) {
-    *err += "cannot load filter from " + *path + "\n";
+  if (!ReadFileBytes(path, &bytes)) {
+    *err += "cannot load filter from " + path + "\n";
     return std::nullopt;
   }
   LoadedFilter loaded;
   loaded.sharded = ShardedFilter<Habf>::Deserialize(bytes);
   if (!loaded.sharded.has_value()) loaded.single = Habf::Deserialize(bytes);
   if (!loaded.sharded.has_value() && !loaded.single.has_value()) {
-    *err += "cannot load filter from " + *path + "\n";
+    *err += "cannot load filter from " + path + "\n";
     return std::nullopt;
   }
   return loaded;
+}
+
+std::optional<LoadedFilter> LoadFilter(const Flags& flags, std::string* err) {
+  const std::string* path = flags.GetOne("filter");
+  if (path == nullptr) {
+    *err += "missing --filter\n";
+    return std::nullopt;
+  }
+  return LoadFilterFromPath(*path, err);
 }
 
 int CmdQuery(const Flags& flags, std::string* out, std::string* err) {
@@ -722,6 +742,42 @@ int CmdGenerate(const Flags& flags, std::string* out, std::string* err) {
 /// insert/delete/query workload against the dynamic delta tier, with one
 /// dirty-shard compaction per round running on a background thread while
 /// the main loop keeps serving query batches. Each round mutates
+/// Joins its thread on every exit path. The serve-sim compactor handoff
+/// used to join only on the straight-line path: an exception thrown while
+/// serving (bad_alloc in a query batch, a failed assertion in the FN
+/// check) destroyed a joinable std::thread and took the whole process down
+/// with std::terminate instead of surfacing the real error.
+struct ThreadJoiner {
+  std::thread thread;
+
+  explicit ThreadJoiner(std::thread t) : thread(std::move(t)) {}
+  ~ThreadJoiner() { Join(); }
+  ThreadJoiner(const ThreadJoiner&) = delete;
+  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+
+  void Join() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+/// Compaction running on a background thread, with the report and the done
+/// flag crossing threads under an annotated Mutex (util/annotated_sync.h)
+/// so the handoff protocol is compiler-checked.
+struct CompactorState {
+  Mutex mu;
+  CompactionReport report HABF_GUARDED_BY(mu);
+  bool done HABF_GUARDED_BY(mu) = false;
+
+  bool Done() {
+    MutexLock lock(mu);
+    return done;
+  }
+  CompactionReport TakeReport() {
+    MutexLock lock(mu);
+    return report;
+  }
+};
+
 /// ceil(mutate_rate * batch) keys (alternating fresh-key inserts and
 /// removals of existing members), then checks every query batch against a
 /// reference membership set — any false negative, including one caught
@@ -787,25 +843,15 @@ int RunDynamicServeSim(std::vector<std::string> positives,
 
     // Compact on a background thread; keep serving query batches until it
     // lands. The do/while guarantees at least one batch per round even if
-    // the compaction wins every race. The report and the done flag cross
-    // threads under an annotated Mutex (util/annotated_sync.h), so the
-    // handoff protocol is compiler-checked instead of resting on a bare
-    // atomic flag plus a release/acquire comment.
-    struct CompactorState {
-      Mutex mu;
-      CompactionReport report HABF_GUARDED_BY(mu);
-      bool done HABF_GUARDED_BY(mu) = false;
-    } compaction;
-    std::thread compactor([&] {
+    // the compaction wins every race. ThreadJoiner guarantees the join on
+    // every exit path, including an exception out of the serving loop.
+    CompactorState compaction;
+    ThreadJoiner compactor(std::thread([&] {
       CompactionReport r = filter.CompactDirtyShards();
       MutexLock lock(compaction.mu);
       compaction.report = r;
       compaction.done = true;
-    });
-    const auto compaction_done = [&compaction] {
-      MutexLock lock(compaction.mu);
-      return compaction.done;
-    };
+    }));
     size_t round_queries = 0;
     bool false_negative = false;
     std::string fn_key;
@@ -821,13 +867,9 @@ int RunDynamicServeSim(std::vector<std::string> positives,
       }
       cursor = (cursor + count) % views.size();
       round_queries += count;
-    } while (!compaction_done() && !false_negative);
-    compactor.join();
-    CompactionReport report;
-    {
-      MutexLock lock(compaction.mu);
-      report = compaction.report;
-    }
+    } while (!compaction.Done() && !false_negative);
+    compactor.Join();
+    const CompactionReport report = compaction.TakeReport();
     if (false_negative) {
       *err += "serve-sim: false negative for member key '" + fn_key +
               "' during compaction\n";
@@ -872,9 +914,84 @@ int RunDynamicServeSim(std::vector<std::string> positives,
   *out += line;
 
   if (kill_recover) {
-    // Simulated kill: destroy the filter with the WAL tail unflushed to a
-    // checkpoint, then recover from disk and re-run the member sweep — the
-    // acknowledged-mutation zero-false-negative guarantee, end to end.
+    // Phase 1: serve the live dynamic filter over the wire. Wire mutations
+    // go through the same WAL-acknowledged Insert/Remove path as local
+    // ones, a final compaction runs concurrently with wire-served queries,
+    // and Server::Shutdown() drives the graceful drain state machine —
+    // only then does the simulated kill happen, so everything the client
+    // saw acknowledged must survive recovery.
+    size_t wire_acked = 0;
+    std::vector<std::string> wire_keys;
+    for (size_t i = 0; i < 16; ++i) {
+      wire_keys.push_back("wire-" + std::to_string(i));
+    }
+    {
+      net::DynamicBackend backend(&filter);
+      net::Server server(&backend, net::ServerOptions{});
+      std::string net_error;
+      if (!server.Start(&net_error)) {
+        *err += "serve-sim: cannot start server: " + net_error + "\n";
+        return 2;
+      }
+      net::BlockingClient client;
+      if (!client.Connect("127.0.0.1", server.port(), &net_error)) {
+        *err += "serve-sim: cannot connect: " + net_error + "\n";
+        return 2;
+      }
+      const std::vector<std::string_view> wire_views(wire_keys.begin(),
+                                                     wire_keys.end());
+      if (!client.Mutate(true, KeySpan(wire_views.data(), wire_views.size()),
+                         &net_error)) {
+        *err += "serve-sim: wire insert failed: " + net_error + "\n";
+        return 2;
+      }
+      wire_acked += wire_keys.size();
+      const std::string_view victim = all_keys.front();
+      if (!client.Mutate(false, KeySpan(&victim, 1), &net_error)) {
+        *err += "serve-sim: wire remove failed: " + net_error + "\n";
+        return 2;
+      }
+      ++wire_acked;
+      members.erase(all_keys.front());
+
+      // Final compaction concurrent with wire-served queries: answers must
+      // stay one-sided while shards rebuild under the live server.
+      CompactorState compaction;
+      ThreadJoiner compactor(std::thread([&] {
+        CompactionReport r = filter.CompactDirtyShards();
+        MutexLock lock(compaction.mu);
+        compaction.report = r;
+        compaction.done = true;
+      }));
+      std::vector<uint8_t> wire_answers;
+      std::string wire_fn_key;
+      do {
+        if (!client.Query(KeySpan(wire_views.data(), wire_views.size()),
+                          &wire_answers, &net_error)) {
+          *err += "serve-sim: wire query failed: " + net_error + "\n";
+          return 2;  // ThreadJoiner + the server destructor clean up
+        }
+        for (size_t i = 0; i < wire_answers.size(); ++i) {
+          if (!wire_answers[i]) wire_fn_key = wire_keys[i];
+        }
+      } while (!compaction.Done() && wire_fn_key.empty());
+      compactor.Join();
+      if (!wire_fn_key.empty()) {
+        *err += "serve-sim: wire false negative for '" + wire_fn_key +
+                "' during compaction\n";
+        return 2;
+      }
+      client.Close();
+      server.Shutdown();
+    }
+    for (std::string& key : wire_keys) {
+      members.insert(key);
+      all_keys.push_back(std::move(key));
+    }
+
+    // Phase 2: the simulated kill — destroy the filter with the WAL tail
+    // unflushed to a checkpoint — then recover from disk and re-run the
+    // member sweep, both in-process and over the wire.
     filter_owner.reset();
     std::string open_error;
     auto recovered = DynamicShardedHabf::Open(*wal_dir, dynamic, &open_error);
@@ -898,6 +1015,55 @@ int RunDynamicServeSim(std::vector<std::string> positives,
                   static_cast<unsigned long long>(recovered->wal_epoch()),
                   recovered_members);
     *out += line;
+
+    // Over-the-wire recovered sweep: serve the recovered filter on a fresh
+    // server and verify every member — including the wire-acknowledged
+    // inserts — through the socket, in batches.
+    {
+      net::DynamicBackend backend(recovered.get());
+      net::Server server(&backend, net::ServerOptions{});
+      std::string net_error;
+      if (!server.Start(&net_error)) {
+        *err += "serve-sim: cannot start recovery server: " + net_error +
+                "\n";
+        return 2;
+      }
+      net::BlockingClient client;
+      if (!client.Connect("127.0.0.1", server.port(), &net_error)) {
+        *err += "serve-sim: cannot connect to recovery server: " + net_error +
+                "\n";
+        return 2;
+      }
+      std::vector<std::string_view> member_views;
+      for (const auto& key : all_keys) {
+        if (members.count(key) > 0) member_views.push_back(key);
+      }
+      std::vector<uint8_t> sweep_answers;
+      for (size_t base = 0; base < member_views.size(); base += batch) {
+        const size_t count = std::min(batch, member_views.size() - base);
+        if (!client.Query(KeySpan(member_views.data() + base, count),
+                          &sweep_answers, &net_error)) {
+          *err += "serve-sim: recovery wire sweep failed: " + net_error +
+                  "\n";
+          return 2;
+        }
+        for (size_t i = 0; i < count; ++i) {
+          if (!sweep_answers[i]) {
+            *err += "serve-sim: recovery wire sweep dropped member '" +
+                    std::string(member_views[base + i]) + "'\n";
+            return 2;
+          }
+        }
+      }
+      client.Close();
+      server.Shutdown();
+      std::snprintf(line, sizeof(line),
+                    "serve-sim wire: mutations_acked=%zu drain=ok "
+                    "recovered_members_verified=%zu "
+                    "zero_false_negatives=ok\n",
+                    wire_acked, member_views.size());
+      *out += line;
+    }
   }
   return 0;
 }
@@ -1036,6 +1202,128 @@ int CmdServeSim(const Flags& flags, std::string* out, std::string* err) {
   return 0;
 }
 
+/// Serves a filter over the HNP1 protocol (DESIGN.md §11): --snapshot loads
+/// an immutable snapshot behind a FilterStore pin (queries only), --wal-dir
+/// opens the durable dynamic filter (queries + wire mutations). --port 0
+/// lets the kernel pick (written to --port-file so scripts and the
+/// in-process tests can find it); --duration-ms 0 serves until
+/// SIGTERM/SIGINT and then drains gracefully.
+int CmdServe(const Flags& flags, std::string* out, std::string* err) {
+  const std::string* snapshot_path = flags.GetOne("snapshot");
+  const std::string* wal_dir = flags.GetOne("wal-dir");
+  if ((snapshot_path == nullptr) == (wal_dir == nullptr)) {
+    *err += "serve requires exactly one of --snapshot (static) or "
+            "--wal-dir (dynamic)\n";
+    return 1;
+  }
+  size_t port = 0;
+  if (const std::string* v = flags.GetOne("port")) {
+    if (!ParseSize(*v, &port) || port > 65535) {
+      *err += BadFlag("port", *v, "expected an integer in [0, 65535]");
+      return 1;
+    }
+  }
+  size_t workers = 2;
+  if (const std::string* v = flags.GetOne("workers")) {
+    if (!ParseSize(*v, &workers) || workers == 0) {
+      *err += BadFlag("workers", *v, "expected an integer > 0");
+      return 1;
+    }
+  }
+  size_t duration_ms = 0;
+  if (const std::string* v = flags.GetOne("duration-ms")) {
+    if (!ParseSize(*v, &duration_ms)) {
+      *err += BadFlag("duration-ms", *v,
+                      "expected a non-negative integer (0 = until signal)");
+      return 1;
+    }
+  }
+  const std::string* port_file = flags.GetOne("port-file");
+
+  // Block SIGTERM/SIGINT before any server thread spawns so every thread
+  // inherits the mask and the signal lands only in the sigwait below —
+  // delivery to a worker thread would take the default (kill) action
+  // instead of the graceful drain.
+  sigset_t drain_signals;
+  sigemptyset(&drain_signals);
+  sigaddset(&drain_signals, SIGTERM);
+  sigaddset(&drain_signals, SIGINT);
+  if (duration_ms == 0) {
+    pthread_sigmask(SIG_BLOCK, &drain_signals, nullptr);
+  }
+
+  FilterStore<LoadedFilter> store;
+  std::unique_ptr<DynamicShardedHabf> dynamic_filter;
+  std::unique_ptr<net::ServerBackend> backend;
+  const char* mode;
+  if (snapshot_path != nullptr) {
+    auto loaded = LoadFilterFromPath(*snapshot_path, err);
+    if (!loaded.has_value()) return 2;
+    store.Publish(std::move(*loaded));
+    backend = std::make_unique<net::StoreBackend<LoadedFilter>>(&store);
+    mode = "static";
+  } else {
+    DynamicOptions dynamic_options;
+    std::string open_error;
+    dynamic_filter =
+        DynamicShardedHabf::Open(*wal_dir, dynamic_options, &open_error);
+    if (dynamic_filter == nullptr) {
+      *err += "serve: cannot open dynamic filter in " + *wal_dir + ": " +
+              open_error + "\n";
+      return 2;
+    }
+    backend = std::make_unique<net::DynamicBackend>(dynamic_filter.get());
+    mode = "dynamic";
+  }
+
+  net::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.num_workers = workers;
+  net::Server server(backend.get(), server_options);
+  std::string start_error;
+  if (!server.Start(&start_error)) {
+    *err += "serve: " + start_error + "\n";
+    return 2;
+  }
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "serving %s filter on 127.0.0.1:%u (workers=%zu)\n", mode,
+                server.port(), workers);
+  *out += line;
+  if (port_file != nullptr) {
+    // Atomic so a reader polling for the file never sees a partial write.
+    if (!WriteFileBytesAtomic(*port_file, std::to_string(server.port()))) {
+      *err += "serve: cannot write port file " + *port_file + "\n";
+      server.Shutdown();
+      return 2;
+    }
+  }
+
+  if (duration_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  } else {
+    int signal_number = 0;
+    sigwait(&drain_signals, &signal_number);
+    *out += std::string("serve: received ") +
+            (signal_number == SIGTERM ? "SIGTERM" : "SIGINT") +
+            ", draining\n";
+  }
+  server.Shutdown();
+  const net::ServerStats stats = server.stats();
+  std::snprintf(line, sizeof(line),
+                "serve: drained connections=%llu frames=%llu "
+                "requests=%llu keys_queried=%llu keys_mutated=%llu "
+                "protocol_errors=%llu\n",
+                static_cast<unsigned long long>(stats.connections_accepted),
+                static_cast<unsigned long long>(stats.frames_decoded),
+                static_cast<unsigned long long>(stats.requests_answered),
+                static_cast<unsigned long long>(stats.keys_queried),
+                static_cast<unsigned long long>(stats.keys_mutated),
+                static_cast<unsigned long long>(stats.protocol_errors));
+  *out += line;
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::string* out,
@@ -1071,6 +1359,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out,
   if (command == "eval") return CmdEval(*flags, out, err);
   if (command == "generate") return CmdGenerate(*flags, out, err);
   if (command == "serve-sim") return CmdServeSim(*flags, out, err);
+  if (command == "serve") return CmdServe(*flags, out, err);
   *err += "unknown command: " + command + "\n";
   *err += kUsage;
   return 1;

@@ -13,6 +13,8 @@
 //            [--count N] [--zipf THETA] [--seed S]
 //   serve-sim --positives FILE [--negatives FILE] [build flags]
 //            [--rebuilds R] [--batch B]
+//   serve (--snapshot FILTER | --wal-dir DIR) [--port P] [--port-file FILE]
+//         [--workers N] [--duration-ms MS]
 //
 // Key files are one key per line; negative files may append a cost after a
 // tab ("key\tcost", default cost 1.0). `generate` emits the repository's
@@ -21,6 +23,9 @@
 // async-rebuild + hot-swap serving loop: it keeps answering batched queries
 // from the current FilterStore snapshot while BuildShardedHabfAsync runs,
 // swaps on completion, and reports the queries served during each rebuild.
+// `serve` exposes a filter over the HNP1 socket protocol (DESIGN.md §11):
+// static snapshots answer queries only; a --wal-dir dynamic filter also
+// accepts wire mutations. habf_loadgen is the matching client.
 
 #pragma once
 

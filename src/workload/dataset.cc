@@ -158,6 +158,14 @@ std::vector<WeightedKey> GenerateZipfWeightedKeys(size_t count, double theta,
   return keys;
 }
 
+std::string WorkloadStreamKey(uint64_t seed, uint64_t index) {
+  // Seed-derived nonce disjoins the byte streams of different seeds; the
+  // verbatim index makes keys within one stream distinct by construction.
+  uint64_t sm = seed;
+  const uint64_t nonce = SplitMix64(&sm) ^ index * 0x9e3779b97f4a7c15ULL;
+  return MakeSkewKey("wl-", nonce, index);
+}
+
 std::vector<WeightedKey> GenerateSingleHotKeySet(size_t count,
                                                  double hot_fraction,
                                                  uint64_t seed) {

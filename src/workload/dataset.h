@@ -65,6 +65,17 @@ void AssignZipfCosts(Dataset* dataset, double theta, uint64_t seed);
 std::vector<WeightedKey> GenerateZipfWeightedKeys(size_t count, double theta,
                                                   uint64_t seed);
 
+// --- serving workload stream (DESIGN.md §11) --------------------------------
+
+/// The i-th key of the deterministic (seed, index) workload stream. This is
+/// the ONE key generator habf_loadgen, its unit tests, and the serving
+/// differential tests share: "the first N keys of stream S" names the same
+/// bytes on the server side (member preload) and the client side (query
+/// stream), so over-the-wire false-negative checks need no key exchange.
+/// Distinct for distinct (seed, index); printable; deterministic across
+/// platforms (splitmix64, util/rng.h).
+std::string WorkloadStreamKey(uint64_t seed, uint64_t index);
+
 /// Adversarial single-hot-key set: `count` unit-weight keys plus one extra
 /// key whose weight is hot_fraction / (1 - hot_fraction) of the unit mass,
 /// i.e. the hot key carries exactly `hot_fraction` of the total. Throws

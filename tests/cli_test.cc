@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
+#include "net/client.h"
 #include "util/serde.h"
 
 namespace habf {
@@ -621,6 +625,14 @@ TEST_F(CliTest, ServeSimWalDirSurvivesKillRecover) {
   EXPECT_NE(out_.find("serve-sim recover:"), std::string::npos) << out_;
   EXPECT_NE(out_.find("zero_false_negatives=ok"), std::string::npos) << out_;
   EXPECT_TRUE(std::filesystem::exists(wal_dir + "/snapshot.habf"));
+  // The wire phase: 16 inserts + 1 remove acknowledged over the socket, a
+  // graceful drain, then a full member sweep through a fresh server over
+  // the *recovered* filter — every wire-acked mutation survived the kill.
+  EXPECT_NE(out_.find("serve-sim wire: mutations_acked=17 drain=ok"),
+            std::string::npos)
+      << out_;
+  EXPECT_NE(out_.find("recovered_members_verified="), std::string::npos)
+      << out_;
 }
 
 TEST_F(CliTest, ServeSimWalFlagsRejectMisuse) {
@@ -633,6 +645,146 @@ TEST_F(CliTest, ServeSimWalFlagsRejectMisuse) {
                  dir_ + "/wal"}),
             1);
   EXPECT_NE(err_.find("require --mutate-rate"), std::string::npos) << err_;
+}
+
+TEST_F(CliTest, ServeStaticSnapshotAnswersOverTheWire) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "2"}),
+            0)
+      << err_;
+
+  // `serve` blocks for its duration, so it runs on a thread while the test
+  // plays client — the same RunCli entry the binary uses, no subprocess.
+  const std::string port_path = dir_ + "/serve_port.txt";
+  std::string serve_out, serve_err;
+  int serve_rc = -1;
+  std::thread server_thread([&] {
+    serve_rc = RunCli({"serve", "--snapshot", filter_path_, "--port", "0",
+                       "--port-file", port_path, "--workers", "2",
+                       "--duration-ms", "2500"},
+                      &serve_out, &serve_err);
+  });
+
+  // The port file is written (atomically) only once the server is
+  // listening, so polling it doubles as the readiness barrier.
+  uint16_t port = 0;
+  for (int i = 0; i < 1000 && port == 0; ++i) {
+    std::string bytes;
+    if (ReadFileBytes(port_path, &bytes) && !bytes.empty()) {
+      port = static_cast<uint16_t>(std::stoul(bytes));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Gather results first, join, then assert — an ASSERT before the join
+  // would std::terminate on the unjoined thread.
+  std::string client_failure;
+  std::vector<uint8_t> answers;
+  if (port == 0) {
+    client_failure = "port file never appeared: " + serve_err;
+  } else {
+    net::BlockingClient client;
+    std::string net_error;
+    const std::vector<std::string_view> keys = {"member-5", "member-2999",
+                                                "serve-test-outsider"};
+    if (!client.Connect("127.0.0.1", port, &net_error)) {
+      client_failure = "connect: " + net_error;
+    } else if (!client.Query(KeySpan(keys.data(), keys.size()), &answers,
+                             &net_error)) {
+      client_failure = "query: " + net_error;
+    }
+  }
+  server_thread.join();
+
+  ASSERT_EQ(client_failure, "") << serve_err;
+  EXPECT_EQ(serve_rc, 0) << serve_err;
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0], 1);  // members are one-sided over the wire
+  EXPECT_EQ(answers[1], 1);
+  EXPECT_NE(serve_out.find("serving static filter on 127.0.0.1:"),
+            std::string::npos)
+      << serve_out;
+  EXPECT_NE(serve_out.find("serve: drained"), std::string::npos) << serve_out;
+  EXPECT_NE(serve_out.find("protocol_errors=0"), std::string::npos)
+      << serve_out;
+}
+
+TEST_F(CliTest, ServeDynamicWalDirAcceptsWireMutations) {
+  // serve-sim seeds the WAL directory (snapshot + durable delta log);
+  // `serve --wal-dir` then recovers it and accepts wire mutations.
+  const std::string wal_dir = dir_ + "/serve_wal";
+  ASSERT_EQ(Run({"serve-sim", "--positives", positives_path_, "--shards", "2",
+                 "--rebuilds", "1", "--batch", "256", "--mutate-rate", "0.25",
+                 "--wal-dir", wal_dir}),
+            0)
+      << err_;
+
+  const std::string port_path = dir_ + "/serve_wal_port.txt";
+  std::string serve_out, serve_err;
+  int serve_rc = -1;
+  std::thread server_thread([&] {
+    serve_rc = RunCli({"serve", "--wal-dir", wal_dir, "--port-file",
+                       port_path, "--duration-ms", "2500"},
+                      &serve_out, &serve_err);
+  });
+
+  uint16_t port = 0;
+  for (int i = 0; i < 1000 && port == 0; ++i) {
+    std::string bytes;
+    if (ReadFileBytes(port_path, &bytes) && !bytes.empty()) {
+      port = static_cast<uint16_t>(std::stoul(bytes));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::string client_failure;
+  std::vector<uint8_t> answers;
+  if (port == 0) {
+    client_failure = "port file never appeared: " + serve_err;
+  } else {
+    net::BlockingClient client;
+    std::string net_error;
+    const std::vector<std::string_view> fresh = {"serve-wire-inserted-key"};
+    if (!client.Connect("127.0.0.1", port, &net_error)) {
+      client_failure = "connect: " + net_error;
+    } else if (!client.Mutate(/*insert=*/true,
+                              KeySpan(fresh.data(), fresh.size()),
+                              &net_error)) {
+      client_failure = "insert: " + net_error;
+    } else if (!client.Query(KeySpan(fresh.data(), fresh.size()), &answers,
+                             &net_error)) {
+      client_failure = "query: " + net_error;
+    }
+  }
+  server_thread.join();
+
+  ASSERT_EQ(client_failure, "") << serve_err;
+  EXPECT_EQ(serve_rc, 0) << serve_err;
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], 1);  // the wire insert is immediately queryable
+  EXPECT_NE(serve_out.find("serving dynamic filter on 127.0.0.1:"),
+            std::string::npos)
+      << serve_out;
+  EXPECT_NE(serve_out.find("keys_mutated=1"), std::string::npos) << serve_out;
+}
+
+TEST_F(CliTest, ServeFlagsRejectMisuse) {
+  // Exactly one of --snapshot / --wal-dir.
+  EXPECT_EQ(Run({"serve"}), 1);
+  EXPECT_NE(err_.find("exactly one of"), std::string::npos) << err_;
+  EXPECT_EQ(Run({"serve", "--snapshot", filter_path_, "--wal-dir", dir_}), 1);
+  EXPECT_NE(err_.find("exactly one of"), std::string::npos) << err_;
+  // Flag validation happens before any filter loads.
+  EXPECT_EQ(Run({"serve", "--snapshot", filter_path_, "--port", "70000"}), 1);
+  EXPECT_NE(err_.find("port"), std::string::npos) << err_;
+  EXPECT_EQ(Run({"serve", "--snapshot", filter_path_, "--workers", "0"}), 1);
+  EXPECT_NE(err_.find("workers"), std::string::npos) << err_;
+  // A missing snapshot is a data error (2), not a usage error.
+  EXPECT_EQ(Run({"serve", "--snapshot", dir_ + "/missing.habf",
+                 "--duration-ms", "50"}),
+            2);
 }
 
 }  // namespace

@@ -1,0 +1,299 @@
+// Unit tests for the load generator (net/loadgen.h): the HDR-style
+// histogram's bucketing and percentile math (exact below 64, <= ~1.6%
+// relative error above, merge additivity), the closed-loop invariant that
+// in-flight depth never exceeds the window (driven against a real loopback
+// server), and the deterministic WorkloadStreamKey stream the generator
+// shares with src/workload — which is what makes `--expect-members N` a
+// wire-level one-sidedness check rather than a guess.
+
+#include "net/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/filter_store.h"
+#include "core/habf.h"
+#include "core/sharded_filter.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace net {
+namespace {
+
+// --- histogram bucketing ----------------------------------------------------
+
+TEST(LatencyHistogramTest, ValuesBelowSubBucketRangeAreExact) {
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_EQ(index, static_cast<size_t>(v));
+    EXPECT_EQ(LatencyHistogram::BucketValue(index), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketValueIsALowerBoundWithinRelativeError) {
+  // For every value, the bucket's reported lower bound must satisfy
+  // value * (1 - 2^-6) <= BucketValue <= value: the HdrHistogram guarantee
+  // that quantization error never exceeds one sub-bucket width (~1.6%).
+  Xoshiro256 rng(8);
+  std::vector<uint64_t> values;
+  for (int shift = 0; shift < 63; ++shift) {
+    values.push_back(uint64_t{1} << shift);
+    values.push_back((uint64_t{1} << shift) - 1);
+    values.push_back((uint64_t{1} << shift) + 1);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(rng.Next() >> rng.NextBounded(63));
+  }
+  for (const uint64_t v : values) {
+    const uint64_t reported =
+        LatencyHistogram::BucketValue(LatencyHistogram::BucketIndex(v));
+    ASSERT_LE(reported, v) << v;
+    // One sub-bucket width at v's scale: width = 2^(msb-6) for v >= 64.
+    const double relative =
+        v == 0 ? 0.0
+               : static_cast<double>(v - reported) / static_cast<double>(v);
+    ASSERT_LE(relative, 1.0 / 64.0 + 1e-12) << v;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotone) {
+  // Monotonicity over a dense low range plus exponential probes: a larger
+  // value may share a bucket but never maps to a smaller one.
+  size_t prev = 0;
+  for (uint64_t v = 0; v < 100000; ++v) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_GE(index, prev) << v;
+    prev = index;
+  }
+  for (uint64_t v = 100000; v > 0 && v < (uint64_t{1} << 62); v *= 3) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_GE(index, prev) << v;
+    prev = index;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(99.9), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentilesOnKnownSmallDistribution) {
+  // 1..50 recorded once each — all in the exact (sub-64) bucket range, so
+  // percentile p must be exactly ceil(p/2) with no quantization at all.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 50; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 50u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 50u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.5);
+  EXPECT_EQ(h.ValueAtPercentile(0), 1u);    // clamped to min
+  EXPECT_EQ(h.ValueAtPercentile(2), 1u);    // 1st of 50
+  EXPECT_EQ(h.ValueAtPercentile(50), 25u);  // 25th of 50
+  EXPECT_EQ(h.ValueAtPercentile(90), 45u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 50u);
+}
+
+TEST(LatencyHistogramTest, PercentilesOnSkewedDistributionWithinError) {
+  // 9900 fast (1000ns) + 100 slow (1000000ns): p50/p90 land on the fast
+  // mode, p99 sits at the boundary, p99.9 on the slow mode — each within
+  // the bucketing's relative error.
+  LatencyHistogram h;
+  for (int i = 0; i < 9900; ++i) h.Record(1000);
+  for (int i = 0; i < 100; ++i) h.Record(1000000);
+  const double kError = 1.0 / 64.0 + 1e-12;
+  for (const double pct : {50.0, 90.0, 99.0}) {
+    const uint64_t v = h.ValueAtPercentile(pct);
+    EXPECT_GE(v, static_cast<uint64_t>(1000 * (1 - kError))) << pct;
+    EXPECT_LE(v, 1000u) << pct;
+  }
+  const uint64_t p999 = h.ValueAtPercentile(99.9);
+  EXPECT_GE(p999, static_cast<uint64_t>(1000000 * (1 - kError)));
+  EXPECT_LE(p999, 1000000u);
+  EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(LatencyHistogramTest, MergeIsAdditive) {
+  Xoshiro256 rng(31337);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram whole;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Next() >> rng.NextBounded(50);
+    (i % 2 == 0 ? a : b).Record(v);
+    whole.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  // Summation order differs between the split and whole histograms, so the
+  // means agree only to floating-point accumulation error.
+  EXPECT_NEAR(a.Mean() / whole.Mean(), 1.0, 1e-9);
+  for (const double pct : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.ValueAtPercentile(pct), whole.ValueAtPercentile(pct)) << pct;
+  }
+  // Merging an empty histogram changes nothing.
+  LatencyHistogram empty;
+  const uint64_t before = a.ValueAtPercentile(50);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.ValueAtPercentile(50), before);
+}
+
+// --- deterministic key stream ----------------------------------------------
+
+TEST(WorkloadStreamKeyTest, DeterministicAndDistinct) {
+  // Same (seed, index) -> same key, always; distinct indices -> distinct
+  // keys; distinct seeds -> disjoint streams. This is the contract that
+  // lets the loadgen and the server preload agree on membership without
+  // exchanging a key list.
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const std::string key = WorkloadStreamKey(42, i);
+    EXPECT_EQ(key, WorkloadStreamKey(42, i));
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate at index " << i;
+  }
+  size_t collisions = 0;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    if (seen.count(WorkloadStreamKey(43, i)) > 0) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0u);
+}
+
+// --- closed-loop window invariant against a real server ---------------------
+
+class LoadgenServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Preload the first kMembers stream keys — exactly what
+    // `habf_tool serve` + `habf_loadgen --expect-members` do.
+    std::vector<std::string> members;
+    for (uint64_t i = 0; i < kMembers; ++i) {
+      members.push_back(WorkloadStreamKey(kSeed, i));
+    }
+    HabfOptions options;
+    options.total_bits = 1 << 16;
+    ShardedBuildOptions sharding;
+    sharding.num_shards = 2;
+    store_.Publish(BuildShardedHabf(members, {}, options, sharding));
+    backend_ =
+        std::make_unique<StoreBackend<ShardedFilter<Habf>>>(&store_);
+    server_ = std::make_unique<Server>(backend_.get(), ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  static constexpr uint64_t kSeed = 42;
+  static constexpr uint64_t kMembers = 2000;
+
+  FilterStore<ShardedFilter<Habf>> store_;
+  std::unique_ptr<StoreBackend<ShardedFilter<Habf>>> backend_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(LoadgenServerTest, ClosedLoopNeverExceedsWindowAndSeesNoFalseNegatives) {
+  LoadgenOptions options;
+  options.port = server_->port();
+  options.connections = 3;
+  options.keys_per_request = 8;
+  options.max_in_flight = 4;
+  options.duration = std::chrono::milliseconds(300);
+  options.key_seed = kSeed;
+  options.key_space = kMembers;  // every key is a preloaded member
+  options.expect_members = kMembers;
+
+  LoadgenReport report;
+  std::string error;
+  ASSERT_TRUE(RunLoadgen(options, &report, &error)) << error;
+
+  EXPECT_GT(report.requests_sent, 0u);
+  // Every send was answered (the drain phase retires the tail).
+  EXPECT_EQ(report.responses_received, report.requests_sent);
+  EXPECT_EQ(report.keys_queried,
+            report.responses_received * options.keys_per_request);
+  // The closed-loop invariant: depth never exceeded the window.
+  EXPECT_LE(report.max_in_flight_observed, options.max_in_flight);
+  EXPECT_GT(report.max_in_flight_observed, 0u);
+  // One-sidedness over the wire: members only, so zero misses...
+  EXPECT_EQ(report.false_negatives, 0u);
+  // ...which means every single answer was positive.
+  EXPECT_EQ(report.positives, report.keys_queried);
+  // Latency was recorded for every response.
+  EXPECT_EQ(report.latency_ns.count(), report.responses_received);
+  EXPECT_GT(report.latency_ns.max(), 0u);
+  EXPECT_GE(report.latency_ns.ValueAtPercentile(99),
+            report.latency_ns.ValueAtPercentile(50));
+  EXPECT_GT(report.achieved_rps, 0.0);
+}
+
+TEST_F(LoadgenServerTest, WindowOfOneIsStrictPingPong) {
+  LoadgenOptions options;
+  options.port = server_->port();
+  options.connections = 1;
+  options.keys_per_request = 4;
+  options.max_in_flight = 1;
+  options.duration = std::chrono::milliseconds(150);
+  options.key_seed = kSeed;
+  options.key_space = kMembers;
+  options.expect_members = kMembers;
+
+  LoadgenReport report;
+  std::string error;
+  ASSERT_TRUE(RunLoadgen(options, &report, &error)) << error;
+  EXPECT_EQ(report.max_in_flight_observed, 1u);
+  EXPECT_EQ(report.false_negatives, 0u);
+}
+
+TEST_F(LoadgenServerTest, OpenLoopPacesAndReportsDepth) {
+  LoadgenOptions options;
+  options.port = server_->port();
+  options.connections = 2;
+  options.keys_per_request = 4;
+  options.open_rate_per_connection = 2000.0;  // 2k rps/conn for 250ms
+  options.duration = std::chrono::milliseconds(250);
+  options.key_seed = kSeed;
+  options.key_space = kMembers;
+  options.expect_members = kMembers;
+
+  LoadgenReport report;
+  std::string error;
+  ASSERT_TRUE(RunLoadgen(options, &report, &error)) << error;
+  EXPECT_GT(report.requests_sent, 0u);
+  EXPECT_EQ(report.responses_received, report.requests_sent);
+  EXPECT_EQ(report.false_negatives, 0u);
+  // Pacing bounds the send count by schedule, not by server speed: at 2000
+  // rps for 250ms a connection can send at most ~500 (+1 tick of slack).
+  EXPECT_LE(report.requests_sent, 2 * (500 + 2));
+}
+
+TEST(LoadgenTransportTest, RefusedConnectionFailsCleanly) {
+  LoadgenOptions options;
+  options.port = 1;  // privileged + unbound: connect must fail
+  options.duration = std::chrono::milliseconds(50);
+  LoadgenReport report;
+  std::string error;
+  EXPECT_FALSE(RunLoadgen(options, &report, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(report.responses_received, 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace habf

@@ -1,0 +1,379 @@
+// Differential tests for the serving front end (net/server.h): every answer
+// delivered over the HNP1 loopback socket must be bit-for-bit identical to
+// the in-process ContainsBatch it stands in for — under both routing modes,
+// while FilterStore::Publish hot-swaps snapshots beneath live traffic
+// (batch coherence: each response matches ONE published snapshot exactly,
+// never a mix), across N concurrent pipelining connections, and through the
+// dynamic backend where wire mutations must change the in-process answers
+// and vice versa.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_filter.h"
+#include "core/filter_store.h"
+#include "core/habf.h"
+#include "core/sharded_filter.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace net {
+namespace {
+
+std::vector<std::string> MakeMembers(size_t count, const std::string& prefix) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(prefix + std::to_string(i));
+  }
+  return keys;
+}
+
+/// A mixed member/outsider probe batch (deterministic).
+std::vector<std::string> MakeProbeKeys(const std::vector<std::string>& members,
+                                       size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.NextBounded(2) == 0) {
+      keys.push_back(members[rng.NextBounded(members.size())]);
+    } else {
+      keys.push_back("diff-outsider-" + std::to_string(rng.Next()));
+    }
+  }
+  return keys;
+}
+
+std::vector<std::string_view> Views(const std::vector<std::string>& keys) {
+  return std::vector<std::string_view>(keys.begin(), keys.end());
+}
+
+ShardedFilter<Habf> BuildFilter(const std::vector<std::string>& members,
+                                RoutingMode routing, uint64_t salt) {
+  HabfOptions options;
+  options.total_bits = 1 << 16;
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 4;
+  sharding.num_threads = 2;
+  sharding.routing = routing;
+  sharding.salt = salt;
+  return BuildShardedHabf(members, {}, options, sharding);
+}
+
+/// In-process ground truth for a key batch.
+std::vector<uint8_t> InProcessAnswers(const ShardedFilter<Habf>& filter,
+                                      const std::vector<std::string>& keys) {
+  const std::vector<std::string_view> views = Views(keys);
+  std::vector<uint8_t> answers(keys.size(), 0);
+  filter.ContainsBatch(KeySpan(views.data(), views.size()), answers.data());
+  return answers;
+}
+
+// --- static snapshots, both routing modes -----------------------------------
+
+class ServerDifferentialTest : public ::testing::TestWithParam<RoutingMode> {};
+
+TEST_P(ServerDifferentialTest, WireAnswersMatchInProcessBitForBit) {
+  const std::vector<std::string> members = MakeMembers(3000, "diff-member-");
+  FilterStore<ShardedFilter<Habf>> store;
+  store.Publish(BuildFilter(members, GetParam(), /*salt=*/1));
+  StoreBackend<ShardedFilter<Habf>> backend(&store);
+  Server server(&backend, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const auto snapshot = store.Acquire();
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  for (uint64_t round = 0; round < 20; ++round) {
+    const std::vector<std::string> keys =
+        MakeProbeKeys(members, 64 + round, 1000 + round);
+    const std::vector<uint8_t> expected =
+        InProcessAnswers(*snapshot.filter, keys);
+    const std::vector<std::string_view> views = Views(keys);
+    std::vector<uint8_t> wire;
+    ASSERT_TRUE(client.Query(KeySpan(views.data(), views.size()), &wire,
+                             &error))
+        << error;
+    ASSERT_EQ(wire, expected) << "round " << round;  // bit-for-bit
+  }
+  server.Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(RoutingModes, ServerDifferentialTest,
+                         ::testing::Values(RoutingMode::kUniform,
+                                           RoutingMode::kTwoChoice),
+                         [](const auto& info) {
+                           return info.param == RoutingMode::kUniform
+                                      ? "Uniform"
+                                      : "TwoChoice";
+                         });
+
+// --- batch coherence under live hot-swap ------------------------------------
+
+TEST(ServerHotSwapDifferential, EveryResponseMatchesExactlyOneSnapshot) {
+  // Two membership generations: every wire response must equal SOME
+  // published snapshot's bitmap for the probe batch — exactly, proving one
+  // FilterStore pin per coalesced batch (a torn batch would mix rows from
+  // two generations and match neither). ShardedFilter is move-only, so the
+  // swap thread publishes from a pre-built pool, one filter per swap.
+  const std::vector<std::string> members_a = MakeMembers(1200, "gen-a-");
+  std::vector<std::string> members_b = members_a;
+  const std::vector<std::string> extra = MakeMembers(1200, "gen-b-");
+  members_b.insert(members_b.end(), extra.begin(), extra.end());
+
+  // The probe batch mixes gen-a members (hit under both), outsiders, and
+  // gen-b extras — each extra that is not a gen-a false positive flips its
+  // bit between generations, so the two bitmap families differ materially.
+  std::vector<std::string> probe = MakeProbeKeys(members_a, 48, 4242);
+  for (size_t i = 0; i < 16; ++i) probe.push_back(extra[i * 37]);
+
+  constexpr size_t kGenerations = 8;  // alternating A, B, A, B, ...
+  std::vector<ShardedFilter<Habf>> pool;
+  std::vector<std::vector<uint8_t>> allowed;  // bitmap per pool entry
+  for (size_t i = 0; i < kGenerations; ++i) {
+    pool.push_back(BuildFilter((i % 2 == 0) ? members_a : members_b,
+                               RoutingMode::kUniform, /*salt=*/7));
+    allowed.push_back(InProcessAnswers(pool.back(), probe));
+  }
+  ASSERT_NE(allowed[0], allowed[1]);  // the tear detector has teeth
+
+  FilterStore<ShardedFilter<Habf>> store;
+  store.Publish(std::move(pool[0]));
+  StoreBackend<ShardedFilter<Habf>> backend(&store);
+  Server server(&backend, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Swap in generations 1..N-2 while the client hammers; the last filter is
+  // published deterministically after the race so both generations are
+  // provably observed regardless of scheduling.
+  std::thread swapper([&] {
+    for (size_t i = 1; i + 1 < kGenerations; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      store.Publish(std::move(pool[i]));
+    }
+  });
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const std::vector<std::string_view> views = Views(probe);
+  auto matches_some_generation = [&](const std::vector<uint8_t>& wire) {
+    for (const std::vector<uint8_t>& bitmap : allowed) {
+      if (wire == bitmap) return true;
+    }
+    return false;
+  };
+  for (int round = 0; round < 300; ++round) {
+    // Pipeline a few requests so coalesced batches cross swap boundaries.
+    for (uint64_t id = 1; id <= 4; ++id) {
+      ASSERT_TRUE(client.SendQuery(round * 4 + id,
+                                   KeySpan(views.data(), views.size()),
+                                   &error))
+          << error;
+    }
+    for (uint64_t id = 1; id <= 4; ++id) {
+      OwnedFrame frame;
+      ASSERT_TRUE(client.ReadFrame(&frame, &error)) << error;
+      ASSERT_EQ(frame.op, kOpQueryResponse);
+      ASSERT_EQ(frame.request_id, static_cast<uint64_t>(round * 4 + id));
+      QueryResponseView view;
+      ASSERT_TRUE(ParseQueryResponsePayload(frame.payload, &view, &error))
+          << error;
+      ASSERT_EQ(view.key_count, probe.size());
+      std::vector<uint8_t> wire(probe.size());
+      for (size_t i = 0; i < probe.size(); ++i) wire[i] = view.Bit(i) ? 1 : 0;
+      ASSERT_TRUE(matches_some_generation(wire))
+          << "round " << round << ": response matches no published "
+             "snapshot — the batch was answered from a torn mix";
+    }
+  }
+  swapper.join();
+
+  // Deterministic finale: the last (gen B) filter goes live, and the next
+  // response must be exactly its bitmap — both generations demonstrably
+  // served over the wire.
+  const std::vector<uint8_t> expect_last = allowed[kGenerations - 1];
+  store.Publish(std::move(pool[kGenerations - 1]));
+  std::vector<uint8_t> wire;
+  ASSERT_TRUE(client.Query(KeySpan(views.data(), views.size()), &wire,
+                           &error))
+      << error;
+  EXPECT_EQ(wire, expect_last);
+  server.Shutdown();
+}
+
+// --- N concurrent pipelining connections ------------------------------------
+
+TEST(ServerConcurrencyDifferential, ConcurrentPipelinedConnectionsStayExact) {
+  const std::vector<std::string> members = MakeMembers(2000, "conc-member-");
+  FilterStore<ShardedFilter<Habf>> store;
+  store.Publish(BuildFilter(members, RoutingMode::kTwoChoice, /*salt=*/3));
+  StoreBackend<ShardedFilter<Habf>> backend(&store);
+  ServerOptions options;
+  options.num_workers = 3;
+  Server server(&backend, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const auto snapshot = store.Acquire();
+  constexpr size_t kConnections = 6;
+  constexpr size_t kRequestsPerConnection = 50;
+  constexpr size_t kDepth = 8;  // frames pipelined before the first read
+  std::vector<std::string> failures(kConnections);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      std::string err;
+      BlockingClient client;
+      if (!client.Connect("127.0.0.1", server.port(), &err)) {
+        failures[c] = "connect: " + err;
+        return;
+      }
+      // Per-connection deterministic batches; responses must come back in
+      // exact request order with in-process-identical bitmaps.
+      std::vector<std::vector<std::string>> batches;
+      std::vector<std::vector<uint8_t>> expected;
+      for (size_t r = 0; r < kRequestsPerConnection; ++r) {
+        batches.push_back(
+            MakeProbeKeys(members, 16 + (r % 17), c * 1000 + r));
+        expected.push_back(InProcessAnswers(*snapshot.filter, batches.back()));
+      }
+      size_t next_send = 0;
+      size_t next_read = 0;
+      while (next_read < kRequestsPerConnection) {
+        while (next_send < kRequestsPerConnection &&
+               next_send - next_read < kDepth) {
+          const std::vector<std::string_view> views = Views(batches[next_send]);
+          if (!client.SendQuery(next_send + 1,
+                                KeySpan(views.data(), views.size()), &err)) {
+            failures[c] = "send: " + err;
+            return;
+          }
+          ++next_send;
+        }
+        OwnedFrame frame;
+        if (!client.ReadFrame(&frame, &err)) {
+          failures[c] = "read: " + err;
+          return;
+        }
+        if (frame.op != kOpQueryResponse ||
+            frame.request_id != next_read + 1) {
+          failures[c] = "out of order at " + std::to_string(next_read);
+          return;
+        }
+        QueryResponseView view;
+        if (!ParseQueryResponsePayload(frame.payload, &view, &err)) {
+          failures[c] = "payload: " + err;
+          return;
+        }
+        std::vector<uint8_t> wire(view.key_count);
+        for (size_t i = 0; i < view.key_count; ++i) {
+          wire[i] = view.Bit(i) ? 1 : 0;
+        }
+        if (wire != expected[next_read]) {
+          failures[c] = "bitmap mismatch at request " +
+                        std::to_string(next_read);
+          return;
+        }
+        ++next_read;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t c = 0; c < kConnections; ++c) {
+    EXPECT_EQ(failures[c], "") << "connection " << c;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_GE(stats.requests_answered, kConnections * kRequestsPerConnection);
+  server.Shutdown();
+}
+
+// --- dynamic backend: wire mutations vs in-process state --------------------
+
+TEST(ServerDynamicDifferential, WireMutationsAndQueriesMatchInProcess) {
+  std::vector<std::string> members = MakeMembers(1000, "dyn-member-");
+  HabfOptions options;
+  options.total_bits = 1 << 16;
+  ShardedBuildOptions sharding;
+  sharding.num_shards = 2;
+  DynamicShardedHabf filter(members, {}, options, sharding);
+  DynamicBackend backend(&filter);
+  Server server(&backend, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  // Wire inserts become visible to both wire and in-process queries.
+  const std::vector<std::string> inserted = MakeMembers(32, "dyn-wire-new-");
+  const std::vector<std::string_view> insert_views = Views(inserted);
+  ASSERT_TRUE(client.Mutate(/*insert=*/true,
+                            KeySpan(insert_views.data(), insert_views.size()),
+                            &error))
+      << error;
+  std::vector<uint8_t> wire;
+  ASSERT_TRUE(client.Query(KeySpan(insert_views.data(), insert_views.size()),
+                           &wire, &error))
+      << error;
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    EXPECT_EQ(wire[i], 1) << inserted[i];
+    EXPECT_TRUE(filter.MightContain(inserted[i]));
+  }
+
+  // Wire removes flip the in-process answer to a definite miss.
+  const std::vector<std::string_view> victim = {members[0]};
+  ASSERT_TRUE(client.Mutate(/*insert=*/false,
+                            KeySpan(victim.data(), victim.size()), &error))
+      << error;
+  ASSERT_TRUE(
+      client.Query(KeySpan(victim.data(), victim.size()), &wire, &error))
+      << error;
+  EXPECT_EQ(wire[0], 0);
+  EXPECT_FALSE(filter.MightContain(members[0]));
+
+  // In-process mutations are visible over the wire (shared state, no wire
+  // cache): the differential holds in both directions.
+  filter.Insert("dyn-inproc-key");
+  const std::vector<std::string_view> probe = {"dyn-inproc-key"};
+  ASSERT_TRUE(
+      client.Query(KeySpan(probe.data(), probe.size()), &wire, &error))
+      << error;
+  EXPECT_EQ(wire[0], 1);
+
+  // Full-membership wire sweep matches ContainsBatch exactly.
+  members.erase(members.begin());  // the removed victim
+  const std::vector<std::string_view> sweep = Views(members);
+  std::vector<uint8_t> in_process(members.size(), 0);
+  filter.ContainsBatch(KeySpan(sweep.data(), sweep.size()),
+                       in_process.data());
+  ASSERT_TRUE(client.Query(KeySpan(sweep.data(), sweep.size()), &wire,
+                           &error))
+      << error;
+  EXPECT_EQ(wire, in_process);
+  for (const uint8_t bit : in_process) EXPECT_EQ(bit, 1);  // one-sidedness
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.keys_mutated, inserted.size() + 1);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace habf
