@@ -60,6 +60,7 @@
 #include "core/routing_directory.h"
 #include "core/sharded_filter.h"
 #include "eval/metrics.h"
+#include "net/client.h"
 #include "net/loadgen.h"
 #include "net/server.h"
 #include "util/memory.h"
@@ -533,6 +534,148 @@ ServerLatencyReport MeasureServerLatency(const Args& args,
   return report;
 }
 
+/// Backpressure governance under a deliberately slow consumer (DESIGN.md
+/// §11): phase A parks a tiny-receive-window client behind a pipeline of
+/// stats requests (~20x response amplification) and verifies the unsent
+/// output tail stays bounded by the hard cap while the watermarks pause and
+/// resume reads; phase B shrinks the cap so the same abuse must evict. The
+/// caller treats an unbounded buffer or a missing eviction as FATAL — this
+/// section is a guardrail, not just a measurement.
+struct ServerBackpressureReport {
+  bool measured = false;
+  size_t slow_frames = 0;          // phase A pipelined stats requests
+  uint64_t responses_drained = 0;  // phase A responses read back
+  uint64_t pauses = 0;
+  uint64_t resumes = 0;
+  uint64_t peak_unsent_bytes = 0;
+  size_t hard_cap_bytes = 0;    // phase A cap the peak is judged against
+  bool bounded = false;         // peak <= cap + one read budget of slack
+  size_t evict_frames = 0;      // phase B pipelined stats requests
+  uint64_t evictions_overflow = 0;  // phase B: must be exactly 1
+};
+
+/// One named counter over a throwaway stats connection.
+bool FetchServerStat(uint16_t port, std::string_view name, uint64_t* value) {
+  net::BlockingClient client;
+  std::string error;
+  if (!client.Connect("127.0.0.1", port, &error)) return false;
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  if (!client.GetStats(&entries, &error)) return false;
+  for (const auto& entry : entries) {
+    if (entry.first == name) {
+      *value = entry.second;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PollServerStatAtLeast(uint16_t port, std::string_view name,
+                           uint64_t target, uint64_t* value) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    if (FetchServerStat(port, name, value) && *value >= target) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+ServerBackpressureReport MeasureServerBackpressure() {
+  ServerBackpressureReport report;
+  // A single preloaded key is enough: the slow consumer pipelines kOpStats
+  // frames, whose fixed ~570-byte responses amplify a 17-byte request ~20x
+  // — the cheapest way for a client to grow the server's output tail.
+  std::vector<std::string> members = {WorkloadStreamKey(42, 0)};
+  HabfOptions options;
+  options.total_bits = 1 << 12;
+  FilterStore<ShardedFilter<Habf>> store(
+      BuildShardedHabf(members, {}, options, ShardedBuildOptions{}));
+  net::StoreBackend<ShardedFilter<Habf>> backend(&store);
+
+  const auto stats_frames = [](uint64_t first_id, size_t count) {
+    std::string bytes;
+    for (size_t i = 0; i < count; ++i) {
+      net::AppendFrame(&bytes, first_id + i, net::kOpStats,
+                       std::string_view());
+    }
+    return bytes;
+  };
+
+  // --- phase A: bounded buffering + pause/resume under a slow consumer ---
+  {
+    net::ServerOptions server_options;
+    server_options.num_workers = 1;
+    server_options.so_sndbuf_bytes = 4096;  // kernel can't hide the backlog
+    server_options.out_high_watermark = 32 * 1024;
+    server_options.out_low_watermark = 8 * 1024;
+    server_options.out_hard_cap = 256 * 1024;
+    server_options.read_budget_bytes = 4096;
+    report.hard_cap_bytes = server_options.out_hard_cap;
+    net::Server server(&backend, server_options);
+    std::string error;
+    if (!server.Start(&error)) return report;
+
+    net::BlockingClient slow;
+    slow.set_recv_buffer_bytes(4096);
+    if (!slow.Connect("127.0.0.1", server.port(), &error)) return report;
+    report.slow_frames = 2000;  // ~1.1MB of responses vs a 256KB cap
+    if (!slow.RawSend(stats_frames(1, report.slow_frames), &error)) {
+      return report;
+    }
+    uint64_t pauses = 0;
+    if (!PollServerStatAtLeast(server.port(), "backpressure_pauses", 1,
+                               &pauses)) {
+      return report;
+    }
+    // Drain everything: the pause must resume and every response arrive.
+    for (size_t i = 0; i < report.slow_frames; ++i) {
+      net::OwnedFrame frame;
+      if (!slow.ReadFrame(&frame, &error)) break;
+      if (frame.op != net::kOpStatsResponse) break;
+      ++report.responses_drained;
+    }
+    FetchServerStat(server.port(), "backpressure_pauses", &report.pauses);
+    FetchServerStat(server.port(), "backpressure_resumes", &report.resumes);
+    FetchServerStat(server.port(), "out_buffer_peak_bytes",
+                    &report.peak_unsent_bytes);
+    server.Shutdown();
+    // Bounded: the peak may overshoot the watermark by what one read
+    // budget's worth of requests amplifies to, never past the hard cap.
+    report.bounded =
+        report.responses_drained == report.slow_frames &&
+        report.resumes >= 1 &&
+        report.peak_unsent_bytes <= report.hard_cap_bytes + 64 * 1024;
+  }
+
+  // --- phase B: the hard cap evicts what the watermarks cannot absorb ----
+  {
+    net::ServerOptions server_options;
+    server_options.num_workers = 1;
+    server_options.so_sndbuf_bytes = 4096;
+    server_options.out_high_watermark = 32 * 1024;
+    server_options.out_low_watermark = 1024;
+    server_options.out_hard_cap = 32 * 1024;  // == high: cap wins the race
+    net::Server server(&backend, server_options);
+    std::string error;
+    if (!server.Start(&error)) return report;
+
+    net::BlockingClient hostile;
+    hostile.set_recv_buffer_bytes(4096);
+    if (!hostile.Connect("127.0.0.1", server.port(), &error)) return report;
+    report.evict_frames = 500;  // ~290KB of responses vs a 32KB cap
+    if (!hostile.RawSend(stats_frames(1, report.evict_frames), &error)) {
+      return report;
+    }
+    PollServerStatAtLeast(server.port(), "evictions_output_overflow", 1,
+                          &report.evictions_overflow);
+    server.Shutdown();
+  }
+
+  report.measured = true;
+  return report;
+}
+
 /// Partition-memory comparison of the zero-copy sharded build against the
 /// old copying partition: exact logical byte counts plus per-build peak-RSS
 /// deltas measured in forked children.
@@ -587,7 +730,8 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
                   const RoutingBalanceReport& routing,
                   const DynamicWorkloadReport& dynamic,
                   const WalDurabilityReport& wal,
-                  const ServerLatencyReport& serve) {
+                  const ServerLatencyReport& serve,
+                  const ServerBackpressureReport& backpressure) {
   if (args.json) {
     std::printf("{\n  \"context\": {\"keys\": %zu, \"shards\": %zu, "
                 "\"threads\": %zu, \"repeats\": %d},\n  \"benchmarks\": [\n",
@@ -709,7 +853,7 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         "    \"latency_p90_ns\": %llu,\n"
         "    \"latency_p99_ns\": %llu,\n"
         "    \"latency_p999_ns\": %llu,\n"
-        "    \"latency_max_ns\": %llu\n  }\n}\n",
+        "    \"latency_max_ns\": %llu\n  },\n",
         serve.measured ? "true" : "false", serve.member_keys,
         serve.connections, serve.keys_per_request, serve.window,
         static_cast<unsigned long long>(serve.requests),
@@ -720,6 +864,26 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
         static_cast<unsigned long long>(serve.p99_ns),
         static_cast<unsigned long long>(serve.p999_ns),
         static_cast<unsigned long long>(serve.max_ns));
+    std::printf(
+        "  \"server_backpressure\": {\n"
+        "    \"measured\": %s,\n"
+        "    \"slow_consumer_frames\": %zu,\n"
+        "    \"responses_drained\": %llu,\n"
+        "    \"backpressure_pauses\": %llu,\n"
+        "    \"backpressure_resumes\": %llu,\n"
+        "    \"out_buffer_peak_bytes\": %llu,\n"
+        "    \"out_hard_cap_bytes\": %zu,\n"
+        "    \"memory_bounded\": %s,\n"
+        "    \"eviction_frames\": %zu,\n"
+        "    \"evictions_output_overflow\": %llu\n  }\n}\n",
+        backpressure.measured ? "true" : "false", backpressure.slow_frames,
+        static_cast<unsigned long long>(backpressure.responses_drained),
+        static_cast<unsigned long long>(backpressure.pauses),
+        static_cast<unsigned long long>(backpressure.resumes),
+        static_cast<unsigned long long>(backpressure.peak_unsent_bytes),
+        backpressure.hard_cap_bytes,
+        backpressure.bounded ? "true" : "false", backpressure.evict_frames,
+        static_cast<unsigned long long>(backpressure.evictions_overflow));
     return;
   }
   std::printf("keys=%zu shards=%zu threads=%zu repeats=%d\n", args.keys,
@@ -807,6 +971,24 @@ void PrintResults(const std::vector<Result>& results, const Args& args,
       static_cast<double>(serve.p99_ns) / 1e3,
       static_cast<double>(serve.p999_ns) / 1e3,
       static_cast<double>(serve.max_ns) / 1e3);
+  if (backpressure.measured) {
+    std::printf(
+        "server backpressure: slow consumer pipelined %zu stats requests: "
+        "peak unsent %.1f KiB (cap %.1f KiB, bounded=%s), %llu pauses / "
+        "%llu resumes, %llu/%zu responses drained; hard-cap abuse evicted "
+        "%llu connection(s)\n",
+        backpressure.slow_frames, backpressure.peak_unsent_bytes / 1024.0,
+        backpressure.hard_cap_bytes / 1024.0,
+        backpressure.bounded ? "yes" : "NO",
+        static_cast<unsigned long long>(backpressure.pauses),
+        static_cast<unsigned long long>(backpressure.resumes),
+        static_cast<unsigned long long>(backpressure.responses_drained),
+        backpressure.slow_frames,
+        static_cast<unsigned long long>(backpressure.evictions_overflow));
+  } else {
+    std::printf(
+        "server backpressure: not measured (loopback server unavailable)\n");
+  }
 }
 
 /// The PR-2 copying partition, kept as the memory-comparison reference: a
@@ -1095,7 +1277,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- serving: backpressure governance under a slow/hostile consumer ----
+  const ServerBackpressureReport server_backpressure =
+      MeasureServerBackpressure();
+  if (server_backpressure.measured && !server_backpressure.bounded) {
+    std::fprintf(stderr,
+                 "FATAL: slow consumer grew the unsent output tail past the "
+                 "hard cap (peak %llu bytes, cap %zu) or lost responses "
+                 "(%llu/%zu drained) — per-connection memory is unbounded\n",
+                 static_cast<unsigned long long>(
+                     server_backpressure.peak_unsent_bytes),
+                 server_backpressure.hard_cap_bytes,
+                 static_cast<unsigned long long>(
+                     server_backpressure.responses_drained),
+                 server_backpressure.slow_frames);
+    return 1;
+  }
+  if (server_backpressure.measured &&
+      server_backpressure.evictions_overflow != 1) {
+    std::fprintf(stderr,
+                 "FATAL: hard-cap overrun did not evict exactly one "
+                 "connection (saw %llu)\n",
+                 static_cast<unsigned long long>(
+                     server_backpressure.evictions_overflow));
+    return 1;
+  }
+
   PrintResults(results, args, effective_threads, speedup, memory, overlap,
-               routing, dynamic_workload, wal_durability, server_latency);
+               routing, dynamic_workload, wal_durability, server_latency,
+               server_backpressure);
   return 0;
 }

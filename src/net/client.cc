@@ -83,6 +83,12 @@ bool BlockingClient::Connect(const std::string& host, uint16_t port,
     Close();
     return false;
   }
+  if (recv_buffer_bytes_ > 0) {
+    // Before connect: the handshake's window scale is negotiated from the
+    // buffer size, so a post-connect shrink would not cap the window.
+    setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes_,
+               sizeof(recv_buffer_bytes_));
+  }
   int rc;
   do {
     rc = connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
@@ -250,6 +256,46 @@ bool BlockingClient::Mutate(bool insert, KeySpan keys, std::string* error) {
       *error = "mutate status " + std::to_string(int{response.status});
     }
     return false;
+  }
+  return true;
+}
+
+bool BlockingClient::GetStats(
+    std::vector<std::pair<std::string, uint64_t>>* entries,
+    std::string* error) {
+  const uint64_t request_id = next_request_id_++;
+  if (!SendFrame(request_id, kOpStats, std::string_view(), error)) {
+    return false;
+  }
+  OwnedFrame frame;
+  if (!ReadFrame(&frame, error)) return false;
+  if (frame.op == kOpError) {
+    ErrorView err;
+    std::string parse_error;
+    if (error != nullptr) {
+      if (ParseErrorPayload(frame.payload, &err, &parse_error)) {
+        *error = "server error " + std::to_string(int{err.code}) + ": " +
+                 std::string(err.message);
+      } else {
+        *error = "server error (unparseable payload)";
+      }
+    }
+    return false;
+  }
+  if (frame.op != kOpStatsResponse || frame.request_id != request_id) {
+    if (error != nullptr) {
+      *error = "unexpected response: op " + std::to_string(int{frame.op}) +
+               " (expected stats response for " + std::to_string(request_id) +
+               ")";
+    }
+    return false;
+  }
+  std::vector<StatsEntryView> views;
+  if (!ParseStatsResponsePayload(frame.payload, &views, error)) return false;
+  entries->clear();
+  entries->reserve(views.size());
+  for (const StatsEntryView& view : views) {
+    entries->emplace_back(std::string(view.name), view.value);
   }
   return true;
 }

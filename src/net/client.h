@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "net/protocol.h"
@@ -40,6 +41,11 @@ class BlockingClient {
   /// Connects, sends the client hello, and validates the server's echo.
   /// False with *error on any failure (the socket is closed).
   bool Connect(const std::string& host, uint16_t port, std::string* error);
+
+  /// SO_RCVBUF to set before connecting (0 = kernel default). A tiny buffer
+  /// shrinks the advertised TCP window — how the hostile-client tests and
+  /// the backpressure bench make a deliberately slow consumer.
+  void set_recv_buffer_bytes(int bytes) { recv_buffer_bytes_ = bytes; }
 
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -70,10 +76,16 @@ class BlockingClient {
   /// Round-trip insert/remove. False on transport failure or kOpError.
   bool Mutate(bool insert, KeySpan keys, std::string* error);
 
+  /// Round-trip kOpStats: fetches the server's named counters, in the
+  /// server's order. False on transport failure or kOpError.
+  bool GetStats(std::vector<std::pair<std::string, uint64_t>>* entries,
+                std::string* error);
+
   void Close();
 
  private:
   int fd_ = -1;
+  int recv_buffer_bytes_ = 0;
   FrameDecoder decoder_;
   uint64_t next_request_id_ = 1;
 };

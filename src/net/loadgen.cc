@@ -97,9 +97,13 @@ struct ConnectionResult {
 };
 
 /// Sends one request of keys_per_request fresh stream keys; records it on
-/// the in-flight queue.
+/// the in-flight queue. Latency for the request is measured from
+/// `scheduled_at` — the closed loop passes now(), the open loop passes the
+/// tick the schedule assigned, so a stalled generator cannot hide its
+/// backlog from the histogram (coordinated-omission correction).
 bool SendOne(const LoadgenOptions& options, BlockingClient* client,
              Xoshiro256* rng, uint64_t* next_request_id,
+             Clock::time_point scheduled_at,
              std::deque<InFlight>* outstanding, LoadgenReport* report,
              std::string* error) {
   InFlight entry;
@@ -113,7 +117,7 @@ bool SendOne(const LoadgenOptions& options, BlockingClient* client,
     keys.push_back(WorkloadStreamKey(options.key_seed, index));
   }
   std::vector<std::string_view> views(keys.begin(), keys.end());
-  entry.sent_at = Clock::now();
+  entry.sent_at = scheduled_at;
   if (!client->SendQuery(entry.request_id,
                          KeySpan(views.data(), views.size()), error)) {
     return false;
@@ -192,8 +196,8 @@ void RunConnection(const LoadgenOptions& options, size_t connection_index,
     Clock::time_point next_send = start;
     while (Clock::now() < deadline) {
       if (Clock::now() >= next_send) {
-        if (!SendOne(options, &client, &rng, &next_request_id, &outstanding,
-                     report, &result->error)) {
+        if (!SendOne(options, &client, &rng, &next_request_id, next_send,
+                     &outstanding, report, &result->error)) {
           return;
         }
         next_send += interval;
@@ -216,8 +220,8 @@ void RunConnection(const LoadgenOptions& options, size_t connection_index,
     const size_t window = std::max<size_t>(1, options.max_in_flight);
     while (Clock::now() < deadline) {
       while (outstanding.size() < window) {
-        if (!SendOne(options, &client, &rng, &next_request_id, &outstanding,
-                     report, &result->error)) {
+        if (!SendOne(options, &client, &rng, &next_request_id, Clock::now(),
+                     &outstanding, report, &result->error)) {
           return;
         }
       }
@@ -277,6 +281,16 @@ bool RunLoadgen(const LoadgenOptions& options, LoadgenReport* report,
   if (report->duration_seconds > 0.0) {
     report->achieved_rps = static_cast<double>(report->responses_received) /
                            report->duration_seconds;
+  }
+  if (ok && options.collect_server_stats) {
+    // Best-effort: one extra connection after the run, so the counters
+    // reflect every request above. A refusal (max_connections) or drain
+    // just leaves the stats empty.
+    BlockingClient stats_client;
+    std::string stats_error;
+    if (stats_client.Connect(options.host, options.port, &stats_error)) {
+      stats_client.GetStats(&report->server_stats, &stats_error);
+    }
   }
   return ok;
 }

@@ -10,6 +10,13 @@
 // serving experiments assume — and in-flight depth is whatever the server's
 // backlog makes it (reported, not capped).
 //
+// Coordinated-omission correction: open-loop latency is measured from each
+// request's *scheduled* send time, not the moment send() actually ran. When
+// the generator stalls (a blocking send against a backpressured server, a
+// slow frame read), the backlog of late sends therefore shows up in the
+// histogram as the queueing delay real clients would have seen, instead of
+// silently vanishing — the classic coordinated-omission error.
+//
 // Key streams are deterministic: connection c of a run draws stream indices
 // from Xoshiro256(seed ⊕ c) over [0, key_space) and materializes keys with
 // WorkloadStreamKey (src/workload/dataset.h) — the same function the
@@ -22,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace habf {
@@ -83,6 +91,9 @@ struct LoadgenOptions {
   /// Indices < expect_members were preloaded as members on the server; a
   /// negative answer for one is a false negative (one-sidedness violation).
   uint64_t expect_members = 0;
+  /// Fetch the server's kOpStats counters into the report after the run
+  /// (best-effort over one extra connection; failure leaves them empty).
+  bool collect_server_stats = true;
 };
 
 struct LoadgenReport {
@@ -96,8 +107,12 @@ struct LoadgenReport {
   size_t max_in_flight_observed = 0;
   double duration_seconds = 0.0;
   double achieved_rps = 0.0;
-  /// Request send -> response parsed, in nanoseconds.
+  /// Request send -> response parsed, in nanoseconds. Open loop: from the
+  /// scheduled send time (coordinated-omission corrected, see above).
   LatencyHistogram latency_ns;
+  /// The server's kOpStats counters at the end of the run, when
+  /// collect_server_stats succeeded (empty otherwise).
+  std::vector<std::pair<std::string, uint64_t>> server_stats;
 };
 
 /// Runs the configured load (one thread per connection), merges every

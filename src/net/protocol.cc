@@ -171,6 +171,18 @@ void AppendMutateResponsePayload(std::string* out, uint8_t status,
   writer.WriteU64(applied);
 }
 
+void AppendStatsResponsePayload(
+    std::string* out,
+    const std::vector<std::pair<std::string_view, uint64_t>>& entries) {
+  BinaryWriter writer(out);
+  writer.WriteU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    writer.WriteU16(static_cast<uint16_t>(entry.first.size()));
+    out->append(entry.first.data(), entry.first.size());
+    writer.WriteU64(entry.second);
+  }
+}
+
 bool ParseKeyBatchPayload(std::string_view payload,
                           std::vector<std::string_view>* keys,
                           std::string* error) {
@@ -275,6 +287,62 @@ bool ParseMutateResponsePayload(std::string_view payload,
   }
   out->status = static_cast<uint8_t>(payload[0]);
   std::memcpy(&out->applied, payload.data() + 1, 8);
+  return true;
+}
+
+bool ParseStatsResponsePayload(std::string_view payload,
+                               std::vector<StatsEntryView>* entries,
+                               std::string* error) {
+  entries->clear();
+  if (payload.size() < 4) {
+    if (error != nullptr) *error = "stats response shorter than its count";
+    return false;
+  }
+  const uint32_t count = LoadU32(payload.data());
+  size_t pos = 4;
+  // Each entry costs at least its 2-byte name length + 8-byte value, so a
+  // count beyond remaining/10 is a lie — rejected before reserve allocates.
+  if (count > (payload.size() - pos) / 10) {
+    if (error != nullptr) {
+      *error = "stats entry count " + std::to_string(count) +
+               " exceeds what " + std::to_string(payload.size() - pos) +
+               " payload bytes can hold";
+    }
+    return false;
+  }
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - pos < 2) {
+      if (error != nullptr) {
+        *error = "stats entry " + std::to_string(i) +
+                 " is missing its name length";
+      }
+      return false;
+    }
+    uint16_t name_len;
+    std::memcpy(&name_len, payload.data() + pos, 2);
+    pos += 2;
+    if (name_len + size_t{8} > payload.size() - pos) {
+      if (error != nullptr) {
+        *error = "stats entry " + std::to_string(i) + " name length " +
+                 std::to_string(name_len) + " overruns the payload";
+      }
+      return false;
+    }
+    StatsEntryView entry;
+    entry.name = payload.substr(pos, name_len);
+    pos += name_len;
+    std::memcpy(&entry.value, payload.data() + pos, 8);
+    pos += 8;
+    entries->push_back(entry);
+  }
+  if (pos != payload.size()) {
+    if (error != nullptr) {
+      *error = std::to_string(payload.size() - pos) +
+               " trailing bytes after the stats entries";
+    }
+    return false;
+  }
   return true;
 }
 

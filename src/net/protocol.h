@@ -33,6 +33,12 @@
 //     kOpQuery; applied in order against a mutable (dynamic) backend.
 //   kOpMutateResponse (6), server->client:
 //     u8 status | u64 applied_count
+//   kOpStats (7), client->server: empty payload (anything else is a payload
+//     error). Acts as an ordering barrier like a mutation.
+//   kOpStatsResponse (8), server->client:
+//     u32 entry_count | entry_count x (u16 name_len | name bytes | u64 value)
+//     Self-describing name/value counters so new counters never need a
+//     protocol version bump; clients ignore names they don't know.
 //
 // Error attribution: a *framing* error (bad length bound, CRC mismatch)
 // cannot be pinned on a request, so the server answers request_id 0 with
@@ -47,6 +53,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/filter_interface.h"
@@ -76,6 +83,8 @@ inline constexpr uint8_t kOpError = 3;
 inline constexpr uint8_t kOpInsert = 4;
 inline constexpr uint8_t kOpRemove = 5;
 inline constexpr uint8_t kOpMutateResponse = 6;
+inline constexpr uint8_t kOpStats = 7;
+inline constexpr uint8_t kOpStatsResponse = 8;
 
 /// kOpError codes.
 inline constexpr uint8_t kErrBadFrame = 1;     // framing/CRC; connection closes
@@ -163,6 +172,11 @@ void AppendErrorPayload(std::string* out, uint8_t code,
 void AppendMutateResponsePayload(std::string* out, uint8_t status,
                                  uint64_t applied);
 
+/// Appends the kOpStatsResponse payload: named u64 counters, in order.
+void AppendStatsResponsePayload(
+    std::string* out,
+    const std::vector<std::pair<std::string_view, uint64_t>>& entries);
+
 // --- payload parsing --------------------------------------------------------
 //
 // Every parser is total over arbitrary bytes: it either fills its output
@@ -209,6 +223,16 @@ struct MutateResponseView {
 
 bool ParseMutateResponsePayload(std::string_view payload,
                                 MutateResponseView* out, std::string* error);
+
+/// One parsed kOpStatsResponse entry. `name` views the payload bytes.
+struct StatsEntryView {
+  std::string_view name;
+  uint64_t value = 0;
+};
+
+bool ParseStatsResponsePayload(std::string_view payload,
+                               std::vector<StatsEntryView>* entries,
+                               std::string* error);
 
 }  // namespace net
 }  // namespace habf

@@ -24,6 +24,14 @@
 //   kDrained   — every connection closed (or the drain deadline expired and
 //                the stragglers were force-closed); worker loops stop and
 //                join. Shutdown() returns only in this state.
+//
+// Backpressure + governance (ServerOptions below, DESIGN.md §11): a slow or
+// hostile client is throttled by output watermarks (reads pause while its
+// unsent tail is high, the hard cap evicts it), a per-wakeup read budget
+// keeps one firehose connection from starving its worker's siblings, an
+// idle sweep reclaims dead connections, and a global max-connections cap
+// refuses accepts past the limit. Every counter is exported over the wire
+// by the kOpStats op.
 
 #pragma once
 
@@ -35,6 +43,7 @@
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/dynamic_filter.h"
@@ -133,18 +142,68 @@ struct ServerOptions {
   /// How long Shutdown() waits for pending responses to flush before
   /// force-closing stragglers.
   std::chrono::milliseconds drain_timeout{5000};
+
+  // --- backpressure + resource governance (DESIGN.md §11) -------------------
+  //
+  // The unsent output tail (out.size() - out_pos) is the one per-connection
+  // quantity a slow client controls; the watermarks govern it:
+  //   unsent >= out_high_watermark  -> stop reading the connection (EPOLLIN
+  //                                    dropped; requests already decoded keep
+  //                                    their in-flight responses)
+  //   unsent <= out_low_watermark   -> resume reading
+  //   unsent >  out_hard_cap        -> evict (close) after one last flush
+  //                                    attempt; the cap bounds per-connection
+  //                                    memory no matter what the client does.
+  /// Normalized at construction: low <= high <= hard cap.
+  size_t out_high_watermark = 256 * 1024;
+  size_t out_low_watermark = 64 * 1024;
+  size_t out_hard_cap = 4 * 1024 * 1024;
+  /// FlushOutput erases the consumed [0, out_pos) prefix once it exceeds
+  /// this, so a steadily slow consumer cannot grow the buffer monotonically.
+  size_t out_compact_threshold = 64 * 1024;
+  /// Bytes one connection may recv() per epoll wakeup before yielding the
+  /// worker to its other connections (level triggering re-arms it). 0 =
+  /// unbounded.
+  size_t read_budget_bytes = 256 * 1024;
+  /// SO_SNDBUF for accepted sockets; bounds kernel-side buffering per
+  /// connection so the watermarks see a slow client promptly. 0 = kernel
+  /// default (autotuned, can reach megabytes).
+  int so_sndbuf_bytes = 0;
+  /// Connections with no read/write progress for this long are evicted.
+  /// Zero disables the sweep.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Global cap on concurrently open connections; accepts past it are closed
+  /// immediately (graceful refusal: the client sees a clean EOF at
+  /// handshake, not a hung socket). 0 = unlimited.
+  size_t max_connections = 0;
 };
 
-/// Monotonic counters, readable at any time (atomics).
+/// Monotonic counters, readable at any time (atomics), and two gauges
+/// (open_connections, out_buffer_peak_bytes). The whole struct crosses the
+/// wire via kOpStats (StatsToWireEntries below).
 struct ServerStats {
   uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  // max_connections cap
+  uint64_t open_connections = 0;     // gauge
   uint64_t frames_decoded = 0;
   uint64_t batches_answered = 0;  // coalesced QueryBatch calls
   uint64_t requests_answered = 0;
   uint64_t keys_queried = 0;
   uint64_t keys_mutated = 0;
   uint64_t protocol_errors = 0;
+  uint64_t backpressure_pauses = 0;
+  uint64_t backpressure_resumes = 0;
+  uint64_t evictions_output_overflow = 0;  // unsent output passed the hard cap
+  uint64_t evictions_idle = 0;             // idle_timeout sweep
+  uint64_t read_budget_exhausted = 0;      // wakeups truncated at the budget
+  uint64_t output_compactions = 0;         // consumed-prefix erases
+  uint64_t out_buffer_peak_bytes = 0;      // high-water unsent tail, any conn
 };
+
+/// The stats as self-describing wire entries (names are string literals),
+/// in the stable order kOpStatsResponse carries them.
+std::vector<std::pair<std::string_view, uint64_t>> StatsToWireEntries(
+    const ServerStats& stats);
 
 class Server {
  public:
@@ -183,11 +242,20 @@ class Server {
   /// Decodes + answers everything buffered. Returns false if the
   /// connection was closed.
   bool ProcessBuffered(Worker& worker, Connection& conn);
-  /// Flushes pending output. Returns false if the connection was closed.
+  /// Sends until EAGAIN or empty — no close, no interest changes. False on
+  /// a fatal socket error (the caller closes).
+  bool SendPending(Connection& conn);
+  /// Flushes pending output, compacts the consumed prefix, and runs the
+  /// backpressure pause/resume transitions. Returns false if the connection
+  /// was closed.
   bool FlushOutput(Worker& worker, Connection& conn);
   void UpdateInterest(Worker& worker, Connection& conn);
   void CloseConnection(Worker& worker, int fd);
   void BeginDrain(size_t worker_index);
+  /// Evicts this worker's connections idle past options_.idle_timeout.
+  void SweepIdle(size_t worker_index);
+  /// Raises the out_buffer_peak_bytes high-water gauge to `unsent`.
+  void NoteUnsentPeak(size_t unsent);
 
   ServerBackend* backend_;
   ServerOptions options_;
@@ -208,13 +276,26 @@ class Server {
   CondVar drain_cv_;
   size_t open_connections_ HABF_GUARDED_BY(drain_mu_) = 0;
 
+  /// Connections admitted (accepted and handed to a worker, not yet
+  /// closed). The acceptor enforces max_connections against it without
+  /// waiting on any worker loop.
+  std::atomic<size_t> admitted_{0};
+
   std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
   std::atomic<uint64_t> frames_decoded_{0};
   std::atomic<uint64_t> batches_answered_{0};
   std::atomic<uint64_t> requests_answered_{0};
   std::atomic<uint64_t> keys_queried_{0};
   std::atomic<uint64_t> keys_mutated_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> backpressure_pauses_{0};
+  std::atomic<uint64_t> backpressure_resumes_{0};
+  std::atomic<uint64_t> evictions_output_overflow_{0};
+  std::atomic<uint64_t> evictions_idle_{0};
+  std::atomic<uint64_t> read_budget_exhausted_{0};
+  std::atomic<uint64_t> output_compactions_{0};
+  std::atomic<uint64_t> out_buffer_peak_bytes_{0};
 };
 
 }  // namespace net

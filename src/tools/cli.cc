@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 
 #include "core/delta_wal.h"
 #include "core/dynamic_filter.h"
@@ -41,7 +42,9 @@ constexpr char kUsage[] =
     "           [--snapshot-format hbf1|legacy]\n"
     "  query    --filter FILTER (--key KEY ... | --keys FILE)\n"
     "           [--parallel-batch] [--threads T]\n"
-    "  stats    --filter FILTER\n"
+    "  stats    (--filter FILTER | --port P [--host H])\n"
+    "           (--port queries a running habf_server's counters over the\n"
+    "            wire via the HNP1 Stats op; default host 127.0.0.1)\n"
     "  eval     --filter FILTER --negatives FILE\n"
     "  inspect  <snapshot>   (HBF1 section table, or legacy format by magic)\n"
     "  generate --dataset shalla|ycsb --positives FILE --negatives FILE\n"
@@ -465,7 +468,42 @@ int CmdQuery(const Flags& flags, std::string* out, std::string* err) {
   return 0;
 }
 
+/// stats --port: one Stats round-trip against a live server, printed as
+/// greppable name=value lines in the server's (stable) wire order.
+int CmdStatsOverWire(const Flags& flags, std::string* out, std::string* err) {
+  size_t port = 0;
+  if (!ParseSize(*flags.GetOne("port"), &port) || port == 0 || port > 65535) {
+    *err += "stats: --port must be a port number (1-65535)\n";
+    return 1;
+  }
+  const std::string* host = flags.GetOne("host");
+  net::BlockingClient client;
+  std::string error;
+  if (!client.Connect(host != nullptr ? *host : "127.0.0.1",
+                      static_cast<uint16_t>(port), &error)) {
+    *err += "stats: " + error + "\n";
+    return 2;
+  }
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  if (!client.GetStats(&entries, &error)) {
+    *err += "stats: " + error + "\n";
+    return 2;
+  }
+  for (const auto& entry : entries) {
+    *out += entry.first + "=" + std::to_string(entry.second) + "\n";
+  }
+  return 0;
+}
+
 int CmdStats(const Flags& flags, std::string* out, std::string* err) {
+  if (flags.Has("port")) {
+    if (flags.Has("filter")) {
+      *err += "stats: --filter and --port are mutually exclusive (a snapshot"
+              " file or a live server, not both)\n";
+      return 1;
+    }
+    return CmdStatsOverWire(flags, out, err);
+  }
   auto filter = LoadFilter(flags, err);
   if (!filter.has_value()) return 2;
   const HabfOptions& options = filter->options();
@@ -1320,6 +1358,17 @@ int CmdServe(const Flags& flags, std::string* out, std::string* err) {
                 static_cast<unsigned long long>(stats.keys_queried),
                 static_cast<unsigned long long>(stats.keys_mutated),
                 static_cast<unsigned long long>(stats.protocol_errors));
+  *out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "serve: governance refused=%llu pauses=%llu resumes=%llu "
+      "evicted_overflow=%llu evicted_idle=%llu out_peak_bytes=%llu\n",
+      static_cast<unsigned long long>(stats.connections_refused),
+      static_cast<unsigned long long>(stats.backpressure_pauses),
+      static_cast<unsigned long long>(stats.backpressure_resumes),
+      static_cast<unsigned long long>(stats.evictions_output_overflow),
+      static_cast<unsigned long long>(stats.evictions_idle),
+      static_cast<unsigned long long>(stats.out_buffer_peak_bytes));
   *out += line;
   return 0;
 }

@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
         "\"positives\": %llu, \"false_negatives\": %llu, "
         "\"max_in_flight\": %zu, \"duration_s\": %.3f, "
         "\"rps\": %.1f, \"latency_ns\": {\"mean\": %.0f, \"p50\": %llu, "
-        "\"p90\": %llu, \"p99\": %llu, \"p999\": %llu, \"max\": %llu}}\n",
+        "\"p90\": %llu, \"p99\": %llu, \"p999\": %llu, \"max\": %llu}",
         static_cast<unsigned long long>(report.requests_sent),
         static_cast<unsigned long long>(report.responses_received),
         static_cast<unsigned long long>(report.keys_queried),
@@ -125,6 +125,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(h.ValueAtPercentile(99)),
         static_cast<unsigned long long>(h.ValueAtPercentile(99.9)),
         static_cast<unsigned long long>(h.max()));
+    if (!report.server_stats.empty()) {
+      std::printf(", \"server_stats\": {");
+      for (size_t i = 0; i < report.server_stats.size(); ++i) {
+        std::printf("%s\"%s\": %llu", i == 0 ? "" : ", ",
+                    report.server_stats[i].first.c_str(),
+                    static_cast<unsigned long long>(
+                        report.server_stats[i].second));
+      }
+      std::printf("}");
+    }
+    std::printf("}\n");
   } else {
     std::printf(
         "loadgen: requests=%llu responses=%llu keys=%llu positives=%llu "
@@ -141,6 +152,14 @@ int main(int argc, char** argv) {
         h.Mean() / 1e3, h.ValueAtPercentile(50) / 1e3,
         h.ValueAtPercentile(90) / 1e3, h.ValueAtPercentile(99) / 1e3,
         h.ValueAtPercentile(99.9) / 1e3, h.max() / 1e3);
+    if (!report.server_stats.empty()) {
+      std::printf("server_stats:");
+      for (const auto& entry : report.server_stats) {
+        std::printf(" %s=%llu", entry.first.c_str(),
+                    static_cast<unsigned long long>(entry.second));
+      }
+      std::printf("\n");
+    }
   }
   if (!ok) return 2;
   return report.false_negatives == 0 ? 0 : 3;

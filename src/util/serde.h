@@ -23,6 +23,12 @@ class BinaryWriter {
 
   void WriteU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
 
+  void WriteU16(uint16_t v) {
+    char buf[2];
+    std::memcpy(buf, &v, 2);
+    out_->append(buf, 2);
+  }
+
   void WriteU32(uint32_t v) {
     char buf[4];
     std::memcpy(buf, &v, 4);

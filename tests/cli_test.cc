@@ -708,6 +708,80 @@ TEST_F(CliTest, ServeStaticSnapshotAnswersOverTheWire) {
   EXPECT_NE(serve_out.find("serve: drained"), std::string::npos) << serve_out;
   EXPECT_NE(serve_out.find("protocol_errors=0"), std::string::npos)
       << serve_out;
+  // The governance counters print on their own drained line.
+  EXPECT_NE(serve_out.find("serve: governance refused=0"), std::string::npos)
+      << serve_out;
+}
+
+TEST_F(CliTest, StatsOverWireFetchesLiveCountersByPort) {
+  ASSERT_EQ(Run({"build", "--positives", positives_path_, "--out",
+                 filter_path_, "--shards", "2"}),
+            0)
+      << err_;
+
+  const std::string port_path = dir_ + "/stats_port.txt";
+  std::string serve_out, serve_err;
+  int serve_rc = -1;
+  std::thread server_thread([&] {
+    serve_rc = RunCli({"serve", "--snapshot", filter_path_, "--port", "0",
+                       "--port-file", port_path, "--duration-ms", "2500"},
+                      &serve_out, &serve_err);
+  });
+
+  uint16_t port = 0;
+  for (int i = 0; i < 1000 && port == 0; ++i) {
+    std::string bytes;
+    if (ReadFileBytes(port_path, &bytes) && !bytes.empty()) {
+      port = static_cast<uint16_t>(std::stoul(bytes));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Query once so the counters have something to say, then fetch them with
+  // `stats --port` — the in-process Run, same entry as the binary.
+  std::string client_failure;
+  int stats_rc = -1;
+  if (port == 0) {
+    client_failure = "port file never appeared: " + serve_err;
+  } else {
+    net::BlockingClient client;
+    std::string net_error;
+    const std::vector<std::string_view> keys = {"member-1"};
+    std::vector<uint8_t> answers;
+    if (!client.Connect("127.0.0.1", port, &net_error)) {
+      client_failure = "connect: " + net_error;
+    } else if (!client.Query(KeySpan(keys.data(), keys.size()), &answers,
+                             &net_error)) {
+      client_failure = "query: " + net_error;
+    } else {
+      stats_rc = Run({"stats", "--port", std::to_string(port)});
+    }
+  }
+  server_thread.join();
+
+  ASSERT_EQ(client_failure, "") << serve_err;
+  EXPECT_EQ(serve_rc, 0) << serve_err;
+  ASSERT_EQ(stats_rc, 0) << err_;
+  // name=value lines in the stable wire order, with the query visible.
+  EXPECT_NE(out_.find("keys_queried=1\n"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("requests_answered=1\n"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("backpressure_pauses=0\n"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("out_buffer_peak_bytes="), std::string::npos) << out_;
+}
+
+TEST_F(CliTest, StatsFlagMisuseIsRejected) {
+  // --filter and --port are mutually exclusive sources.
+  EXPECT_EQ(Run({"stats", "--filter", filter_path_, "--port", "12345"}), 1);
+  EXPECT_NE(err_.find("mutually exclusive"), std::string::npos) << err_;
+  // Port must be a real port number.
+  EXPECT_EQ(Run({"stats", "--port", "0"}), 1);
+  EXPECT_NE(err_.find("--port must be a port number"), std::string::npos)
+      << err_;
+  EXPECT_EQ(Run({"stats", "--port", "70000"}), 1);
+  // A valid port with nothing listening is a transport error (rc 2).
+  EXPECT_EQ(Run({"stats", "--port", "1"}), 2);
+  EXPECT_NE(err_.find("stats: "), std::string::npos) << err_;
 }
 
 TEST_F(CliTest, ServeDynamicWalDirAcceptsWireMutations) {

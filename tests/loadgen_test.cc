@@ -8,18 +8,24 @@
 
 #include "net/loadgen.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/filter_store.h"
 #include "core/habf.h"
 #include "core/sharded_filter.h"
+#include "net/protocol.h"
 #include "net/server.h"
 #include "util/rng.h"
 #include "workload/dataset.h"
@@ -241,6 +247,13 @@ TEST_F(LoadgenServerTest, ClosedLoopNeverExceedsWindowAndSeesNoFalseNegatives) {
   EXPECT_GE(report.latency_ns.ValueAtPercentile(99),
             report.latency_ns.ValueAtPercentile(50));
   EXPECT_GT(report.achieved_rps, 0.0);
+  // The post-run stats fetch: the server's own counters agree with ours.
+  ASSERT_FALSE(report.server_stats.empty());
+  uint64_t server_keys = 0;
+  for (const auto& entry : report.server_stats) {
+    if (entry.first == "keys_queried") server_keys = entry.second;
+  }
+  EXPECT_EQ(server_keys, report.keys_queried);
 }
 
 TEST_F(LoadgenServerTest, WindowOfOneIsStrictPingPong) {
@@ -281,6 +294,150 @@ TEST_F(LoadgenServerTest, OpenLoopPacesAndReportsDepth) {
   // Pacing bounds the send count by schedule, not by server speed: at 2000
   // rps for 250ms a connection can send at most ~500 (+1 tick of slack).
   EXPECT_LE(report.requests_sent, 2 * (500 + 2));
+}
+
+// --- coordinated-omission correction ----------------------------------------
+
+/// A single-connection HNP1 responder that answers every query all-positive
+/// but delivers its FIRST response in two halves with a long sleep between
+/// them. The loadgen's reader blocks mid-frame for the whole stall, so the
+/// open-loop schedule backs up — exactly the generator hiccup that
+/// coordinated omission classically erases from latency reports.
+class StallingResponder {
+ public:
+  explicit StallingResponder(std::chrono::milliseconds stall)
+      : stall_(stall) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    listen(listen_fd_, 1);
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+    port_ = ntohs(bound.sin_port);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~StallingResponder() {
+    if (listen_fd_ >= 0) close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  static bool SendAllBytes(int fd, std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void Serve() {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    // Handshake: read the 8-byte hello, echo ours.
+    std::string hello;
+    char buf[4096];
+    while (hello.size() < kHandshakeBytes) {
+      const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        close(fd);
+        return;
+      }
+      hello.append(buf, static_cast<size_t>(n));
+    }
+    if (!SendAllBytes(fd, EncodeHandshake())) {
+      close(fd);
+      return;
+    }
+    FrameDecoder decoder(kMaxFrameBytes);
+    decoder.Feed(std::string_view(hello).substr(kHandshakeBytes));
+    bool stalled_once = false;
+    std::vector<std::string_view> keys;
+    std::vector<uint8_t> answers;
+    for (;;) {
+      Frame frame;
+      std::string error;
+      const FrameDecoder::Status status = decoder.Next(&frame, &error);
+      if (status == FrameDecoder::Status::kError) break;
+      if (status == FrameDecoder::Status::kNeedMore) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;  // client done (or gone): stop serving
+        decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+        continue;
+      }
+      if (frame.op != kOpQuery ||
+          !ParseKeyBatchPayload(frame.payload, &keys, &error)) {
+        break;
+      }
+      answers.assign(keys.size(), 1);
+      std::string payload;
+      AppendQueryResponsePayload(&payload, answers.data(), answers.size());
+      std::string response;
+      AppendFrame(&response, frame.request_id, kOpQueryResponse, payload);
+      if (!stalled_once) {
+        // Half the frame, a long pause, then the rest: the client's blocking
+        // frame read cannot return until the stall ends.
+        stalled_once = true;
+        const std::string_view view(response);
+        if (!SendAllBytes(fd, view.substr(0, view.size() / 2))) break;
+        std::this_thread::sleep_for(stall_);
+        if (!SendAllBytes(fd, view.substr(view.size() / 2))) break;
+      } else if (!SendAllBytes(fd, response)) {
+        break;
+      }
+    }
+    close(fd);
+  }
+
+  std::chrono::milliseconds stall_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(LoadgenCoordinatedOmissionTest, OpenLoopChargesTheStallToEveryLateSend) {
+  // A 250ms mid-frame stall against a 200 rps open-loop schedule backs up
+  // ~50 scheduled sends. With latency measured from the *scheduled* time,
+  // the whole backlog surfaces as queueing delay: a thick tail, not one
+  // slow sample. (Measured from the actual send time — the coordinated-
+  // omission bug this guards against — only the single stalled read would
+  // look slow and p90 would collapse to the loopback microseconds.)
+  StallingResponder responder(std::chrono::milliseconds(250));
+
+  LoadgenOptions options;
+  options.port = responder.port();
+  options.connections = 1;
+  options.keys_per_request = 4;
+  options.open_rate_per_connection = 200.0;
+  options.duration = std::chrono::milliseconds(700);
+  options.key_space = 100;
+  options.collect_server_stats = false;  // the fake serves one connection
+
+  LoadgenReport report;
+  std::string error;
+  ASSERT_TRUE(RunLoadgen(options, &report, &error)) << error;
+  ASSERT_GT(report.requests_sent, 50u);
+  EXPECT_EQ(report.responses_received, report.requests_sent);
+
+  // The stalled read itself.
+  EXPECT_GE(report.latency_ns.max(), 150u * 1000 * 1000);
+  // The backlog: ~a third of all samples carry tens-to-hundreds of ms of
+  // schedule debt, so p90 sits far above loopback latency. Without the
+  // correction this is microseconds.
+  EXPECT_GE(report.latency_ns.ValueAtPercentile(90), 50u * 1000 * 1000);
 }
 
 TEST(LoadgenTransportTest, RefusedConnectionFailsCleanly) {

@@ -1,0 +1,585 @@
+// Hostile- and slow-client tests for the serving front end's backpressure
+// and resource governance (net/server.h, DESIGN.md §11): the output
+// watermarks pause and resume reads, the hard cap evicts a never-draining
+// client with bounded memory, max_connections refuses gracefully, the idle
+// sweep reclaims dead connections, the consumed-prefix compaction keeps a
+// steadily slow consumer's buffer from growing monotonically, and the
+// per-wakeup read budget keeps one firehose connection from starving its
+// worker's siblings. Plus hostile-input coverage for the kOpStatsResponse
+// parser.
+//
+// Socket technique used throughout: the server clamps SO_SNDBUF and the
+// slow client clamps SO_RCVBUF (both ~4KB) so kernel-side buffering cannot
+// absorb the backlog — otherwise TCP autotuning swallows megabytes and the
+// app-level unsent tail the watermarks govern never grows.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/filter_store.h"
+#include "core/habf.h"
+#include "core/sharded_filter.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "workload/dataset.h"
+
+namespace habf {
+namespace net {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// --- kOpStatsResponse parser under hostile input -----------------------------
+
+TEST(StatsPayloadTest, RoundTripsNamedCounters) {
+  std::string payload;
+  AppendStatsResponsePayload(
+      &payload, {{"alpha", 1}, {"beta_counter", 0}, {"gamma", ~uint64_t{0}}});
+  std::vector<StatsEntryView> entries;
+  std::string error;
+  ASSERT_TRUE(ParseStatsResponsePayload(payload, &entries, &error)) << error;
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "alpha");
+  EXPECT_EQ(entries[0].value, 1u);
+  EXPECT_EQ(entries[1].name, "beta_counter");
+  EXPECT_EQ(entries[1].value, 0u);
+  EXPECT_EQ(entries[2].name, "gamma");
+  EXPECT_EQ(entries[2].value, ~uint64_t{0});
+}
+
+TEST(StatsPayloadTest, EmptyEntrySetIsValid) {
+  std::string payload;
+  AppendStatsResponsePayload(&payload, {});
+  std::vector<StatsEntryView> entries;
+  std::string error;
+  ASSERT_TRUE(ParseStatsResponsePayload(payload, &entries, &error)) << error;
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(StatsPayloadTest, RejectsCountLie) {
+  // A 4-byte payload claiming 2^31 entries must fail fast on the count
+  // plausibility check, not attempt a giant reserve.
+  std::string payload("\xff\xff\xff\x7f", 4);
+  std::vector<StatsEntryView> entries;
+  std::string error;
+  EXPECT_FALSE(ParseStatsResponsePayload(payload, &entries, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(StatsPayloadTest, RejectsTruncationAtEveryBoundary) {
+  std::string payload;
+  AppendStatsResponsePayload(&payload, {{"alpha", 7}, {"beta", 9}});
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<StatsEntryView> entries;
+    std::string error;
+    EXPECT_FALSE(ParseStatsResponsePayload(
+        std::string_view(payload).substr(0, cut), &entries, &error))
+        << "cut at " << cut;
+  }
+}
+
+TEST(StatsPayloadTest, RejectsTrailingBytes) {
+  std::string payload;
+  AppendStatsResponsePayload(&payload, {{"alpha", 7}});
+  payload.push_back('\0');
+  std::vector<StatsEntryView> entries;
+  std::string error;
+  EXPECT_FALSE(ParseStatsResponsePayload(payload, &entries, &error));
+}
+
+TEST(StatsPayloadTest, RejectsNameLengthPastPayloadEnd) {
+  std::string payload;
+  AppendStatsResponsePayload(&payload, {{"alpha", 7}});
+  // Inflate the entry's name length field (bytes 4..5, little endian) so it
+  // points past the end of the payload.
+  payload[4] = '\xff';
+  payload[5] = '\xff';
+  std::vector<StatsEntryView> entries;
+  std::string error;
+  EXPECT_FALSE(ParseStatsResponsePayload(payload, &entries, &error));
+}
+
+// --- shared test scaffolding -------------------------------------------------
+
+/// Answers every key positive; counts batches and keys, and optionally
+/// sleeps per batch (the fairness test's stand-in for an expensive filter).
+class CountingBackend : public ServerBackend {
+ public:
+  explicit CountingBackend(milliseconds delay_per_batch = milliseconds(0))
+      : delay_(delay_per_batch) {}
+
+  size_t QueryBatch(KeySpan keys, uint8_t* out) const override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = 1;
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    keys_.fetch_add(keys.size(), std::memory_order_relaxed);
+    return keys.size();
+  }
+
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t keys() const { return keys_.load(std::memory_order_relaxed); }
+
+ private:
+  milliseconds delay_;
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> keys_{0};
+};
+
+/// One kOpStats frame: 17 bytes on the wire, ~570 bytes back — the ~20x
+/// amplification the hostile clients use to grow the server's output tail
+/// without having to push much input themselves.
+std::string StatsFrames(uint64_t first_request_id, size_t count) {
+  std::string bytes;
+  for (size_t i = 0; i < count; ++i) {
+    AppendFrame(&bytes, first_request_id + i, kOpStats, std::string_view());
+  }
+  return bytes;
+}
+
+/// Fetches one named counter over a throwaway stats connection. The caller
+/// accounts for the frame this adds to frames_decoded (exactly one).
+bool FetchStat(uint16_t port, std::string_view name, uint64_t* value) {
+  BlockingClient client;
+  std::string error;
+  if (!client.Connect("127.0.0.1", port, &error)) return false;
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  if (!client.GetStats(&entries, &error)) return false;
+  for (const auto& entry : entries) {
+    if (entry.first == name) {
+      *value = entry.second;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Polls `name` until `pred(value)` or the deadline. Returns the last value
+/// seen (so failures print something useful).
+template <typename Pred>
+uint64_t PollStat(uint16_t port, std::string_view name, Pred pred,
+                  milliseconds deadline = milliseconds(10000)) {
+  const steady_clock::time_point stop = steady_clock::now() + deadline;
+  uint64_t value = 0;
+  for (;;) {
+    if (FetchStat(port, name, &value) && pred(value)) return value;
+    if (steady_clock::now() >= stop) return value;
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+}
+
+class HostileServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    backend_ = std::make_unique<CountingBackend>(backend_delay_);
+    server_ = std::make_unique<Server>(backend_.get(), options);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  milliseconds backend_delay_{0};
+  std::unique_ptr<CountingBackend> backend_;
+  std::unique_ptr<Server> server_;
+};
+
+// --- watermarks: pause, stay paused, resume ---------------------------------
+
+TEST_F(HostileServerTest, NeverDrainingReaderTripsWatermarkAndResumes) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.so_sndbuf_bytes = 4096;
+  options.out_high_watermark = 8 * 1024;
+  options.out_low_watermark = 1024;
+  // One budget's worth of 17-byte stats frames (~240) amplifies to ~140KB,
+  // far past the watermark — and leaves frames_decoded well under the wave.
+  options.read_budget_bytes = 4096;
+  StartServer(options);
+
+  BlockingClient hostile;
+  hostile.set_recv_buffer_bytes(4096);
+  std::string error;
+  ASSERT_TRUE(hostile.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // 500 pipelined stats requests, never reading a byte back: the response
+  // amplification must trip the high watermark long before frame 500.
+  constexpr size_t kFirstWave = 500;
+  ASSERT_TRUE(hostile.RawSend(StatsFrames(1, kFirstWave), &error)) << error;
+
+  const uint64_t pauses = PollStat(
+      server_->port(), "backpressure_pauses", [](uint64_t v) { return v >= 1; });
+  ASSERT_GE(pauses, 1u);
+
+  // Paused means not reading: frames_decoded must freeze even as the client
+  // keeps pushing. Each FetchStat call below adds exactly one decoded frame
+  // of its own (the kOpStats it sends), which the deltas account for.
+  uint64_t decoded_at_pause = 0;
+  ASSERT_TRUE(
+      FetchStat(server_->port(), "frames_decoded", &decoded_at_pause));
+  EXPECT_LT(decoded_at_pause, kFirstWave);
+
+  constexpr size_t kSecondWave = 100;
+  ASSERT_TRUE(
+      hostile.RawSend(StatsFrames(kFirstWave + 1, kSecondWave), &error))
+      << error;
+  std::this_thread::sleep_for(milliseconds(200));
+  uint64_t decoded_after_push = 0;
+  ASSERT_TRUE(
+      FetchStat(server_->port(), "frames_decoded", &decoded_after_push));
+  EXPECT_EQ(decoded_after_push, decoded_at_pause + 1)
+      << "a paused connection was still being read";
+
+  // Memory stays bounded while paused: the unsent-tail peak can overshoot
+  // the watermark only by what one read budget's worth of requests amplifies
+  // to, never by the whole pipeline.
+  uint64_t peak = 0;
+  ASSERT_TRUE(FetchStat(server_->port(), "out_buffer_peak_bytes", &peak));
+  EXPECT_GE(peak, options.out_high_watermark);
+  EXPECT_LE(peak, options.out_hard_cap);
+
+  // Drain everything: the kernel window reopens, EPOLLOUT flushes, unsent
+  // falls to the low watermark, reads resume, and every response arrives in
+  // request order — nothing lost or reordered across the pause.
+  for (size_t i = 0; i < kFirstWave + kSecondWave; ++i) {
+    OwnedFrame frame;
+    ASSERT_TRUE(hostile.ReadFrame(&frame, &error)) << "frame " << i << ": "
+                                                   << error;
+    ASSERT_EQ(frame.op, kOpStatsResponse) << "frame " << i;
+    ASSERT_EQ(frame.request_id, i + 1);
+    std::vector<StatsEntryView> entries;
+    ASSERT_TRUE(ParseStatsResponsePayload(frame.payload, &entries, &error))
+        << error;
+  }
+  const uint64_t resumes = PollStat(
+      server_->port(), "backpressure_resumes",
+      [](uint64_t v) { return v >= 1; });
+  EXPECT_GE(resumes, 1u);
+}
+
+// --- hard cap: bounded memory, eviction --------------------------------------
+
+TEST_F(HostileServerTest, OutputOverflowPastHardCapEvictsTheConnection) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.so_sndbuf_bytes = 4096;
+  // high == cap: the pause can never engage before the cap check (pause
+  // fires at >= high after the pass; the cap evicts at > cap mid-pass), so
+  // a single coalesced pass that amplifies past the cap must evict.
+  options.out_high_watermark = 32 * 1024;
+  options.out_low_watermark = 1024;
+  options.out_hard_cap = 32 * 1024;
+  StartServer(options);
+
+  BlockingClient hostile;
+  hostile.set_recv_buffer_bytes(4096);
+  std::string error;
+  ASSERT_TRUE(hostile.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // ~8.5KB of requests amplifying to ~290KB of responses against a 32KB
+  // cap and a clamped kernel buffer: eviction is unavoidable.
+  ASSERT_TRUE(hostile.RawSend(StatsFrames(1, 500), &error)) << error;
+
+  const uint64_t evictions = PollStat(
+      server_->port(), "evictions_output_overflow",
+      [](uint64_t v) { return v >= 1; });
+  EXPECT_EQ(evictions, 1u);
+
+  // The hostile client sees the close: buffered responses, then EOF/RST.
+  OwnedFrame frame;
+  size_t received = 0;
+  while (received < 500 && hostile.ReadFrame(&frame, &error)) ++received;
+  EXPECT_LT(received, 500u) << "evicted connection was fully answered";
+
+  // The server keeps serving everyone else.
+  uint64_t open = 0;
+  EXPECT_TRUE(FetchStat(server_->port(), "open_connections", &open));
+}
+
+// --- max_connections: graceful refusal ---------------------------------------
+
+TEST_F(HostileServerTest, ConnectionsPastTheCapAreRefusedWithCleanEof) {
+  ServerOptions options;
+  options.max_connections = 2;
+  StartServer(options);
+
+  BlockingClient first;
+  BlockingClient second;
+  std::string error;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server_->port(), &error)) << error;
+  ASSERT_TRUE(second.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // The third is closed before the hello echo: Connect fails promptly on
+  // the handshake read — a clean EOF when the close beats the client's
+  // hello into the server's receive buffer, an ECONNRESET when it doesn't
+  // (closing with unread bytes is an RST by TCP's rules). Either way the
+  // client learns immediately; what it must never see is a hung socket.
+  BlockingClient third;
+  EXPECT_FALSE(third.Connect("127.0.0.1", server_->port(), &error));
+  EXPECT_TRUE(error.find("closed") != std::string::npos ||
+              error.find("reset") != std::string::npos)
+      << error;
+
+  // Releasing a slot re-admits. The worker closes asynchronously, so retry
+  // until the acceptor sees the freed slot.
+  second.Close();
+  BlockingClient replacement;
+  const steady_clock::time_point stop = steady_clock::now() + milliseconds(10000);
+  bool admitted = false;
+  while (steady_clock::now() < stop) {
+    if (replacement.Connect("127.0.0.1", server_->port(), &error)) {
+      admitted = true;
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  ASSERT_TRUE(admitted) << error;
+
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  ASSERT_TRUE(replacement.GetStats(&entries, &error)) << error;
+  uint64_t refused = 0;
+  for (const auto& entry : entries) {
+    if (entry.first == "connections_refused") refused = entry.second;
+  }
+  EXPECT_GE(refused, 1u);
+}
+
+// --- idle sweep --------------------------------------------------------------
+
+TEST_F(HostileServerTest, IdleConnectionsAreEvictedAndActiveOnesKept) {
+  ServerOptions options;
+  options.idle_timeout = milliseconds(300);
+  StartServer(options);
+
+  BlockingClient idle;
+  std::string error;
+  ASSERT_TRUE(idle.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // One long-lived active connection whose steady stats cadence (a round
+  // trip every ~30ms, well under the 300ms timeout) must keep it alive
+  // through the sweeps that reclaim the idle one.
+  BlockingClient active;
+  ASSERT_TRUE(active.Connect("127.0.0.1", server_->port(), &error)) << error;
+  uint64_t evicted = 0;
+  const steady_clock::time_point stop = steady_clock::now() + milliseconds(15000);
+  while (steady_clock::now() < stop) {
+    std::vector<std::pair<std::string, uint64_t>> entries;
+    ASSERT_TRUE(active.GetStats(&entries, &error)) << error;
+    for (const auto& entry : entries) {
+      if (entry.first == "evictions_idle") evicted = entry.second;
+    }
+    if (evicted >= 1) break;
+    std::this_thread::sleep_for(milliseconds(30));
+  }
+  ASSERT_GE(evicted, 1u);
+
+  // The evicted side observes the close; the active side keeps answering.
+  OwnedFrame frame;
+  EXPECT_FALSE(idle.ReadFrame(&frame, &error));
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  EXPECT_TRUE(active.GetStats(&entries, &error)) << error;
+}
+
+// --- compaction: satellite-1 regression --------------------------------------
+
+TEST_F(HostileServerTest, SlowReaderThatNeverFullyDrainsTriggersCompaction) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.so_sndbuf_bytes = 4096;
+  options.out_compact_threshold = 4096;
+  StartServer(options);
+
+  // A reader whose tiny receive window means the first flush consumes a
+  // >4KB prefix of the output buffer without draining it. Before the fix,
+  // that prefix was reclaimed only on a FULL drain, so a client that always
+  // stays one frame behind grew the buffer monotonically.
+  BlockingClient slow;
+  slow.set_recv_buffer_bytes(4096);
+  std::string error;
+  ASSERT_TRUE(slow.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  constexpr size_t kRequests = 60;  // ~35KB of responses
+  ASSERT_TRUE(slow.RawSend(StatsFrames(1, kRequests), &error)) << error;
+
+  const uint64_t compactions = PollStat(
+      server_->port(), "output_compactions",
+      [](uint64_t v) { return v >= 1; });
+  EXPECT_GE(compactions, 1u);
+
+  // Compaction must be invisible on the wire: every response intact, in
+  // order, across the erase-and-reindex of the buffer.
+  for (size_t i = 0; i < kRequests; ++i) {
+    OwnedFrame frame;
+    ASSERT_TRUE(slow.ReadFrame(&frame, &error)) << "frame " << i << ": "
+                                                << error;
+    ASSERT_EQ(frame.op, kOpStatsResponse);
+    ASSERT_EQ(frame.request_id, i + 1);
+    std::vector<StatsEntryView> entries;
+    ASSERT_TRUE(ParseStatsResponsePayload(frame.payload, &entries, &error))
+        << error;
+  }
+}
+
+// --- read budget: satellite-2 fairness ---------------------------------------
+
+TEST_F(HostileServerTest, ReadBudgetYieldsTheWorkerBetweenConnections) {
+  backend_delay_ = milliseconds(2);  // make each coalesced batch cost real time
+  ServerOptions options;
+  options.num_workers = 1;  // both connections share one loop: the worst case
+  options.read_budget_bytes = 4096;
+  StartServer(options);
+
+  std::string error;
+  BlockingClient firehose;
+  ASSERT_TRUE(firehose.Connect("127.0.0.1", server_->port(), &error)) << error;
+  BlockingClient polite;
+  ASSERT_TRUE(polite.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // ~13KB of pipelined single-key queries: more than three read budgets, so
+  // the worker must take several wakeups (yield points) to ingest it all.
+  constexpr size_t kFloodFrames = 400;
+  std::string flood;
+  std::string key_payload;
+  for (size_t i = 0; i < kFloodFrames; ++i) {
+    const std::string key = WorkloadStreamKey(7, i);
+    const std::string_view view(key);
+    key_payload.clear();
+    AppendKeyBatchPayload(&key_payload, KeySpan(&view, 1));
+    AppendFrame(&flood, i + 1, kOpQuery, key_payload);
+  }
+  ASSERT_TRUE(firehose.RawSend(flood, &error)) << error;
+
+  // The polite connection round-trips while the flood's backlog is still in
+  // flight — shared-worker progress, not starvation. (Before the budget, a
+  // single until-EAGAIN recv loop ingested the whole flood first.)
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = WorkloadStreamKey(7, 1000 + i);
+    const std::string_view view(key);
+    std::vector<uint8_t> answers;
+    ASSERT_TRUE(polite.Query(KeySpan(&view, 1), &answers, &error)) << error;
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_EQ(answers[0], 1);
+  }
+
+  // Every flood response still arrives — the budget break must re-arm via
+  // level triggering without losing buffered bytes.
+  for (size_t i = 0; i < kFloodFrames; ++i) {
+    OwnedFrame frame;
+    ASSERT_TRUE(firehose.ReadFrame(&frame, &error)) << "frame " << i << ": "
+                                                    << error;
+    ASSERT_EQ(frame.op, kOpQueryResponse);
+    ASSERT_EQ(frame.request_id, i + 1);
+  }
+
+  uint64_t exhausted = 0;
+  ASSERT_TRUE(
+      FetchStat(server_->port(), "read_budget_exhausted", &exhausted));
+  EXPECT_GE(exhausted, 1u);
+  EXPECT_EQ(backend_->keys(), kFloodFrames + 5);
+}
+
+// --- stats op over the wire --------------------------------------------------
+
+TEST_F(HostileServerTest, StatsOpIsAnOrderingBarrierAndCountsItself) {
+  StartServer(ServerOptions{});
+
+  BlockingClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // Pipeline query -> stats -> query: the stats response must come second
+  // (barrier keeps per-connection order) and its requests_answered must
+  // already include the first query.
+  const std::string key = WorkloadStreamKey(7, 0);
+  const std::string_view view(key);
+  ASSERT_TRUE(client.SendQuery(1, KeySpan(&view, 1), &error)) << error;
+  ASSERT_TRUE(client.SendFrame(2, kOpStats, std::string_view(), &error))
+      << error;
+  ASSERT_TRUE(client.SendQuery(3, KeySpan(&view, 1), &error)) << error;
+
+  OwnedFrame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame, &error)) << error;
+  EXPECT_EQ(frame.op, kOpQueryResponse);
+  EXPECT_EQ(frame.request_id, 1u);
+
+  ASSERT_TRUE(client.ReadFrame(&frame, &error)) << error;
+  ASSERT_EQ(frame.op, kOpStatsResponse);
+  EXPECT_EQ(frame.request_id, 2u);
+  std::vector<StatsEntryView> entries;
+  ASSERT_TRUE(ParseStatsResponsePayload(frame.payload, &entries, &error))
+      << error;
+  uint64_t answered = 0;
+  uint64_t queried = 0;
+  for (const StatsEntryView& entry : entries) {
+    if (entry.name == "requests_answered") answered = entry.value;
+    if (entry.name == "keys_queried") queried = entry.value;
+  }
+  EXPECT_GE(answered, 1u);
+  EXPECT_GE(queried, 1u);
+
+  ASSERT_TRUE(client.ReadFrame(&frame, &error)) << error;
+  EXPECT_EQ(frame.op, kOpQueryResponse);
+  EXPECT_EQ(frame.request_id, 3u);
+}
+
+TEST_F(HostileServerTest, StatsWithPayloadIsAPayloadErrorNotFatal) {
+  StartServer(ServerOptions{});
+
+  BlockingClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // Payload errors are attributed to the frame's request_id and the
+  // connection survives (the protocol's error-attribution contract).
+  ASSERT_TRUE(client.SendFrame(9, kOpStats, "junk", &error)) << error;
+  OwnedFrame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame, &error)) << error;
+  EXPECT_EQ(frame.op, kOpError);
+  EXPECT_EQ(frame.request_id, 9u);
+  ErrorView err;
+  ASSERT_TRUE(ParseErrorPayload(frame.payload, &err, &error)) << error;
+  EXPECT_EQ(err.code, kErrBadPayload);
+
+  // Still alive and well.
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  ASSERT_TRUE(client.GetStats(&entries, &error)) << error;
+  uint64_t protocol_errors = 0;
+  for (const auto& entry : entries) {
+    if (entry.first == "protocol_errors") protocol_errors = entry.second;
+  }
+  EXPECT_GE(protocol_errors, 1u);
+}
+
+// --- watermark options are normalized ----------------------------------------
+
+TEST_F(HostileServerTest, DegenerateWatermarkOptionsAreNormalized) {
+  // low > high and cap < high must not wedge the state machine: the ctor
+  // clamps low <= high <= cap, so a tiny coherent config still serves.
+  ServerOptions options;
+  options.out_high_watermark = 1024;
+  options.out_low_watermark = 1 << 20;  // above high: clamped down
+  options.out_hard_cap = 16;            // below high: clamped up
+  StartServer(options);
+
+  BlockingClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  ASSERT_TRUE(client.GetStats(&entries, &error)) << error;
+  EXPECT_FALSE(entries.empty());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace habf
